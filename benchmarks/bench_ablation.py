@@ -1,0 +1,95 @@
+"""Ablations of VIProf's design choices (DESIGN.md §5).
+
+The paper argues for three runtime-side choices and one post-processing
+choice; each ablation removes one and measures the cost/accuracy movement:
+
+1. partial per-epoch code maps  vs  rewriting the full map every GC;
+2. flag-don't-log in the GC move hook  vs  eager per-move logging;
+3. heap-bounds JIT classification  vs  the stock anonymous path;
+4. backward epoch traversal  vs  own-epoch-map-only resolution.
+"""
+
+from pathlib import Path
+
+from benchmarks.conftest import publish
+from repro.oprofile.opcontrol import OprofileConfig
+from repro.profiling.model import Layer
+from repro.system.api import base_run
+from repro.system.engine import EngineConfig, ProfilerMode, SystemEngine
+from repro.workloads import by_name
+
+BENCH = "ps"
+PERIOD = 45_000  # denser sampling accentuates the runtime-path ablations
+
+
+def _run(scale, **flags):
+    cfg = EngineConfig(
+        mode=ProfilerMode.VIPROF,
+        profile_config=OprofileConfig.paper_config(PERIOD),
+        seed=7,
+        time_scale=scale,
+        noise=False,
+        **flags,
+    )
+    return SystemEngine(by_name(BENCH), cfg).run()
+
+
+def test_ablations(benchmark, results_dir, scale):
+    def run_all():
+        base = base_run(by_name(BENCH), time_scale=scale, noise=False)
+        paper = _run(scale)
+        full_maps = _run(scale, viprof_full_maps=True)
+        eager = _run(scale, viprof_eager_move_log=True)
+        anon = _run(scale, viprof_anon_path=True)
+        return base, paper, full_maps, eager, anon
+
+    base, paper, full_maps, eager, anon = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    def agent_cycles(r):
+        return r.ledger.layer_cycles(Layer.AGENT)
+
+    def daemon_cycles(r):
+        return r.ledger.layer_cycles(Layer.DAEMON)
+
+    bt_stats = paper.viprof_report(backward_traversal=True).jit_stats
+    no_bt_stats = paper.viprof_report(backward_traversal=False).jit_stats
+
+    lines = [
+        f"{'variant':<26}{'slowdown':>10}{'agent cyc':>12}{'daemon cyc':>12}"
+        f"{'map records':>13}",
+    ]
+    for label, r in (
+        ("paper design", paper),
+        ("full-map rewrite", full_maps),
+        ("eager move logging", eager),
+        ("anon path (no fast path)", anon),
+    ):
+        lines.append(
+            f"{label:<26}{r.slowdown_vs(base):>10.4f}{agent_cycles(r):>12}"
+            f"{daemon_cycles(r):>12}{r.agent_stats.records_written:>13}"
+        )
+    lines.append("")
+    lines.append(
+        f"resolution with backward traversal:    {bt_stats.resolution_rate:.4f}"
+    )
+    lines.append(
+        f"resolution with own-epoch map only:    {no_bt_stats.resolution_rate:.4f}"
+    )
+    publish(results_dir, "ablation.txt", "\n".join(lines))
+
+    # 1. Partial maps are the amortization win.
+    assert full_maps.agent_stats.records_written > 2 * paper.agent_stats.records_written
+    assert agent_cycles(full_maps) > agent_cycles(paper)
+
+    # 2. Flagging beats eager logging in the GC path.
+    assert agent_cycles(eager) > agent_cycles(paper)
+
+    # 3. The bounds check beats the anonymous path in daemon time.
+    assert daemon_cycles(anon) > daemon_cycles(paper)
+    assert anon.daemon_stats.jit_samples == 0
+
+    # 4. Backward traversal is required for full resolution.
+    assert no_bt_stats.resolution_rate < bt_stats.resolution_rate
+    assert bt_stats.resolution_rate > 0.98

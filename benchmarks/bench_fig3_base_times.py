@@ -1,0 +1,58 @@
+"""Figure 3 — base execution times.
+
+Paper artifact: the table of unprofiled execution times in seconds
+(pseudojbb 31, JVM98 5.74, antlr 8.7, bloat 28.5, fop 3.2, hsqldb 43,
+pmd 16.3, xalan 22.2, ps — the OCR garbles the last rows; see
+EXPERIMENTS.md for how we pinned them).
+
+Our simulated clock is 1/1000 of the paper's 3.4 GHz, and budgets are set
+from these very numbers, so the *measured* seconds land close to nominal —
+the small excess over nominal is background/kernel activity, exactly as on
+a real machine.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish
+from repro.system.api import base_run
+from repro.workloads.base import paper_suite
+
+NOMINAL = {
+    "pseudojbb": 31.0,
+    "jvm98": 5.74,
+    "antlr": 8.7,
+    "bloat": 28.5,
+    "fop": 3.2,
+    "hsqldb": 43.0,
+    "pmd": 16.3,
+    "xalan": 22.2,
+    "ps": 12.0,
+}
+
+
+def test_figure3_base_times(benchmark, results_dir, scale):
+    def run_all():
+        return {
+            wl.name: base_run(wl, time_scale=scale) for wl in paper_suite()
+        }
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"{'Benchmark':<12}{'Base time (s)':>14}{'Paper (s)':>12}"]
+    for name, nominal in NOMINAL.items():
+        measured = runs[name].seconds / scale
+        lines.append(f"{name:<12}{measured:14.2f}{nominal:12.2f}")
+    avg = sum(r.seconds / scale for r in runs.values()) / len(runs)
+    lines.append(f"{'Average':<12}{avg:14.2f}{'':>12}")
+    publish(results_dir, "figure3_base_times.txt", "\n".join(lines))
+
+    for name, nominal in NOMINAL.items():
+        measured = runs[name].seconds / scale
+        # Within 10 % of nominal: budget + background/kernel share.
+        assert measured == pytest.approx(nominal, rel=0.10), name
+        assert measured >= nominal * 0.99  # never faster than the budget
+
+    # Relative ordering preserved: hsqldb longest, fop shortest.
+    seconds = {n: runs[n].seconds for n in NOMINAL}
+    assert max(seconds, key=seconds.get) == "hsqldb"
+    assert min(seconds, key=seconds.get) == "fop"

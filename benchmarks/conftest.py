@@ -1,0 +1,41 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every experiment writes its table to ``benchmarks/results/`` (and prints
+it, visible with ``pytest -s``), so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the paper-shaped artifacts on disk.
+
+``REPRO_BENCH_SCALE`` (default ``1.0``) scales every run's cycle budget:
+1.0 reproduces the paper's full run lengths (a couple of minutes total);
+smaller values give quick smoke passes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+def publish(results_dir: Path, name: str, table: str) -> None:
+    """Write a result table to disk and echo it."""
+    path = results_dir / name
+    path.write_text(table + "\n", encoding="utf-8")
+    print(f"\n--- {name} ---\n{table}\n")

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 2/3: overhead sweep over the full suite.
+
+Runs every benchmark unprofiled (Figure 3 base times), then under OProfile
+at the 90 K period and VIProf at 45 K / 90 K / 450 K (Figure 2), and prints
+both tables plus the §4.3 headline numbers.
+
+Full scale takes a minute or two; pass ``--scale 0.1`` for a quick look.
+
+Usage::
+
+    python examples/overhead_sweep.py [--scale 1.0] [--benchmarks ps antlr]
+"""
+
+import argparse
+
+from repro.system.experiment import run_overhead_matrix
+from repro.workloads import by_name
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--benchmarks", nargs="*", default=None,
+                    help="subset of benchmark names (default: full suite)")
+    args = ap.parse_args()
+
+    workloads = (
+        [by_name(n) for n in args.benchmarks] if args.benchmarks else None
+    )
+    matrix = run_overhead_matrix(workloads, time_scale=args.scale)
+
+    print("=== Figure 2: normalized slowdown ===")
+    print(matrix.format_figure2())
+    print("\n=== Figure 3: base execution times ===")
+    print(matrix.format_figure3())
+
+    avg_o = matrix.average_slowdown("oprofile", 90_000)
+    avg_v = matrix.average_slowdown("viprof", 90_000)
+    print(f"\nOProfile @90K average slowdown: {100 * (avg_o - 1):.1f}%")
+    print(f"VIProf   @90K average slowdown: {100 * (avg_v - 1):.1f}%")
+    v90 = matrix.slowdowns("viprof", 90_000)
+    over10 = [n for n, s in v90.items() if s >= 1.10]
+    under5 = [n for n, s in v90.items() if s < 1.05]
+    print(f"Above 10% at 90K: {over10 or 'none'}")
+    print(f"Below  5% at 90K: {under5 or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

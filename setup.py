@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools predates PEP-660 wheel-less
+editable support (no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Analysis utilities over run results.
+
+* :mod:`repro.analysis.accuracy` — score a sampled profile against the
+  simulator's ground-truth ledger (resolution rates, per-symbol share
+  error, blind-spot share of a stock-OProfile run);
+* :mod:`repro.analysis.overhead` — decompose a profiled run's overhead
+  into its mechanical sources (NMI handler, daemon paths, VM agent);
+* :mod:`repro.analysis.timeline` — windowed sample timelines and phase-
+  transition detection (the signal the VIVA adaptation loop consumes).
+"""
+
+from repro.analysis.accuracy import (
+    AccuracyScore,
+    sampleable_share,
+    score_oprofile_blindness,
+    score_viprof_accuracy,
+)
+from repro.analysis.overhead import OverheadBreakdown, decompose_overhead
+from repro.analysis.timeline import Timeline, TimelineWindow, build_timeline
+
+__all__ = [
+    "AccuracyScore",
+    "sampleable_share",
+    "score_viprof_accuracy",
+    "score_oprofile_blindness",
+    "OverheadBreakdown",
+    "decompose_overhead",
+    "Timeline",
+    "TimelineWindow",
+    "build_timeline",
+]

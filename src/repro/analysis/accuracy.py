@@ -1,0 +1,110 @@
+"""Profile-accuracy scoring against the ground-truth ledger.
+
+A sampling profiler can only see cycles that tick while sampling is live;
+NMI-handler cycles run with overflows masked and are invisible.
+:func:`sampleable_share` therefore normalizes true cycle counts by the
+*sampleable* total, which is the correct oracle for a sampled share — see
+``tests/integration/test_accuracy.py`` for the derivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jvm.machine import JIT_APP_IMAGE_LABEL
+from repro.profiling.model import Layer
+
+__all__ = [
+    "sampleable_share",
+    "AccuracyScore",
+    "score_viprof_accuracy",
+    "score_oprofile_blindness",
+]
+
+
+def sampleable_share(run, cycles: int) -> float:
+    """True share of ``cycles`` among the cycles a sampler can observe."""
+    total = run.ledger.total_cycles - run.cpu_stats.nmi_handler_cycles
+    return cycles / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class AccuracyScore:
+    """How well a VIProf profile matches ground truth.
+
+    Attributes:
+        jit_samples: JIT samples taken.
+        resolution_rate: fraction attributed to a concrete method.
+        resolved_in_own_epoch / resolved_via_backward: where the code-map
+            search succeeded.
+        mean_share_error: mean |sampled - true| share over hot JIT methods.
+        max_share_error: worst hot-method share error.
+        hot_methods_checked: number of methods entering the error stats.
+    """
+
+    jit_samples: int
+    resolution_rate: float
+    resolved_in_own_epoch: int
+    resolved_via_backward: int
+    mean_share_error: float
+    max_share_error: float
+    hot_methods_checked: int
+
+
+def score_viprof_accuracy(
+    run, hot_threshold: float = 0.01, event: str = "GLOBAL_POWER_EVENTS"
+) -> AccuracyScore:
+    """Score a VIProf run's profile against its own ground truth.
+
+    Args:
+        run: a :class:`~repro.system.engine.RunResult` from a VIProf run.
+        hot_threshold: minimum true cycle share for a method to enter the
+            share-error statistics.
+        event: event whose sample shares are scored.
+    """
+    vr = run.viprof_report()
+    stats = vr.jit_stats
+    truth = run.ledger
+
+    errors: list[float] = []
+    for (image, symbol), entry in truth.by_symbol.items():
+        if image != JIT_APP_IMAGE_LABEL:
+            continue
+        true_share = sampleable_share(run, entry.cycles)
+        if true_share < hot_threshold:
+            continue
+        row = vr.report.row_for(image, symbol)
+        sampled = (
+            vr.report.percent(row, event) / 100.0 if row is not None else 0.0
+        )
+        errors.append(abs(sampled - true_share))
+
+    return AccuracyScore(
+        jit_samples=stats.jit_samples,
+        resolution_rate=stats.resolution_rate,
+        resolved_in_own_epoch=stats.resolved_in_own_epoch,
+        resolved_via_backward=stats.resolved_in_earlier_epoch,
+        mean_share_error=sum(errors) / len(errors) if errors else 0.0,
+        max_share_error=max(errors) if errors else 0.0,
+        hot_methods_checked=len(errors),
+    )
+
+
+def score_oprofile_blindness(
+    run, event: str = "GLOBAL_POWER_EVENTS"
+) -> tuple[float, float]:
+    """For a stock-OProfile run, return ``(blind_share, true_vm_jit_share)``:
+    the fraction of samples the report leaves unattributed (anonymous
+    ranges + unsymbolized boot image) vs the true VM+JIT cycle share."""
+    report = run.oprofile_report()
+    blind = sum(
+        report.percent(r, event) / 100.0
+        for r in report.rows
+        if r.image.startswith("anon (range:") or r.image == "RVM.code.image"
+    )
+    true = sampleable_share(
+        run,
+        run.ledger.layer_cycles(Layer.APP_JIT)
+        + run.ledger.layer_cycles(Layer.VM),
+    )
+    return blind, true

@@ -1,0 +1,94 @@
+"""Overhead decomposition.
+
+Figure 2 reports one number per run — the normalized slowdown.  The
+simulator knows exactly where the extra cycles went; this module breaks a
+profiled run's overhead into the paper's mechanical sources:
+
+* NMI delivery + sample capture (frequency-proportional; identical for
+  both profilers);
+* daemon work, split into the classification/logging paths;
+* VM-agent work (VIProf only): compile logging, move flags, map writes;
+* second-order effects (extra context switches, scheduler work), reported
+  as the residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiling.model import Layer
+
+__all__ = ["OverheadBreakdown", "decompose_overhead"]
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Cycle-level decomposition of one profiled run vs its base run.
+
+    All ``*_cycles`` fields are absolute simulated cycles; ``*_pct`` are
+    percentages of the base run's wall cycles (so they sum to roughly the
+    slowdown minus one, up to the residual).
+    """
+
+    benchmark: str
+    profiler: str
+    period: int
+    slowdown: float
+    nmi_cycles: int
+    daemon_cycles: int
+    agent_cycles: int
+    residual_cycles: int
+    base_wall_cycles: int
+
+    @property
+    def nmi_pct(self) -> float:
+        return 100.0 * self.nmi_cycles / self.base_wall_cycles
+
+    @property
+    def daemon_pct(self) -> float:
+        return 100.0 * self.daemon_cycles / self.base_wall_cycles
+
+    @property
+    def agent_pct(self) -> float:
+        return 100.0 * self.agent_cycles / self.base_wall_cycles
+
+    @property
+    def residual_pct(self) -> float:
+        return 100.0 * self.residual_cycles / self.base_wall_cycles
+
+    def format_row(self) -> str:
+        return (
+            f"{self.benchmark:<11}{self.profiler:<10}{self.period:>8} "
+            f"{100 * (self.slowdown - 1):>7.2f}% "
+            f"nmi {self.nmi_pct:>5.2f}%  daemon {self.daemon_pct:>5.2f}%  "
+            f"agent {self.agent_pct:>5.2f}%  other {self.residual_pct:>5.2f}%"
+        )
+
+
+def decompose_overhead(base_run, profiled_run) -> OverheadBreakdown:
+    """Attribute a profiled run's extra wall cycles to their sources.
+
+    Args:
+        base_run: unprofiled :class:`~repro.system.engine.RunResult` of the
+            same workload/seed/scale.
+        profiled_run: the profiled run to decompose.
+    """
+    extra = profiled_run.wall_cycles - base_run.wall_cycles
+    nmi = profiled_run.cpu_stats.nmi_handler_cycles
+    daemon = profiled_run.ledger.layer_cycles(Layer.DAEMON)
+    agent = profiled_run.ledger.layer_cycles(Layer.AGENT)
+    residual = extra - nmi - daemon - agent
+    cfg = profiled_run.config
+    return OverheadBreakdown(
+        benchmark=profiled_run.workload_name,
+        profiler=profiled_run.mode.value,
+        period=(
+            cfg.profile_config.primary_period if cfg.profile_config else 0
+        ),
+        slowdown=profiled_run.wall_cycles / base_run.wall_cycles,
+        nmi_cycles=nmi,
+        daemon_cycles=daemon,
+        agent_cycles=agent,
+        residual_cycles=residual,
+        base_wall_cycles=base_run.wall_cycles,
+    )

@@ -1,0 +1,116 @@
+"""Phase-behaviour timelines from sample streams.
+
+The VIVA project VIProf serves (paper §1) wants to re-optimize the stack
+as "the dynamically changing characteristics of program behavior" shift —
+which presumes the profile can *show* the shifts.  Samples carry capture
+timestamps, so slicing them into windows yields a per-window profile; a
+phase transition is a window whose profile diverges from its
+predecessor's.
+
+Works on any resolved sample stream (stock OProfile or VIProf), but only
+VIProf timelines can tell *which Java method* a new phase is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.profiling.model import ResolvedSample
+
+__all__ = ["TimelineWindow", "Timeline", "build_timeline"]
+
+
+@dataclass
+class TimelineWindow:
+    """One time slice of the profile."""
+
+    index: int
+    start_cycle: int
+    end_cycle: int
+    counts: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def share(self, key: tuple[str, str]) -> float:
+        return self.counts.get(key, 0) / self.total if self.total else 0.0
+
+    def dominant(self) -> tuple[str, str] | None:
+        if not self.counts:
+            return None
+        return max(self.counts, key=lambda k: (self.counts[k], k))
+
+
+@dataclass
+class Timeline:
+    """The full windowed profile plus phase-transition detection."""
+
+    window_cycles: int
+    windows: list[TimelineWindow]
+
+    def transitions(self, min_divergence: float = 0.4) -> list[int]:
+        """Window indices where behaviour shifted.
+
+        Divergence between consecutive windows is half the L1 distance of
+        their share vectors (total-variation distance, in [0, 1]); a
+        transition is a window whose divergence from its predecessor is at
+        least ``min_divergence``.
+        """
+        if not 0.0 < min_divergence <= 1.0:
+            raise ConfigError("min_divergence must be in (0, 1]")
+        out = []
+        for prev, cur in zip(self.windows, self.windows[1:]):
+            keys = set(prev.counts) | set(cur.counts)
+            tv = 0.5 * sum(
+                abs(prev.share(k) - cur.share(k)) for k in keys
+            )
+            if tv >= min_divergence:
+                out.append(cur.index)
+        return out
+
+    def dominant_sequence(self) -> list[tuple[str, str] | None]:
+        return [w.dominant() for w in self.windows]
+
+    def format_table(self, top: int = 1) -> str:
+        lines = [f"{'window':>7} {'cycles':>22}  dominant symbol(s)"]
+        for w in self.windows:
+            ranked = sorted(
+                w.counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:top]
+            names = ", ".join(
+                f"{sym} ({100 * n / max(1, w.total):.0f}%)"
+                for (_, sym), n in ranked
+            )
+            lines.append(
+                f"{w.index:>7} {w.start_cycle:>10}-{w.end_cycle:<11} {names}"
+            )
+        return "\n".join(lines)
+
+
+def build_timeline(
+    samples: list[ResolvedSample],
+    window_cycles: int,
+    event: str = "GLOBAL_POWER_EVENTS",
+) -> Timeline:
+    """Slice resolved samples into fixed windows by capture cycle."""
+    if window_cycles <= 0:
+        raise ConfigError("window_cycles must be positive")
+    relevant = [s for s in samples if s.raw.event_name == event]
+    if not relevant:
+        return Timeline(window_cycles=window_cycles, windows=[])
+    last = max(s.raw.cycle for s in relevant)
+    n_windows = last // window_cycles + 1
+    windows = [
+        TimelineWindow(
+            index=i,
+            start_cycle=i * window_cycles,
+            end_cycle=(i + 1) * window_cycles,
+        )
+        for i in range(n_windows)
+    ]
+    for s in relevant:
+        w = windows[s.raw.cycle // window_cycles]
+        w.counts[s.key] = w.counts.get(s.key, 0) + 1
+    return Timeline(window_cycles=window_cycles, windows=windows)

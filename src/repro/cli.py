@@ -1,0 +1,264 @@
+"""Command-line interface (the ``viprof`` console script).
+
+Subcommands::
+
+    viprof list                          # available benchmarks
+    viprof report ps [--scale S] [...]   # run + print a VIProf profile
+    viprof case-study [--benchmark ps]   # Figure 1 side-by-side
+    viprof overhead [--benchmarks ...]   # Figure 2/3 sweep
+    viprof breakdown ps                  # overhead decomposition
+    viprof annotate ps [--method NAME]   # within-method (bytecode) histogram
+    viprof diff ps --period 45000 90000  # profile diff across two configs
+    viprof pgo ps                        # profile-guided optimization demo
+    viprof xen fop ps                    # multi-stack XenoProf demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.overhead import decompose_overhead
+from repro.system.api import base_run, oprofile_profile, viprof_profile
+from repro.system.experiment import run_case_study, run_overhead_matrix
+from repro.workloads import by_name, paper_suite
+
+__all__ = ["main"]
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", type=float, default=0.25,
+                   help="fraction of paper-scale run length (default 0.25)")
+    p.add_argument("--period", type=int, default=90_000,
+                   help="sampling period in cycles (default 90000)")
+    p.add_argument("--seed", type=int, default=7)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.workloads.specjvm98 import (
+        compress, db, jack, javac, jess, mpegaudio, mtrt,
+    )
+
+    print(f"{'name':<12}{'base (s)':>9}  description")
+    for wl in paper_suite():
+        print(f"{wl.name:<12}{wl.base_time_s:>9.2f}  {wl.description}")
+    print("\nIndividual JVM98 programs:")
+    for f in (compress, jess, db, javac, mpegaudio, mtrt, jack):
+        wl = f()
+        print(f"{wl.name:<12}{wl.base_time_s:>9.2f}  {wl.description}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = viprof_profile(
+        by_name(args.benchmark), period=args.period,
+        time_scale=args.scale, seed=args.seed,
+    )
+    vr = result.viprof_report()
+    print(vr.report.format_table(limit=args.rows))
+    s = vr.jit_stats
+    print(f"\n{s.jit_samples} JIT samples, "
+          f"{100 * s.resolution_rate:.1f}% resolved")
+    return 0
+
+
+def _cmd_case_study(args: argparse.Namespace) -> int:
+    result = run_case_study(
+        args.benchmark, period=args.period, time_scale=args.scale,
+        seed=args.seed, limit=args.rows,
+    )
+    print(result.side_by_side())
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    workloads = (
+        [by_name(n) for n in args.benchmarks] if args.benchmarks else None
+    )
+    matrix = run_overhead_matrix(
+        workloads, time_scale=args.scale, seed=args.seed
+    )
+    print(matrix.format_figure2())
+    print()
+    print(matrix.format_figure3())
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    wl = args.benchmark
+    base = base_run(by_name(wl), time_scale=args.scale, seed=args.seed)
+    for profiler, runner in (
+        ("oprofile", oprofile_profile),
+        ("viprof", viprof_profile),
+    ):
+        run = runner(
+            by_name(wl), period=args.period,
+            time_scale=args.scale, seed=args.seed,
+        )
+        print(decompose_overhead(base, run).format_row())
+    return 0
+
+
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    result = viprof_profile(
+        by_name(args.benchmark), period=args.period,
+        time_scale=args.scale, seed=args.seed,
+    )
+    vr = result.viprof_report()
+    method = args.method
+    if method is None:
+        method = next(
+            r.symbol for r in vr.report.sorted_rows() if r.image == "JIT.App"
+        )
+    ann = vr.post.annotate_jit(method, bucket_bytes=args.bucket)
+    print(ann.format_table(limit=args.rows))
+    hot = ann.hottest("GLOBAL_POWER_EVENTS")
+    if hot is not None:
+        print(f"\nhottest bucket: offset {hot.offset} "
+              f"(~bytecode {hot.bytecode_index})")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.profiling.diff import diff_reports
+
+    p_before, p_after = args.period
+    before = viprof_profile(
+        by_name(args.benchmark), period=p_before,
+        time_scale=args.scale, seed=args.seed,
+    )
+    after = viprof_profile(
+        by_name(args.benchmark), period=p_after,
+        time_scale=args.scale, seed=args.seed,
+    )
+    d = diff_reports(
+        before.viprof_report().report, after.viprof_report().report
+    )
+    print(f"profile diff: period {p_before} -> {p_after}")
+    print(d.format_table(limit=args.rows))
+    return 0
+
+
+def _cmd_pgo(args: argparse.Namespace) -> int:
+    from repro.pgo import run_pgo_experiment
+
+    result = run_pgo_experiment(
+        lambda: by_name(args.benchmark), time_scale=args.scale,
+        period=args.period, seed=args.seed,
+    )
+    print(result.format_summary())
+    print(f"compilation events: {result.baseline_compilations} -> "
+          f"{result.guided_compilations}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import build_timeline
+
+    result = viprof_profile(
+        by_name(args.benchmark), period=args.period,
+        time_scale=args.scale, seed=args.seed,
+    )
+    post = result.viprof_report().post
+    resolved = [post.resolve(s) for s in post.read_samples()]
+    tl = build_timeline(resolved, window_cycles=args.window)
+    print(tl.format_table(top=args.top))
+    transitions = tl.transitions(min_divergence=args.divergence)
+    print(f"\nphase transitions at windows: {transitions or 'none'}")
+    return 0
+
+
+def _cmd_xen(args: argparse.Namespace) -> int:
+    from repro.xen import GuestSpec, MultiStackEngine
+
+    engine = MultiStackEngine(
+        [GuestSpec(by_name(n)) for n in args.benchmarks],
+        period=args.period, time_scale=args.scale, seed=args.seed,
+    )
+    result = engine.run()
+    print(f"{len(result.buffer)} samples, "
+          f"{100 * result.xen_share():.2f}% in the hypervisor, "
+          f"{result.hypervisor.world_switches} world switches\n")
+    print(result.unified_report().format_table(limit=args.rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="viprof",
+        description="VIProf reproduction: vertically integrated profiling "
+        "on a simulated full system",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks")
+
+    p = sub.add_parser("report", help="profile a benchmark with VIProf")
+    p.add_argument("benchmark")
+    p.add_argument("--rows", type=int, default=15)
+    _add_run_args(p)
+
+    p = sub.add_parser("case-study", help="Figure 1 side-by-side")
+    p.add_argument("--benchmark", default="ps")
+    p.add_argument("--rows", type=int, default=14)
+    _add_run_args(p)
+
+    p = sub.add_parser("overhead", help="Figure 2/3 overhead sweep")
+    p.add_argument("--benchmarks", nargs="*", default=None)
+    _add_run_args(p)
+
+    p = sub.add_parser("breakdown", help="overhead decomposition")
+    p.add_argument("benchmark")
+    _add_run_args(p)
+
+    p = sub.add_parser("annotate", help="within-method sample histogram")
+    p.add_argument("benchmark")
+    p.add_argument("--method", default=None,
+                   help="JIT method name (default: hottest)")
+    p.add_argument("--bucket", type=int, default=64)
+    p.add_argument("--rows", type=int, default=20)
+    _add_run_args(p)
+
+    p = sub.add_parser("diff", help="diff one benchmark across two periods")
+    p.add_argument("benchmark")
+    p.add_argument("--period", nargs=2, type=int, metavar=("BEFORE", "AFTER"),
+                   default=[45_000, 90_000])
+    p.add_argument("--rows", type=int, default=12)
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("pgo", help="profile-guided optimization demo")
+    p.add_argument("benchmark")
+    _add_run_args(p)
+
+    p = sub.add_parser("xen", help="multi-stack XenoProf demo")
+    p.add_argument("benchmarks", nargs="+")
+    p.add_argument("--rows", type=int, default=14)
+    _add_run_args(p)
+
+    p = sub.add_parser("timeline", help="phase-behaviour timeline")
+    p.add_argument("benchmark")
+    p.add_argument("--window", type=int, default=2_000_000,
+                   help="window size in cycles")
+    p.add_argument("--top", type=int, default=2)
+    p.add_argument("--divergence", type=float, default=0.4)
+    _add_run_args(p)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "report": _cmd_report,
+        "case-study": _cmd_case_study,
+        "overhead": _cmd_overhead,
+        "breakdown": _cmd_breakdown,
+        "annotate": _cmd_annotate,
+        "diff": _cmd_diff,
+        "pgo": _cmd_pgo,
+        "xen": _cmd_xen,
+        "timeline": _cmd_timeline,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise the more
+specific subclasses below.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "HardwareError",
+    "CounterError",
+    "AddressSpaceError",
+    "LoaderError",
+    "SymbolError",
+    "JvmError",
+    "HeapExhaustedError",
+    "CompilationError",
+    "ProfilerError",
+    "SampleFormatError",
+    "CodeMapError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration value (bad sampling period, cache geometry, ...)."""
+
+
+class HardwareError(ReproError):
+    """Base class for simulated-hardware failures."""
+
+
+class CounterError(HardwareError):
+    """Invalid hardware-performance-counter operation or programming."""
+
+
+class AddressSpaceError(ReproError):
+    """Virtual-memory-area conflicts or unmapped-address lookups."""
+
+
+class LoaderError(ReproError):
+    """Program/image loading failure (overlap, exhausted layout region)."""
+
+
+class SymbolError(ReproError):
+    """Symbol-table construction or lookup failure."""
+
+
+class JvmError(ReproError):
+    """Base class for JVM substrate failures."""
+
+
+class HeapExhaustedError(JvmError):
+    """The JVM heap cannot satisfy an allocation even after collection."""
+
+
+class CompilationError(JvmError):
+    """JIT compilation was asked to do something inconsistent."""
+
+
+class ProfilerError(ReproError):
+    """Base class for OProfile/VIProf failures."""
+
+
+class SampleFormatError(ProfilerError):
+    """A sample file is truncated, corrupt, or has a bad magic/version."""
+
+
+class CodeMapError(ProfilerError):
+    """Code-map file inconsistency (bad epoch ordering, overlap, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Unknown benchmark name or invalid workload specification."""

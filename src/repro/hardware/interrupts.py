@@ -1,0 +1,87 @@
+"""The non-maskable interrupt line.
+
+OProfile asks the APIC to deliver counter overflows as NMIs so that samples
+can be taken even inside regions that run with ordinary interrupts disabled.
+We model the line as a registered handler plus the one piece of real NMI
+semantics that matters to a profiler: while a handler is running, further
+NMIs are latched by hardware but *at most one* is pending — overflows that
+occur during handler execution are effectively dropped (the counter is
+reloaded but no sample is taken).  The simulator counts those drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+__all__ = ["CpuMode", "InterruptFrame", "NMILine"]
+
+
+class CpuMode(Enum):
+    """Privilege mode the CPU was in when the interrupt was raised."""
+
+    USER = "user"
+    KERNEL = "kernel"
+
+
+@dataclass(frozen=True, slots=True)
+class InterruptFrame:
+    """What the NMI handler can see: the saved program counter, the mode,
+    which event's counter overflowed, and the identity of the running task
+    (stand-in for ``current`` in the kernel).
+
+    Attributes:
+        pc: program counter at the instant of overflow.
+        mode: user or kernel privilege mode.
+        event_name: hardware event whose counter fired.
+        task_id: pid of the interrupted task (0 for idle/kernel threads).
+        cycle: absolute simulated cycle time of delivery.
+    """
+
+    pc: int
+    mode: CpuMode
+    event_name: str
+    task_id: int
+    cycle: int
+
+
+#: An NMI handler receives the frame and returns the number of cycles its
+#: execution costs (charged to the kernel as profiling overhead).
+NmiHandler = Callable[[InterruptFrame], int]
+
+
+class NMILine:
+    """Delivery of counter-overflow NMIs to a single registered handler."""
+
+    def __init__(self) -> None:
+        self._handler: Optional[NmiHandler] = None
+        self.delivered = 0
+        self.dropped = 0
+        self._in_handler = False
+
+    def register(self, handler: NmiHandler) -> None:
+        self._handler = handler
+
+    def unregister(self) -> None:
+        self._handler = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handler is not None
+
+    def raise_nmi(self, frame: InterruptFrame) -> int:
+        """Deliver an NMI.  Returns handler cost in cycles (0 when no handler
+        is registered or when the NMI was dropped due to reentrancy)."""
+        if self._handler is None:
+            return 0
+        if self._in_handler:
+            self.dropped += 1
+            return 0
+        self._in_handler = True
+        try:
+            cost = self._handler(frame)
+        finally:
+            self._in_handler = False
+        self.delivered += 1
+        return cost

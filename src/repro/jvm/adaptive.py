@@ -1,0 +1,92 @@
+"""The adaptive optimization system (AOS).
+
+Jikes RVM's AOS watches method hotness and promotes methods up the
+optimizing-compiler ladder.  We model the observable behaviour: per-method
+invocation counters, a threshold ladder, and a recompilation decision per
+invocation burst.  The ladder's thresholds determine how much recompilation
+traffic a workload generates — which in turn determines VIProf's code-map
+sizes and (per the paper's overhead discussion) how much agent work a run
+performs before the hot code settles into the mature space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.jvm.compiler import CompilerTier
+
+__all__ = ["RecompilationLadder", "AdaptiveSystem"]
+
+
+@dataclass(frozen=True, slots=True)
+class RecompilationLadder:
+    """Invocation thresholds at which a method climbs to each opt tier."""
+
+    opt0_at: int = 30
+    opt1_at: int = 250
+    opt2_at: int = 1200
+
+    def __post_init__(self) -> None:
+        if not 0 < self.opt0_at < self.opt1_at < self.opt2_at:
+            raise ConfigError(
+                "ladder thresholds must be positive and strictly increasing"
+            )
+
+    def tier_for(self, invocations: int) -> CompilerTier:
+        """Tier a method with ``invocations`` total calls should be at."""
+        if invocations >= self.opt2_at:
+            return CompilerTier.OPT2
+        if invocations >= self.opt1_at:
+            return CompilerTier.OPT1
+        if invocations >= self.opt0_at:
+            return CompilerTier.OPT0
+        return CompilerTier.BASELINE
+
+
+@dataclass
+class AdaptiveSystem:
+    """Per-method invocation accounting plus recompilation decisions."""
+
+    ladder: RecompilationLadder = field(default_factory=RecompilationLadder)
+    _invocations: dict[int, int] = field(default_factory=dict)
+    _tier: dict[int, CompilerTier] = field(default_factory=dict)
+    recompilations_requested: int = 0
+
+    def bind_method_names(self, methods) -> None:
+        """Hook for subclasses that key decisions on method identity (the
+        PGO extension); the base ladder needs only indices."""
+
+    def invocations(self, method_index: int) -> int:
+        return self._invocations.get(method_index, 0)
+
+    def current_tier(self, method_index: int) -> CompilerTier | None:
+        """Tier of the method's installed code, or None if never compiled."""
+        return self._tier.get(method_index)
+
+    def note_compiled(self, method_index: int, tier: CompilerTier) -> None:
+        self._tier[method_index] = tier
+
+    def record_invocations(
+        self, method_index: int, count: int = 1
+    ) -> CompilerTier | None:
+        """Record ``count`` invocations; return the tier to recompile at, or
+        None if the method should stay where it is.
+
+        The caller (the machine) performs the actual compilation and then
+        reports it back via :meth:`note_compiled`.
+        """
+        if count <= 0:
+            raise ConfigError("invocation count must be positive")
+        total = self._invocations.get(method_index, 0) + count
+        self._invocations[method_index] = total
+        desired = self.ladder.tier_for(total)
+        current = self._tier.get(method_index)
+        if current is None:
+            # First invocation: baseline compile regardless of ladder.
+            self.recompilations_requested += 1
+            return CompilerTier.BASELINE
+        if desired.level > current.level:
+            self.recompilations_requested += 1
+            return desired
+        return None

@@ -1,0 +1,193 @@
+"""The Jikes RVM boot image and its internal map (``RVM.map``).
+
+Jikes RVM is written (mostly) in Java; at build time its core is compiled
+into a *boot image* — a blob of machine code and data loaded at a fixed heap
+address by a small C bootstrap.  To a system profiler the blob is just an
+unsymbolized file mapping (``RVM.code.image  (no symbols)`` in the paper's
+Figure 1, bottom), but the build also emits ``RVM.map``, which maps image
+offsets to VM-internal Java methods.  VIProf's post-processor reads that map
+to symbolize VM samples (Figure 1, top: the ``RVM.map`` rows).
+
+:func:`build_boot_image` manufactures a deterministic boot image populated
+with the VM-internal methods visible in the paper plus representative
+populations for each VM activity (compiler, GC, runtime, class loading, and
+boot-image Java library code), grouped so the machine can dwell in the right
+symbols for each activity.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SymbolError
+from repro.os.binary import BinaryImage
+
+__all__ = [
+    "VmActivity",
+    "RvmMapEntry",
+    "RvmMap",
+    "BootImage",
+    "build_boot_image",
+    "BOOT_IMAGE_NAME",
+    "RVM_MAP_IMAGE_LABEL",
+]
+
+#: Image name a system profiler sees for the boot-image mapping.
+BOOT_IMAGE_NAME = "RVM.code.image"
+
+#: Image label VIProf reports for samples resolved through RVM.map.
+RVM_MAP_IMAGE_LABEL = "RVM.map"
+
+
+class VmActivity(Enum):
+    """VM-internal activity classes, each dwelling in its own method group."""
+
+    COMPILER = "compiler"
+    OPT_COMPILER = "opt_compiler"
+    GC = "gc"
+    RUNTIME = "runtime"
+    CLASSLOADER = "classloader"
+    JAVALIB = "javalib"
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RvmMapEntry:
+    """One RVM.map row: image-relative offset, size, VM method name."""
+
+    offset: int
+    size: int
+    name: str
+
+
+class RvmMap:
+    """Offset → VM-method lookup over the boot image.
+
+    Mirrors :class:`repro.os.binary.BinaryImage` symbol resolution but is a
+    distinct artifact on purpose: system profilers cannot see it; only
+    VIProf's post-processing tools read it (paper §3.2).
+    """
+
+    def __init__(self, entries: list[RvmMapEntry]):
+        self._entries = sorted(entries)
+        self._offsets = [e.offset for e in self._entries]
+        prev: RvmMapEntry | None = None
+        for e in self._entries:
+            if prev is not None and e.offset < prev.offset + prev.size:
+                raise SymbolError(
+                    f"RVM.map entries {prev.name!r} and {e.name!r} overlap"
+                )
+            prev = e
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> tuple[RvmMapEntry, ...]:
+        return tuple(self._entries)
+
+    def resolve(self, offset: int) -> RvmMapEntry | None:
+        i = bisect.bisect_right(self._offsets, offset) - 1
+        if i < 0:
+            return None
+        e = self._entries[i]
+        return e if e.offset <= offset < e.offset + e.size else None
+
+    def find(self, name: str) -> RvmMapEntry:
+        for e in self._entries:
+            if e.name == name:
+                return e
+        raise SymbolError(f"no entry {name!r} in RVM.map")
+
+
+@dataclass(frozen=True)
+class BootImage:
+    """The boot image binary (stripped), its map, and per-activity groups."""
+
+    image: BinaryImage
+    rvm_map: RvmMap
+    groups: dict[VmActivity, tuple[RvmMapEntry, ...]]
+
+    def entries_for(self, activity: VmActivity) -> tuple[RvmMapEntry, ...]:
+        return self.groups[activity]
+
+
+# VM-internal methods per activity.  The first entries in several groups are
+# the exact symbols visible in the paper's Figure 1; the rest are
+# representative.  Tuples are (method name, code size in bytes).
+_VM_METHODS: dict[VmActivity, tuple[tuple[str, int], ...]] = {
+    VmActivity.CLASSLOADER: (
+        ("com.ibm.jikesrvm.classloader.VM_NormalMethod.getOsrPrologueLength", 0x2C0),
+        ("com.ibm.jikesrvm.classloader.VM_NormalMethod.hasArrayRead", 0x1A0),
+        ("com.ibm.jikesrvm.classloader.VM_NormalMethod.finalizeOsrSpecialization", 0x260),
+        ("com.ibm.jikesrvm.classloader.VM_Class.load", 0x500),
+        ("com.ibm.jikesrvm.classloader.VM_Class.resolve", 0x420),
+        ("com.ibm.jikesrvm.classloader.VM_TypeReference.resolve", 0x1E0),
+        ("com.ibm.jikesrvm.classloader.VM_BytecodeStream.nextInstruction", 0x120),
+    ),
+    VmActivity.COMPILER: (
+        ("com.ibm.jikesrvm.VM_BaselineCompiler.genCode", 0x700),
+        ("com.ibm.jikesrvm.VM_Assembler.emitCALL_Imm", 0x100),
+        ("com.ibm.jikesrvm.VM_CompiledMethods.createCompiledMethod", 0x160),
+        ("com.ibm.jikesrvm.VM_BaselineGCMapIterator.setupIterator", 0x200),
+    ),
+    VmActivity.OPT_COMPILER: (
+        ("com.ibm.jikesrvm.opt.VM_OptCompiledMethod.createCodePatchMaps", 0x340),
+        ("com.ibm.jikesrvm.opt.VM_OptMachineCodeMap.getMethodForMCOffset", 0x1C0),
+        ("com.ibm.jikesrvm.opt.ir.OPT_BURS_STATE.invoke", 0x640),
+        ("com.ibm.jikesrvm.opt.OPT_Simplifier.simplify", 0x580),
+        ("com.ibm.jikesrvm.opt.OPT_LinearScan.allocateRegisters", 0x720),
+        ("com.ibm.jikesrvm.opt.OPT_BC2IR.generateHIR", 0x7C0),
+    ),
+    VmActivity.GC: (
+        ("com.ibm.jikesrvm.opt.VM_OptGenericGCMapIterator.checkForMissedSpills", 0x240),
+        ("org.mmtk.plan.CopySpace.traceObject", 0x2A0),
+        ("org.mmtk.utility.scan.Scan.scanObject", 0x220),
+        ("org.mmtk.utility.alloc.BumpPointer.alloc", 0xE0),
+        ("org.mmtk.vm.Memory.zero", 0x90),
+        ("org.mmtk.plan.SemiSpaceGCspy.collect", 0x300),
+        ("com.ibm.jikesrvm.memorymanagers.mminterface.MM_Interface.triggerCollection", 0x140),
+    ),
+    VmActivity.RUNTIME: (
+        ("com.ibm.jikesrvm.VM_MainThread.run", 0x180),
+        ("com.ibm.jikesrvm.VM_Thread.yieldpoint", 0x160),
+        ("com.ibm.jikesrvm.VM_Runtime.resolvedNewScalar", 0x120),
+        ("com.ibm.jikesrvm.VM_Scheduler.dispatch", 0x260),
+        ("com.ibm.jikesrvm.VM_Lock.lock", 0x1A0),
+        ("com.ibm.jikesrvm.VM_Processor.enableThreadSwitching", 0xC0),
+    ),
+    VmActivity.JAVALIB: (
+        ("java.util.Vector.trimToSize", 0x120),
+        ("java.lang.String.charAt", 0x60),
+        ("java.lang.StringBuffer.append", 0x180),
+        ("java.util.HashMap.get", 0x160),
+        ("java.io.BufferedReader.readLine", 0x240),
+        ("java.lang.System.arraycopy", 0x140),
+    ),
+}
+
+
+def build_boot_image() -> BootImage:
+    """Lay out the VM methods back to back and return image + map + groups.
+
+    The image itself carries *no* ELF symbols (it is an opaque blob to the
+    OS), which is precisely the OProfile failure mode the paper targets.
+    """
+    entries: list[RvmMapEntry] = []
+    groups: dict[VmActivity, tuple[RvmMapEntry, ...]] = {}
+    off = 0x2000  # boot record header
+    for activity, methods in _VM_METHODS.items():
+        group: list[RvmMapEntry] = []
+        for name, size in methods:
+            e = RvmMapEntry(offset=off, size=size, name=name)
+            entries.append(e)
+            group.append(e)
+            off += size + 0x20
+        groups[activity] = tuple(group)
+        off += 0x400  # inter-group padding
+    image_size = 1 << 23  # 8 MB boot image, round figure for RVM 2.4.4
+    if off > image_size:
+        raise SymbolError("boot image method layout exceeded image size")
+    image = BinaryImage(BOOT_IMAGE_NAME, image_size, symbols=None)
+    return BootImage(image=image, rvm_map=RvmMap(entries), groups=groups)

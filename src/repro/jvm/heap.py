@@ -1,0 +1,151 @@
+"""The JVM heap: bump-allocated spaces holding data *and code*.
+
+The property the paper leans on (§3.1) is that in Jikes RVM "the code and
+data regions are both interwound into a single heap".  We reproduce that
+literally: the nursery's bump pointer serves both data allocation (tracked
+as volume) and code-body allocation (tracked as real address ranges), so
+code bodies end up scattered between data at runtime-dependent addresses —
+and get relocated when the copying collector empties the nursery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError, HeapExhaustedError
+
+__all__ = ["Space", "Heap"]
+
+_ALIGN = 16
+
+
+@dataclass
+class Space:
+    """A contiguous bump-allocated region ``[base, base + size)``."""
+
+    name: str
+    base: int
+    size: int
+    cursor: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigError(f"space {self.name!r} must have positive size")
+        if self.base <= 0:
+            raise ConfigError(f"space {self.name!r} must have positive base")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def used(self) -> int:
+        return self.cursor
+
+    @property
+    def free(self) -> int:
+        return self.size - self.cursor
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def alloc(self, nbytes: int) -> int | None:
+        """Bump-allocate ``nbytes`` (16-byte aligned); None when full."""
+        if nbytes <= 0:
+            raise ConfigError(f"allocation size must be positive, got {nbytes}")
+        aligned = (nbytes + _ALIGN - 1) & ~(_ALIGN - 1)
+        if self.cursor + aligned > self.size:
+            return None
+        addr = self.base + self.cursor
+        self.cursor += aligned
+        return addr
+
+    def reset(self) -> None:
+        self.cursor = 0
+
+
+class Heap:
+    """Nursery + mature space, with the VM-facing bookkeeping the agent and
+    collector need.
+
+    Data allocation inside the nursery is tracked as volume through the same
+    bump pointer code uses, so a data-heavy phase pushes code bodies to
+    higher addresses and fills the nursery toward collection exactly as the
+    real VM's interleaving does.  Mature-space data is tracked as volume
+    only; mature code bodies occupy real address ranges.
+    """
+
+    def __init__(self, nursery_base: int, nursery_size: int,
+                 mature_base: int, mature_size: int) -> None:
+        self.nursery = Space("nursery", nursery_base, nursery_size)
+        self.mature = Space("mature", mature_base, mature_size)
+        if not (self.nursery.end <= mature_base or self.mature.end <= nursery_base):
+            raise ConfigError("nursery and mature spaces overlap")
+        #: live data volume promoted into the mature space (bytes)
+        self.mature_data_bytes = 0
+        #: data bytes allocated in the nursery since the last collection
+        self.nursery_data_bytes = 0
+        self.total_allocated_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """(low, high) across both GC-managed spaces — what the VM registers
+        with VIProf's runtime profiler."""
+        lo = min(self.nursery.base, self.mature.base)
+        hi = max(self.nursery.end, self.mature.end)
+        return lo, hi
+
+    def contains(self, addr: int) -> bool:
+        lo, hi = self.bounds
+        return lo <= addr < hi
+
+    # ------------------------------------------------------------------
+
+    def alloc_data(self, nbytes: int) -> bool:
+        """Allocate data in the nursery.
+
+        Returns False (without allocating) when the nursery cannot hold the
+        request — the caller must run a collection and retry.
+        """
+        addr = self.nursery.alloc(nbytes)
+        if addr is None:
+            return False
+        self.nursery_data_bytes += nbytes
+        self.total_allocated_bytes += nbytes
+        return True
+
+    def alloc_code_nursery(self, nbytes: int) -> int | None:
+        """Allocate a code body in the nursery; None when a GC is needed."""
+        addr = self.nursery.alloc(nbytes)
+        if addr is not None:
+            self.total_allocated_bytes += nbytes
+        return addr
+
+    def alloc_code_mature(self, nbytes: int) -> int:
+        """Allocate a code body in the mature space (promotion target).
+
+        Raises:
+            HeapExhaustedError: mature space full — a real VM would grow the
+                heap or die with OutOfMemoryError.
+        """
+        addr = self.mature.alloc(nbytes)
+        if addr is None:
+            raise HeapExhaustedError(
+                f"mature space full ({self.mature.used}/{self.mature.size} bytes)"
+            )
+        return addr
+
+    def promote_data(self, nbytes: int) -> None:
+        """Account surviving nursery data volume into the mature space."""
+        if nbytes < 0:
+            raise ConfigError("negative promotion volume")
+        self.mature_data_bytes += nbytes
+
+    def nursery_occupancy(self) -> float:
+        return self.nursery.used / self.nursery.size
+
+    def mature_occupancy(self) -> float:
+        code = self.mature.used
+        return min(1.0, (code + self.mature_data_bytes) / self.mature.size)

@@ -1,0 +1,545 @@
+"""The JikesVM facade: executes a workload as a stream of execution steps.
+
+:class:`JikesVM` owns the heap, the collector, the JIT compilers and the
+adaptive system, and exposes the **agent hooks** VIProf attaches to (the
+paper's §3: instructions added to the compile/recompile methods, a flag set
+in the GC move path, a map write just before each collection).
+
+Execution is a generator of :class:`VmStep` records.  Each step says *where
+the program counter dwelt* (a concrete address range), *how much* it cost
+(cycles/instructions/data accesses), and — for scoring only — the simulator's
+ground-truth attribution.  The system engine converts steps into hardware
+quanta, runs them through the cache model and the CPU, and lets the armed
+profiler take samples.
+
+Determinism: all internal choices flow from the seed given at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from random import Random
+from typing import Callable, Iterator, Protocol
+
+from repro.errors import JvmError
+from repro.hardware.memory import WorkingSet
+from repro.jvm.adaptive import AdaptiveSystem
+from repro.jvm.bootimage import BootImage, RvmMapEntry, VmActivity, RVM_MAP_IMAGE_LABEL
+from repro.jvm.compiler import CodeBody, CompilerTier, JitCompiler
+from repro.jvm.gc import CopyingCollector
+from repro.jvm.heap import Heap
+from repro.jvm.model import JavaMethod
+from repro.profiling.model import Layer, TruthLabel
+
+__all__ = [
+    "StepKind",
+    "VmStep",
+    "VmHooks",
+    "WorkloadProgram",
+    "JikesVM",
+    "JIT_APP_IMAGE_LABEL",
+    "AGENT_IMAGE_NAME",
+]
+
+#: Image label VIProf gives to resolved JIT samples (paper's Figure 1).
+JIT_APP_IMAGE_LABEL = "JIT.App"
+
+#: The VM-agent shared library (mapped only when VIProf is attached).
+AGENT_IMAGE_NAME = "viprof_agent.so"
+
+# --- cycle-cost calibration -------------------------------------------------
+#: longest single step the machine emits, in cycles
+MAX_STEP_CYCLES = 2000
+#: GC fixed cost plus per-byte trace/copy and zeroing costs
+GC_BASE_CYCLES = 2500
+GC_SCAN_CYCLES_PER_BYTE = 0.09
+GC_ZERO_CYCLES_PER_BYTE = 0.022
+#: fraction of application cycles spent in VM runtime glue (yieldpoints,
+#: write barriers, scheduler checks)
+RUNTIME_GLUE_FRACTION = 0.012
+#: startup class-loading cost per method
+STARTUP_CYCLES_PER_METHOD = 2200
+#: a recompilation of a method whose single invocation exceeds this many
+#: cycles is performed as an on-stack replacement: the running activation
+#: is specialized and transferred to the new body mid-execution
+OSR_INVOCATION_CYCLES = 4_200
+#: extra VM work for OSR specialization (prologue analysis, state mapping)
+OSR_EXTRA_FRACTION = 0.3
+
+
+class StepKind(Enum):
+    APP = "app"  # JIT-compiled application code
+    VM = "vm"  # boot-image (VM-internal) code
+    NATIVE = "native"  # shared-library code
+    AGENT = "agent"  # VIProf VM-agent library work
+
+
+@dataclass(frozen=True, slots=True)
+class VmStep:
+    """One slice of VM-process execution.
+
+    Attributes:
+        kind: which code category the PC is in.
+        pc: start address of the swept range.
+        code_len: length of the swept range in bytes.
+        cycles / instructions / accesses: cost of the slice.
+        working_set: data region touched (None => negligible data traffic).
+        truth: simulator ground truth for accuracy scoring.
+    """
+
+    kind: StepKind
+    pc: int
+    code_len: int
+    cycles: int
+    instructions: int
+    accesses: int
+    working_set: WorkingSet | None
+    truth: TruthLabel
+    caller: TruthLabel | None = None
+
+
+class VmHooks:
+    """Agent attachment points.  Every hook returns its cost in cycles;
+    the default implementation is a no-op costing nothing (profiling off or
+    stock OProfile, which has no VM agent)."""
+
+    def on_startup(self, heap_bounds: tuple[int, int]) -> int:
+        return 0
+
+    def on_compile(self, body: CodeBody) -> int:
+        return 0
+
+    def on_code_move(self, body: CodeBody, old_address: int) -> int:
+        return 0
+
+    def pre_gc(self, closing_epoch: int) -> int:
+        return 0
+
+    def post_gc(self, new_epoch: int) -> int:
+        return 0
+
+    def on_exit(self, final_epoch: int) -> int:
+        return 0
+
+
+class WorkloadProgram(Protocol):
+    """What the machine needs from a workload (see
+    :class:`repro.workloads.base.Workload`)."""
+
+    methods: list[JavaMethod]
+    survival_rate: float
+    javalib_fraction: float
+    native_fraction: float
+    native_mix: tuple[tuple[str, str, float], ...]
+
+    def schedule(self, rng: Random) -> Iterator[tuple[int, int]]:
+        """Yield ``(method_index, invocation_burst)`` forever."""
+        ...
+
+
+#: (image_name, symbol_name) -> (absolute address, size)
+NativeResolver = Callable[[str, str], tuple[int, int]]
+
+
+@dataclass
+class VmRunStats:
+    """Counters exposed for tests and reports."""
+
+    invocations: int = 0
+    compilations: int = 0
+    opt_compilations: int = 0
+    osr_compilations: int = 0
+    #: total machine-code bytes of live (non-obsolete) bodies — the code
+    #: footprint the ITLB model sees
+    live_code_bytes: int = 0
+    app_cycles: int = 0
+    vm_cycles: int = 0
+    native_cycles: int = 0
+    agent_cycles: int = 0
+    steps: int = 0
+
+
+class JikesVM:
+    """A Jikes-RVM-like virtual machine bound to one workload."""
+
+    def __init__(
+        self,
+        boot: BootImage,
+        boot_base: int,
+        heap: Heap,
+        workload: WorkloadProgram,
+        native_resolver: NativeResolver,
+        seed: int = 1234,
+        hooks: VmHooks | None = None,
+        collector: CopyingCollector | None = None,
+        adaptive: AdaptiveSystem | None = None,
+    ) -> None:
+        if not workload.methods:
+            raise JvmError("workload has no methods")
+        self.boot = boot
+        self.boot_base = boot_base
+        self.heap = heap
+        self.workload = workload
+        self.hooks = hooks if hooks is not None else VmHooks()
+        self.collector = collector if collector is not None else CopyingCollector(heap)
+        self.adaptive = adaptive if adaptive is not None else AdaptiveSystem()
+        self.adaptive.bind_method_names(workload.methods)
+        self.compiler = JitCompiler()
+        self.stats = VmRunStats()
+        self._resolve_native = native_resolver
+        self._rng = Random(seed)
+        self._body_of: dict[int, CodeBody] = {}
+        self._all_bodies: list[CodeBody] = []
+        self._finished = False
+        # Call-stack witness for call-graph sampling: the VM thread root,
+        # and the most recent application frame (the caller of VM/native
+        # work triggered from application code).
+        self._root_truth = TruthLabel(
+            Layer.VM, RVM_MAP_IMAGE_LABEL, "com.ibm.jikesrvm.VM_MainThread.run"
+        )
+        self._last_app_truth: TruthLabel | None = None
+        self._name_to_idx = {
+            m.full_name: i for i, m in enumerate(workload.methods)
+        }
+        # The OSR specialization trio (Figure 1's VM_NormalMethod frames).
+        self._osr_entries = boot.entries_for(VmActivity.CLASSLOADER)[:3]
+        # Data regions for VM-internal activity.
+        lo, hi = heap.bounds
+        self._gc_ws = WorkingSet(
+            base=lo, size=hi - lo, locality=0.5, hot_fraction=0.05,
+            seed=seed ^ 0x6C,
+        )
+        # Nursery zeroing streams through freshly-evacuated lines; the
+        # BSQ_CACHE_REFERENCE unit mask counts *read* misses, so memset's
+        # write traffic registers only via its read-for-ownership tail.
+        self._zero_ws = WorkingSet(
+            base=lo, size=max(4096, heap.nursery.size * 3),
+            locality=0.6, hot_fraction=0.2, seed=seed ^ 0x6D,
+        )
+        self._vm_ws = WorkingSet(
+            base=boot_base, size=boot.image.size, locality=0.9,
+            hot_fraction=0.08, seed=seed ^ 0x71,
+        )
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """GC epoch currently executing (the agent reads this through its
+        registration interface; the runtime profiler reads it per sample)."""
+        return self.collector.epoch
+
+    def code_bodies(self) -> tuple[CodeBody, ...]:
+        return tuple(self._all_bodies)
+
+    def body_for(self, method_index: int) -> CodeBody | None:
+        return self._body_of.get(method_index)
+
+    def run(self) -> Iterator[VmStep]:
+        """Execute the workload forever (the engine stops at its budget)."""
+        yield from self._startup()
+        for midx, burst in self.workload.schedule(self._rng):
+            yield from self._invoke(midx, burst)
+
+    def finish(self) -> list[VmStep]:
+        """Fire the exit hook (final code-map flush) and return its steps.
+        Idempotent."""
+        if self._finished:
+            return []
+        self._finished = True
+        cost = self.hooks.on_exit(self.collector.epoch)
+        return list(self._agent_steps("agent_write_code_map", cost))
+
+    # ------------------------------------------------------------------
+    # internal machinery
+    # ------------------------------------------------------------------
+
+    def _startup(self) -> Iterator[VmStep]:
+        cost = self.hooks.on_startup(self.heap.bounds)
+        yield from self._agent_steps("agent_register_heap", cost)
+        load_cycles = STARTUP_CYCLES_PER_METHOD * max(4, len(self.workload.methods) // 4)
+        yield from self._vm_steps(VmActivity.CLASSLOADER, load_cycles)
+        yield from self._vm_steps(VmActivity.RUNTIME, load_cycles // 6)
+
+    def _invoke(self, midx: int, burst: int) -> Iterator[VmStep]:
+        m = self.workload.methods[midx]
+        tier = self.adaptive.record_invocations(midx, burst)
+        osr_from: CodeBody | None = None
+        if tier is not None:
+            old = self._body_of.get(midx)
+            if (
+                old is not None
+                and m.cycles_per_invocation * old.tier.cpi_factor
+                > OSR_INVOCATION_CYCLES
+            ):
+                # Long-running activation: recompile via on-stack
+                # replacement — part of the burst executes in the old body
+                # before the transfer (the Figure-1 OSR frames come from
+                # the specialization work).
+                osr_from = old
+                yield from self._osr_burst_prefix(osr_from, m, burst)
+            yield from self._compile(midx, m, tier, osr=osr_from is not None)
+        body = self._body_of[midx]
+        self.stats.invocations += burst
+
+        # Nursery allocation for the burst; collections interleave.
+        to_alloc = m.alloc_bytes_per_invocation * burst
+        while to_alloc > 0:
+            chunk = min(to_alloc, max(1, self.heap.nursery.size // 4))
+            if self.heap.alloc_data(chunk):
+                to_alloc -= chunk
+            else:
+                yield from self._collect()
+
+        total = int(burst * m.cycles_per_invocation * body.tier.cpi_factor)
+        if osr_from is not None:
+            # The OSR prefix already executed 40 % of the burst's work in
+            # the old body; the new body finishes the remainder.
+            total = int(total * 0.6)
+        total = max(1, total)
+        glue = int(total * RUNTIME_GLUE_FRACTION)
+        javalib = int(total * self.workload.javalib_fraction)
+        native = int(total * self.workload.native_fraction)
+        app = max(1, total - glue - javalib - native)
+        accesses = m.accesses_per_invocation * burst
+
+        yield from self._app_steps(body, app, accesses)
+        if glue:
+            yield from self._vm_steps(VmActivity.RUNTIME, glue)
+        if javalib:
+            yield from self._vm_steps(VmActivity.JAVALIB, javalib)
+        if native:
+            yield from self._native_mix_steps(native)
+
+    def _osr_burst_prefix(
+        self, old_body: CodeBody, m: JavaMethod, burst: int
+    ) -> Iterator[VmStep]:
+        """Execute the pre-transfer part of an OSR'd burst in the old body,
+        plus the OSR bookkeeping frames (the exact methods visible in the
+        paper's Figure 1)."""
+        prefix = max(
+            1,
+            int(0.4 * burst * m.cycles_per_invocation * old_body.tier.cpi_factor),
+        )
+        accesses = int(0.4 * m.accesses_per_invocation * burst)
+        yield from self._app_steps(old_body, prefix, accesses)
+
+    def _compile(
+        self, midx: int, m: JavaMethod, tier: CompilerTier, osr: bool = False
+    ) -> Iterator[VmStep]:
+        job = self.compiler.plan(m, tier)
+        self.stats.compilations += 1
+        if osr:
+            self.stats.osr_compilations += 1
+            # Specialization work dwells in the OSR trio of
+            # VM_NormalMethod methods (classloader group, entries 0-2).
+            osr_cycles = int(job.cycles * OSR_EXTRA_FRACTION)
+            for entry in self._osr_entries:
+                yield from self._entry_steps(entry, max(1, osr_cycles // 3))
+        if tier.is_opt:
+            self.stats.opt_compilations += 1
+            yield from self._vm_steps(VmActivity.CLASSLOADER, int(job.cycles * 0.15))
+            yield from self._vm_steps(VmActivity.OPT_COMPILER, int(job.cycles * 0.85))
+        else:
+            yield from self._vm_steps(VmActivity.CLASSLOADER, int(job.cycles * 0.35))
+            yield from self._vm_steps(VmActivity.COMPILER, int(job.cycles * 0.65))
+
+        if job.code_size > self.heap.nursery.size:
+            # A body that can never fit the nursery goes straight to mature.
+            addr = self.heap.alloc_code_mature(job.code_size)
+        else:
+            addr = self.heap.alloc_code_nursery(job.code_size)
+            while addr is None:
+                yield from self._collect()
+                addr = self.heap.alloc_code_nursery(job.code_size)
+        body = self.compiler.make_body(job, addr, self.collector.epoch)
+
+        old = self._body_of.get(midx)
+        if old is not None:
+            old.obsolete = True
+            self.stats.live_code_bytes -= old.size
+        self.stats.live_code_bytes += body.size
+        self._body_of[midx] = body
+        self._all_bodies.append(body)
+        self.adaptive.note_compiled(midx, tier)
+
+        cost = self.hooks.on_compile(body)
+        yield from self._agent_steps("agent_log_compile", cost)
+
+    def _collect(self) -> Iterator[VmStep]:
+        closing = self.collector.epoch
+        pre = self.hooks.pre_gc(closing)
+        yield from self._agent_steps("agent_write_code_map", pre)
+
+        move_cost = 0
+
+        def on_move(body: CodeBody, old_addr: int) -> None:
+            nonlocal move_cost
+            move_cost += self.hooks.on_code_move(body, old_addr)
+
+        live_data = int(self.heap.nursery_data_bytes * self.workload.survival_rate)
+        work = self.collector.collect(self._all_bodies, live_data, on_move)
+        self._all_bodies = [b for b in self._all_bodies if not b.obsolete]
+
+        scan_cycles = GC_BASE_CYCLES + int(work.scanned_bytes * GC_SCAN_CYCLES_PER_BYTE)
+        yield from self._vm_steps(
+            VmActivity.GC, scan_cycles,
+            working_set=self._gc_ws, accesses=work.scanned_bytes // 24,
+        )
+        zero_cycles = max(1, int(work.zeroed_bytes * GC_ZERO_CYCLES_PER_BYTE))
+        yield from self._native_steps(
+            "libc-2.3.2.so", "memset", zero_cycles,
+            working_set=self._zero_ws, accesses=work.zeroed_bytes // 256,
+        )
+        # GC-move flags cost almost nothing each but are charged faithfully.
+        yield from self._agent_steps("agent_flag_moves", move_cost)
+        post = self.hooks.post_gc(self.collector.epoch)
+        yield from self._agent_steps("agent_process_flags", post)
+
+    # -- step constructors ------------------------------------------------
+
+    def _app_steps(
+        self, body: CodeBody, cycles: int, accesses: int
+    ) -> Iterator[VmStep]:
+        truth = TruthLabel(Layer.APP_JIT, JIT_APP_IMAGE_LABEL, body.method.full_name)
+        ws = body.method.working_set
+        cpi = 1.1 + 0.5 * body.tier.cpi_factor
+        caller = self._last_app_truth if self._caller_for(body) else self._root_truth
+        self._last_app_truth = truth
+        yield from self._chunked(
+            kind=StepKind.APP, pc=body.address, code_len=body.size,
+            cycles=cycles, accesses=accesses, working_set=ws, truth=truth,
+            cpi=cpi, stat="app_cycles", caller=caller,
+        )
+
+    def _caller_for(self, body: CodeBody) -> bool:
+        """True when the previous application frame plausibly called this
+        body (either method lists the other among its callees)."""
+        if self._last_app_truth is None:
+            return False
+        prev_idx = self._name_to_idx.get(self._last_app_truth.symbol)
+        if prev_idx is None:
+            return False
+        this_idx = body.method.index
+        return (
+            prev_idx in body.method.callees
+            or this_idx in self.workload.methods[prev_idx].callees
+        )
+
+    def _vm_steps(
+        self,
+        activity: VmActivity,
+        cycles: int,
+        working_set: WorkingSet | None = None,
+        accesses: int | None = None,
+    ) -> Iterator[VmStep]:
+        if cycles <= 0:
+            return
+        yield from self._entry_steps(
+            self._pick_entry(activity), cycles,
+            working_set=working_set, accesses=accesses,
+        )
+
+    def _entry_steps(
+        self,
+        entry: RvmMapEntry,
+        cycles: int,
+        working_set: WorkingSet | None = None,
+        accesses: int | None = None,
+    ) -> Iterator[VmStep]:
+        """VM execution pinned to one specific boot-image method."""
+        if cycles <= 0:
+            return
+        truth = TruthLabel(Layer.VM, RVM_MAP_IMAGE_LABEL, entry.name)
+        ws = working_set if working_set is not None else self._vm_ws
+        acc = accesses if accesses is not None else cycles // 6
+        yield from self._chunked(
+            kind=StepKind.VM, pc=self.boot_base + entry.offset,
+            code_len=entry.size, cycles=cycles, accesses=acc,
+            working_set=ws, truth=truth, cpi=1.6, stat="vm_cycles",
+            caller=self._last_app_truth or self._root_truth,
+        )
+
+    def _native_steps(
+        self,
+        image: str,
+        symbol: str,
+        cycles: int,
+        working_set: WorkingSet | None = None,
+        accesses: int | None = None,
+    ) -> Iterator[VmStep]:
+        if cycles <= 0:
+            return
+        addr, size = self._resolve_native(image, symbol)
+        truth = TruthLabel(Layer.NATIVE, image, symbol)
+        acc = accesses if accesses is not None else cycles // 4
+        yield from self._chunked(
+            kind=StepKind.NATIVE, pc=addr, code_len=size, cycles=cycles,
+            accesses=acc, working_set=working_set, truth=truth, cpi=1.2,
+            stat="native_cycles", caller=self._last_app_truth or self._root_truth,
+        )
+
+    def _native_mix_steps(self, cycles: int) -> Iterator[VmStep]:
+        mix = self.workload.native_mix
+        if not mix:
+            return
+        images = [m[0] for m in mix]
+        symbols = [m[1] for m in mix]
+        weights = [m[2] for m in mix]
+        i = self._rng.choices(range(len(mix)), weights=weights)[0]
+        yield from self._native_steps(images[i], symbols[i], cycles)
+
+    def _agent_steps(self, symbol: str, cycles: int) -> Iterator[VmStep]:
+        if cycles <= 0:
+            return
+        addr, size = self._resolve_native(AGENT_IMAGE_NAME, symbol)
+        truth = TruthLabel(Layer.AGENT, AGENT_IMAGE_NAME, symbol)
+        yield from self._chunked(
+            kind=StepKind.AGENT, pc=addr, code_len=size, cycles=cycles,
+            accesses=cycles // 8, working_set=None, truth=truth, cpi=1.3,
+            stat="agent_cycles", caller=self._root_truth,
+        )
+
+    def _chunked(
+        self,
+        kind: StepKind,
+        pc: int,
+        code_len: int,
+        cycles: int,
+        accesses: int,
+        working_set: WorkingSet | None,
+        truth: TruthLabel,
+        cpi: float,
+        stat: str,
+        caller: TruthLabel | None = None,
+    ) -> Iterator[VmStep]:
+        """Split a long activity into <= MAX_STEP_CYCLES steps, spreading
+        data accesses proportionally."""
+        remaining_cycles = cycles
+        remaining_accesses = accesses
+        while remaining_cycles > 0:
+            c = min(remaining_cycles, MAX_STEP_CYCLES)
+            a = (
+                remaining_accesses * c // remaining_cycles
+                if remaining_cycles
+                else remaining_accesses
+            )
+            remaining_cycles -= c
+            remaining_accesses -= a
+            self.stats.steps += 1
+            setattr(self.stats, stat, getattr(self.stats, stat) + c)
+            yield VmStep(
+                kind=kind, pc=pc, code_len=code_len, cycles=c,
+                instructions=max(1, int(c / cpi)), accesses=a,
+                working_set=working_set, truth=truth, caller=caller,
+            )
+
+    def _pick_entry(self, activity: VmActivity) -> RvmMapEntry:
+        group = self.boot.entries_for(activity)
+        # Weight toward the front of each group so the Figure-1 symbols
+        # dominate their categories, with a long tail over the rest.
+        weights = [1.0 / (i + 1) for i in range(len(group))]
+        return self._rng.choices(group, weights=weights)[0]

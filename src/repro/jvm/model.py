@@ -1,0 +1,84 @@
+"""Java program model: classes and methods at the granularity a profiler sees.
+
+We do not interpret real bytecode — what matters to the reproduction is the
+*shape* of execution: how big each method's code is, how hot it is, how much
+it allocates, and what data it touches.  A :class:`JavaMethod` captures
+exactly that, and the synthetic workload generator
+(:mod:`repro.workloads.synthetic`) manufactures realistic populations of
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.hardware.memory import WorkingSet
+
+__all__ = ["MethodId", "JavaMethod"]
+
+
+@dataclass(frozen=True, slots=True)
+class MethodId:
+    """Fully qualified method identity (class + name + descriptor)."""
+
+    class_name: str
+    method_name: str
+    descriptor: str = "()V"
+
+    @property
+    def full_name(self) -> str:
+        """The dotted form opreport prints, e.g.
+        ``edu.unm.cs.oal.dacapo.javaPostScript.red.scanner.Scanner.parseLine``."""
+        return f"{self.class_name}.{self.method_name}"
+
+    def __str__(self) -> str:
+        return self.full_name
+
+
+@dataclass
+class JavaMethod:
+    """One application method and its dynamic behaviour knobs.
+
+    Attributes:
+        mid: identity.
+        bytecode_size: bytecodes in the method body; machine-code size and
+            compile cost scale with this.
+        weight: relative execution frequency (workload schedules invocations
+            proportionally to weight).
+        cycles_per_invocation: work per call at optimization level 0 — the
+            adaptive system's CPI model scales this down as the method is
+            recompiled.
+        alloc_bytes_per_invocation: nursery allocation per call (drives GC).
+        accesses_per_invocation: data-memory accesses per call (drives the
+            L2-miss event stream).
+        working_set: data region this method touches.
+        callees: indices of methods this one calls (used for call-graph
+            sampling); empty for leaves.
+    """
+
+    mid: MethodId
+    bytecode_size: int
+    weight: float
+    cycles_per_invocation: int
+    alloc_bytes_per_invocation: int
+    accesses_per_invocation: int
+    working_set: WorkingSet
+    callees: tuple[int, ...] = ()
+    index: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.bytecode_size <= 0:
+            raise WorkloadError(f"{self.mid}: bytecode_size must be positive")
+        if self.weight < 0:
+            raise WorkloadError(f"{self.mid}: weight must be non-negative")
+        if self.cycles_per_invocation <= 0:
+            raise WorkloadError(f"{self.mid}: cycles_per_invocation must be positive")
+        if self.alloc_bytes_per_invocation < 0:
+            raise WorkloadError(f"{self.mid}: negative allocation")
+        if self.accesses_per_invocation < 0:
+            raise WorkloadError(f"{self.mid}: negative access count")
+
+    @property
+    def full_name(self) -> str:
+        return self.mid.full_name

@@ -1,0 +1,40 @@
+"""Miniature operating-system substrate.
+
+Provides exactly the abstractions a system-wide sampling profiler leans on:
+
+* :mod:`repro.os.binary` — ELF-like binary images with symbol tables and
+  offset→symbol resolution (``opreport``'s symbolization source);
+* :mod:`repro.os.address_space` — per-process virtual memory areas, the
+  structure OProfile walks to turn a PC into ``(image, offset)``;
+* :mod:`repro.os.process` — tasks/processes;
+* :mod:`repro.os.loader` — the standard i386-Linux-flavoured layout
+  (executable at 0x08048000, libraries from 0x40000000, anonymous maps for
+  heaps, kernel at 0xC0000000);
+* :mod:`repro.os.kernel` — kernel symbols, the process table and NMI
+  dispatch to a registered profiling module;
+* :mod:`repro.os.scheduler` — a deadline-aware round-robin scheduler used
+  to interleave the benchmark process with the profiler daemon.
+"""
+
+from repro.os.binary import BinaryImage, Symbol, standard_libraries
+from repro.os.address_space import VMA, AddressSpace, VmaKind
+from repro.os.process import Process
+from repro.os.loader import Layout, ProgramLoader
+from repro.os.kernel import Kernel
+from repro.os.scheduler import Scheduler, Task, TaskState
+
+__all__ = [
+    "BinaryImage",
+    "Symbol",
+    "standard_libraries",
+    "VMA",
+    "AddressSpace",
+    "VmaKind",
+    "Process",
+    "Layout",
+    "ProgramLoader",
+    "Kernel",
+    "Scheduler",
+    "Task",
+    "TaskState",
+]

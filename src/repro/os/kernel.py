@@ -1,0 +1,137 @@
+"""The kernel: symbols, process table, and NMI dispatch.
+
+For a sampling profiler the kernel matters in three ways, all modelled here:
+
+1. Kernel-mode PCs must resolve against the ``vmlinux`` symbol table
+   (``schedule``, ``do_page_fault`` and friends show up in real profiles).
+2. ``current`` — which task a sample belongs to — comes from the kernel.
+3. A profiling module registers for NMI callbacks through the kernel, and
+   the kernel charges handler time (OProfile's main runtime cost).
+
+The kernel also provides a small catalogue of *activities* (timer tick,
+syscall service, page fault) the engine mixes into the instruction stream so
+kernel symbols appear in profiles with realistic weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressSpaceError
+from repro.os.binary import BinaryImage, Symbol
+from repro.os.loader import Layout
+from repro.os.process import Process
+
+__all__ = ["Kernel", "KernelActivity", "build_vmlinux"]
+
+
+_KERNEL_FUNCS: tuple[tuple[str, int], ...] = (
+    ("default_idle", 0x80),
+    ("schedule", 0x600),
+    ("__switch_to", 0x180),
+    ("do_page_fault", 0x500),
+    ("handle_mm_fault", 0x700),
+    ("do_IRQ", 0x280),
+    ("timer_interrupt", 0x200),
+    ("do_gettimeofday", 0x100),
+    ("sys_read", 0x240),
+    ("sys_write", 0x240),
+    ("sys_mmap2", 0x300),
+    ("do_softirq", 0x200),
+    ("kmalloc", 0x200),
+    ("kfree", 0x180),
+    ("copy_to_user", 0x140),
+    ("copy_from_user", 0x140),
+    ("oprofile_nmi_handler", 0x180),
+    ("oprofile_add_sample", 0x140),
+)
+
+
+def build_vmlinux() -> BinaryImage:
+    """Build the kernel image with a representative symbol table."""
+    syms: list[Symbol] = []
+    off = 0x10_0000  # .text does not start at the image base
+    for name, size in _KERNEL_FUNCS:
+        syms.append(Symbol(offset=off, size=size, name=name))
+        off += size + 32
+    return BinaryImage("vmlinux", 0x40_0000, syms)
+
+
+@dataclass(frozen=True, slots=True)
+class KernelActivity:
+    """A named slice of kernel work the engine can schedule.
+
+    Attributes:
+        symbol: kernel function the PC dwells in.
+        cycles: cost per occurrence.
+    """
+
+    symbol: str
+    cycles: int
+
+
+class Kernel:
+    """Kernel state shared by every component of a simulated machine."""
+
+    def __init__(self, layout: Layout | None = None) -> None:
+        self.layout = layout or Layout()
+        self.image = build_vmlinux()
+        self._procs: dict[int, Process] = {}
+        self._next_pid = 1000
+
+    # -- process table --------------------------------------------------
+
+    def spawn(self, name: str) -> Process:
+        """Create a process with a fresh pid and empty address space."""
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = Process(pid=pid, name=name)
+        self._procs[pid] = proc
+        return proc
+
+    def process(self, pid: int) -> Process | None:
+        return self._procs.get(pid)
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        return tuple(self._procs.values())
+
+    # -- kernel-space symbolization --------------------------------------
+
+    def kernel_pc(self, symbol: str, offset: int = 0) -> int:
+        """Virtual address of ``symbol`` (+offset) in kernel space."""
+        sym = self.image.find_symbol(symbol)
+        if offset >= sym.size:
+            offset = sym.size - 4
+        return self.layout.kernel_base + sym.offset + offset
+
+    def is_kernel_address(self, addr: int) -> bool:
+        return addr >= self.layout.kernel_base
+
+    def resolve_kernel(self, addr: int) -> tuple[str, str]:
+        """Kernel PC → ``(image_name, symbol_name)``.
+
+        Raises:
+            AddressSpaceError: for user-space addresses.
+        """
+        if not self.is_kernel_address(addr):
+            raise AddressSpaceError(f"{addr:#x} is not a kernel address")
+        off = addr - self.layout.kernel_base
+        return self.image.name, self.image.symbol_name_at(off)
+
+    # -- canonical background activities ---------------------------------
+
+    def standard_activities(self) -> tuple[KernelActivity, ...]:
+        """Kernel work mixed into every run (weights tuned so the kernel
+        takes a low single-digit share of cycles, as in the paper's
+        profiles)."""
+        return (
+            KernelActivity("timer_interrupt", 220),
+            KernelActivity("do_IRQ", 260),
+            KernelActivity("schedule", 700),
+            KernelActivity("do_page_fault", 900),
+            KernelActivity("handle_mm_fault", 800),
+            KernelActivity("sys_read", 500),
+            KernelActivity("sys_write", 500),
+            KernelActivity("do_softirq", 300),
+        )

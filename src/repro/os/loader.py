@@ -1,0 +1,96 @@
+"""Program loader and the standard i386-Linux address-space layout.
+
+The loader places the main executable at the classic 0x08048000, shared
+libraries from 0x40000000 upward, anonymous maps (the JVM heap) from
+0x60000000, and the stack just below 0xC0000000 where kernel space begins.
+These are the address ranges visible in the paper's Figure 1 (e.g.
+``anon (range:0x62...)`` for the Jikes RVM heap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LoaderError
+from repro.os.address_space import PAGE_SIZE, VMA, AddressSpace, VmaKind
+from repro.os.binary import BinaryImage
+
+__all__ = ["Layout", "ProgramLoader"]
+
+
+@dataclass(frozen=True, slots=True)
+class Layout:
+    """Address-space layout constants."""
+
+    exe_base: int = 0x0804_8000
+    lib_base: int = 0x4000_0000
+    anon_base: int = 0x6000_0000
+    stack_top: int = 0xBFFF_F000
+    stack_size: int = 0x0010_0000
+    kernel_base: int = 0xC000_0000
+
+    def __post_init__(self) -> None:
+        if not (
+            self.exe_base
+            < self.lib_base
+            < self.anon_base
+            < self.stack_top
+            <= self.kernel_base
+        ):
+            raise LoaderError("layout regions out of order")
+
+
+class ProgramLoader:
+    """Builds a process's address space.
+
+    One loader instance serves one address space; it tracks bump cursors for
+    the library and anonymous regions so successive loads don't collide.
+    """
+
+    def __init__(self, address_space: AddressSpace, layout: Layout | None = None):
+        self.space = address_space
+        self.layout = layout or Layout()
+        self._lib_cursor = self.layout.lib_base
+        self._anon_cursor = self.layout.anon_base
+
+    def load_executable(self, image: BinaryImage) -> VMA:
+        """Map the main executable at the fixed executable base."""
+        return self.space.map(
+            self.layout.exe_base, image.size, VmaKind.FILE, image=image
+        )
+
+    def load_library(self, image: BinaryImage) -> VMA:
+        """Map a shared library at the next free library slot."""
+        start = self._lib_cursor
+        if start + image.size > self.layout.anon_base:
+            raise LoaderError(f"library region exhausted loading {image.name!r}")
+        vma = self.space.map(start, image.size, VmaKind.FILE, image=image)
+        self._lib_cursor = vma.end + PAGE_SIZE  # guard page
+        return vma
+
+    def map_file_segment(
+        self, image: BinaryImage, at: int, image_offset: int = 0
+    ) -> VMA:
+        """Map (part of) an image at a caller-chosen address — used for the
+        Jikes RVM boot image, which loads at a fixed heap address."""
+        return self.space.map(
+            at, image.size - image_offset, VmaKind.FILE, image=image,
+            image_offset=image_offset,
+        )
+
+    def map_anonymous(self, size: int, at: int | None = None) -> VMA:
+        """Anonymous mapping (heap segment).  With ``at=None`` the next free
+        anonymous slot is used."""
+        if at is None:
+            at = self._anon_cursor
+        if at + size > self.layout.stack_top - self.layout.stack_size:
+            raise LoaderError("anonymous region exhausted")
+        vma = self.space.map(at, size, VmaKind.ANON)
+        if vma.end > self._anon_cursor:
+            self._anon_cursor = vma.end + PAGE_SIZE
+        return vma
+
+    def map_stack(self) -> VMA:
+        """Map the main thread stack just below the kernel boundary."""
+        start = self.layout.stack_top - self.layout.stack_size
+        return self.space.map(start, self.layout.stack_size, VmaKind.STACK)

@@ -1,0 +1,38 @@
+"""Processes (tasks).
+
+Kept deliberately small: a process is a pid, a name, an address space, and
+bookkeeping the scheduler and profilers need.  Thread-level detail is not
+modelled — the paper profiles a single-application stack and attributes
+samples per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.os.address_space import AddressSpace
+
+__all__ = ["Process"]
+
+
+@dataclass
+class Process:
+    """A user-space task.
+
+    Attributes:
+        pid: process id (unique per kernel).
+        name: command name (``comm``).
+        address_space: the task's memory map.
+        cpu_cycles: cycles this task has executed (engine-maintained).
+    """
+
+    pid: int
+    name: str
+    address_space: AddressSpace = field(default_factory=AddressSpace)
+    cpu_cycles: int = 0
+
+    def __hash__(self) -> int:
+        return self.pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Process(pid={self.pid}, name={self.name!r})"

@@ -1,0 +1,121 @@
+"""A deadline-aware round-robin scheduler.
+
+The engine interleaves a small, fixed cast: the benchmark (JVM) process, the
+profiler daemon (which sleeps and wakes on a period), and background system
+processes (the X server that contributes the ``libfb``/``libxul`` samples in
+Figure 1).  The scheduler picks the runnable task whose wake deadline has
+passed, round-robin among ties, and charges a context-switch cost whenever
+the chosen task differs from the previous one.
+
+This is intentionally simpler than CFS/O(1) — what matters for the
+reproduction is *that* daemon wakeups preempt the benchmark at the right
+times and cost cycles, not the exact scheduling algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.os.process import Process
+
+__all__ = ["TaskState", "Task", "Scheduler", "CONTEXT_SWITCH_CYCLES"]
+
+#: Cost of one context switch (register save/restore, TLB effects folded in).
+CONTEXT_SWITCH_CYCLES = 900
+
+
+class TaskState(Enum):
+    RUNNABLE = "runnable"
+    SLEEPING = "sleeping"
+    EXITED = "exited"
+
+
+@dataclass
+class Task:
+    """A schedulable entity wrapping a process.
+
+    Attributes:
+        process: underlying process.
+        wake_at: absolute cycle at which a SLEEPING task becomes runnable.
+        priority: lower value = preferred on ties (the daemon runs at a
+            favourable priority, as oprofiled does).
+    """
+
+    process: Process
+    state: TaskState = TaskState.RUNNABLE
+    wake_at: int = 0
+    priority: int = 10
+    scheduled_count: int = field(default=0)
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def name(self) -> str:
+        return self.process.name
+
+
+class Scheduler:
+    """Round-robin over runnable tasks with sleep deadlines."""
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._last: Optional[Task] = None
+        self.context_switches = 0
+
+    def add(self, task: Task) -> None:
+        if any(t.pid == task.pid for t in self._tasks):
+            raise ConfigError(f"pid {task.pid} already scheduled")
+        self._tasks.append(task)
+
+    def remove(self, task: Task) -> None:
+        task.state = TaskState.EXITED
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return tuple(t for t in self._tasks if t.state is not TaskState.EXITED)
+
+    def sleep(self, task: Task, until: int) -> None:
+        """Put ``task`` to sleep until absolute cycle ``until``."""
+        task.state = TaskState.SLEEPING
+        task.wake_at = until
+
+    def wake_expired(self, now: int) -> None:
+        for t in self._tasks:
+            if t.state is TaskState.SLEEPING and t.wake_at <= now:
+                t.state = TaskState.RUNNABLE
+
+    def next_wake(self) -> Optional[int]:
+        """Earliest wake deadline among sleepers, or None."""
+        deadlines = [
+            t.wake_at for t in self._tasks if t.state is TaskState.SLEEPING
+        ]
+        return min(deadlines) if deadlines else None
+
+    def pick(self, now: int) -> tuple[Optional[Task], int]:
+        """Choose the next task to run at cycle ``now``.
+
+        Returns ``(task, switch_cost_cycles)``.  ``task`` is None when
+        every live task is sleeping (the CPU would idle until
+        :meth:`next_wake`).
+        """
+        self.wake_expired(now)
+        runnable = [t for t in self._tasks if t.state is TaskState.RUNNABLE]
+        if not runnable:
+            return None, 0
+        # Priority first; round-robin within the best priority class by
+        # preferring tasks scheduled least recently (lowest count).
+        best_prio = min(t.priority for t in runnable)
+        pool = [t for t in runnable if t.priority == best_prio]
+        task = min(pool, key=lambda t: (t.scheduled_count, t.pid))
+        task.scheduled_count += 1
+        cost = 0
+        if self._last is not None and self._last is not task:
+            cost = CONTEXT_SWITCH_CYCLES
+            self.context_switches += 1
+        self._last = task
+        return task, cost

@@ -1,0 +1,24 @@
+"""Future-work extension: profile-guided cross-layer optimization.
+
+The paper's §5: "we plan to investigate profile-guided optimizations across
+multiple layers of the execution stack" — VIProf profiles feeding back into
+the running system.  This package closes that loop for the VM layer:
+
+* :mod:`repro.pgo.guided` — extract the hot-method set from a VIProf
+  profile and build a :class:`PgoAdaptiveSystem` that compiles those
+  methods directly at a high optimization tier on first invocation,
+  skipping the warm-up ladder;
+* :mod:`repro.pgo.experiment` — the two-pass experiment: a profiling run,
+  then a guided run, comparing application throughput (invocations per
+  workload-cycle budget) and warm-up behaviour.
+"""
+
+from repro.pgo.guided import PgoAdaptiveSystem, hot_method_names
+from repro.pgo.experiment import PgoResult, run_pgo_experiment
+
+__all__ = [
+    "PgoAdaptiveSystem",
+    "hot_method_names",
+    "PgoResult",
+    "run_pgo_experiment",
+]

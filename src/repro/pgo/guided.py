@@ -1,0 +1,79 @@
+"""Profile-guided compilation decisions.
+
+The adaptive system's ladder exists because the VM cannot know which
+methods will be hot.  A VIProf profile from a previous run *does* know.
+:class:`PgoAdaptiveSystem` consumes the hot set and compiles those methods
+straight at a high tier on their first invocation — paying the opt-compile
+cost once, up front, instead of running them at baseline quality through
+the whole warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.jvm.adaptive import AdaptiveSystem
+from repro.jvm.compiler import CompilerTier
+from repro.jvm.machine import JIT_APP_IMAGE_LABEL
+from repro.profiling.report import ProfileReport
+
+__all__ = ["hot_method_names", "PgoAdaptiveSystem"]
+
+
+def hot_method_names(
+    report: ProfileReport,
+    min_share: float = 0.005,
+    event: str = "GLOBAL_POWER_EVENTS",
+) -> set[str]:
+    """Extract the hot JIT-method set from a VIProf profile.
+
+    Args:
+        report: a VIProf :class:`ProfileReport` (JIT rows carry the
+            ``JIT.App`` image label).
+        min_share: minimum fraction of the event's samples for a method to
+            count as hot.
+        event: event whose shares drive the decision.
+    """
+    if not 0.0 < min_share < 1.0:
+        raise ConfigError("min_share must be in (0, 1)")
+    hot: set[str] = set()
+    for row in report.rows:
+        if row.image != JIT_APP_IMAGE_LABEL:
+            continue
+        if report.percent(row, event) / 100.0 >= min_share:
+            hot.add(row.symbol)
+    return hot
+
+
+@dataclass
+class PgoAdaptiveSystem(AdaptiveSystem):
+    """Adaptive system seeded with a hot-method set.
+
+    A hot-listed method's *first* compilation goes straight to
+    ``direct_tier``; everything else follows the normal ladder.  Methods
+    the profile missed can still climb the ladder, so a phase the profiling
+    run never saw is merely un-optimized, never broken.
+    """
+
+    hot_names: frozenset[str] = frozenset()
+    direct_tier: CompilerTier = CompilerTier.OPT1
+    _method_names: dict[int, str] = field(default_factory=dict)
+    pgo_compiles: int = 0
+
+    def bind_method_names(self, methods) -> None:
+        """Tell the system each index's method name (the engine's adaptive
+        factory cannot know the workload, so the machine binds lazily)."""
+        self._method_names = {i: m.full_name for i, m in enumerate(methods)}
+
+    def record_invocations(self, method_index: int, count: int = 1):
+        first_time = self.current_tier(method_index) is None
+        decision = super().record_invocations(method_index, count)
+        if (
+            first_time
+            and decision is CompilerTier.BASELINE
+            and self._method_names.get(method_index) in self.hot_names
+        ):
+            self.pgo_compiles += 1
+            return self.direct_tier
+        return decision

@@ -1,0 +1,41 @@
+"""Shared profiling data model and report machinery.
+
+Used by both the OProfile baseline and VIProf:
+
+* :mod:`repro.profiling.model` — raw samples, resolved samples, layers, and
+  ground-truth labels;
+* :mod:`repro.profiling.samplefile` — the packed on-disk sample format the
+  daemon writes and the post-processors read;
+* :mod:`repro.profiling.report` — aggregation into per-symbol rows and the
+  opreport-style table formatter.
+"""
+
+from repro.profiling.model import (
+    Layer,
+    RawSample,
+    ResolvedSample,
+    TruthLabel,
+)
+from repro.profiling.samplefile import SampleFileReader, SampleFileWriter
+from repro.profiling.report import ProfileReport, SymbolRow, build_report
+from repro.profiling.annotate import SymbolAnnotation, annotate_symbol
+from repro.profiling.diff import ProfileDiff, diff_reports
+from repro.profiling.export import report_to_csv, report_to_xml
+
+__all__ = [
+    "Layer",
+    "RawSample",
+    "ResolvedSample",
+    "TruthLabel",
+    "SampleFileReader",
+    "SampleFileWriter",
+    "ProfileReport",
+    "SymbolRow",
+    "build_report",
+    "SymbolAnnotation",
+    "annotate_symbol",
+    "ProfileDiff",
+    "diff_reports",
+    "report_to_csv",
+    "report_to_xml",
+]

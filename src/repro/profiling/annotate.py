@@ -1,0 +1,103 @@
+"""Within-symbol sample annotation (the ``opannotate`` capability).
+
+``opreport`` answers *which function* is hot; ``opannotate`` answers
+*where inside it*.  We bucket each resolved sample's symbol-relative
+offset and render the per-bucket histogram — the assembly-annotation view,
+minus the disassembly (our binaries are synthetic).
+
+For VIProf-resolved JIT samples the offset is relative to the *code body*,
+and because the code map records the compiler tier, offsets convert to
+approximate **bytecode indices** through the tier's expansion factor —
+letting a vertically integrated profile point at a hot loop inside a Java
+method, not just at the method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.profiling.model import ResolvedSample
+
+__all__ = ["AnnotationRow", "SymbolAnnotation", "annotate_symbol"]
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotationRow:
+    """One bucket of a symbol's body."""
+
+    offset: int  # bucket start, symbol-relative bytes
+    counts: dict[str, int]
+    bytecode_index: int | None = None  # JIT bodies only
+
+    def count(self, event: str) -> int:
+        return self.counts.get(event, 0)
+
+
+@dataclass
+class SymbolAnnotation:
+    """Offset histogram for one (image, symbol)."""
+
+    image: str
+    symbol: str
+    bucket_bytes: int
+    rows: list[AnnotationRow] = field(default_factory=list)
+    unknown_offset_samples: int = 0
+    totals: dict[str, int] = field(default_factory=dict)
+
+    def hottest(self, event: str) -> AnnotationRow | None:
+        candidates = [r for r in self.rows if r.count(event)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: (r.count(event), -r.offset))
+
+    def format_table(self, limit: int | None = None) -> str:
+        events = sorted(self.totals)
+        head = "  ".join(f"{e[:12]:>12}" for e in events)
+        lines = [f"{self.image}:{self.symbol} (bucket {self.bucket_bytes}B)"]
+        lines.append(f"{'offset':>10}  {head}  bytecode")
+        rows = self.rows if limit is None else self.rows[:limit]
+        for r in rows:
+            cells = "  ".join(f"{r.count(e):>12}" for e in events)
+            bc = f"~bc {r.bytecode_index}" if r.bytecode_index is not None else ""
+            lines.append(f"{r.offset:>10}  {cells}  {bc}")
+        return "\n".join(lines)
+
+
+def annotate_symbol(
+    samples: list[ResolvedSample],
+    image: str,
+    symbol: str,
+    bucket_bytes: int = 16,
+    expansion: int | None = None,
+) -> SymbolAnnotation:
+    """Build the offset histogram for one symbol.
+
+    Args:
+        samples: resolved samples (any mix; non-matching ones are skipped).
+        image / symbol: the target.
+        bucket_bytes: histogram granularity.
+        expansion: machine-code bytes per bytecode — when given, each row
+            also reports the approximate bytecode index (JIT bodies).
+    """
+    if bucket_bytes <= 0:
+        raise ConfigError("bucket_bytes must be positive")
+    ann = SymbolAnnotation(image=image, symbol=symbol, bucket_bytes=bucket_bytes)
+    buckets: dict[int, dict[str, int]] = {}
+    for s in samples:
+        if s.image != image or s.symbol != symbol:
+            continue
+        ev = s.raw.event_name
+        ann.totals[ev] = ann.totals.get(ev, 0) + 1
+        if s.offset < 0:
+            ann.unknown_offset_samples += 1
+            continue
+        b = (s.offset // bucket_bytes) * bucket_bytes
+        counts = buckets.setdefault(b, {})
+        counts[ev] = counts.get(ev, 0) + 1
+    for off in sorted(buckets):
+        bc = off // expansion if expansion else None
+        ann.rows.append(
+            AnnotationRow(offset=off, counts=buckets[off], bytecode_index=bc)
+        )
+    return ann

@@ -1,0 +1,118 @@
+"""Profile differencing.
+
+OProfile ships session management precisely so profiles can be compared
+across runs; VIProf makes that comparison *meaningful* for JVM workloads
+because JIT methods keep their names across runs even though their
+addresses never repeat.  :func:`diff_reports` aligns two reports by
+(image, symbol) and reports share deltas — the raw material for regression
+hunting and for the paper's adaptation loop (did the optimization move the
+bottleneck?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.profiling.report import ProfileReport
+
+__all__ = ["DiffRow", "ProfileDiff", "diff_reports"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiffRow:
+    """Share movement of one (image, symbol) between two profiles."""
+
+    image: str
+    symbol: str
+    before_pct: float
+    after_pct: float
+
+    @property
+    def delta(self) -> float:
+        return self.after_pct - self.before_pct
+
+    @property
+    def appeared(self) -> bool:
+        return self.before_pct == 0.0 and self.after_pct > 0.0
+
+    @property
+    def vanished(self) -> bool:
+        return self.before_pct > 0.0 and self.after_pct == 0.0
+
+
+@dataclass
+class ProfileDiff:
+    """All aligned rows plus convenience selectors."""
+
+    event: str
+    rows: list[DiffRow]
+
+    def sorted_by_delta(self) -> list[DiffRow]:
+        return sorted(self.rows, key=lambda r: (-abs(r.delta), r.image, r.symbol))
+
+    def regressions(self, min_delta: float = 0.5) -> list[DiffRow]:
+        """Symbols whose share *grew* by at least ``min_delta`` points."""
+        return [r for r in self.sorted_by_delta() if r.delta >= min_delta]
+
+    def improvements(self, min_delta: float = 0.5) -> list[DiffRow]:
+        return [r for r in self.sorted_by_delta() if r.delta <= -min_delta]
+
+    def appeared(self) -> list[DiffRow]:
+        return [r for r in self.sorted_by_delta() if r.appeared]
+
+    def vanished(self) -> list[DiffRow]:
+        return [r for r in self.sorted_by_delta() if r.vanished]
+
+    def format_table(self, limit: int = 15) -> str:
+        lines = [
+            f"{'before %':>9} {'after %':>9} {'delta':>8}  image : symbol "
+            f"({self.event})"
+        ]
+        for r in self.sorted_by_delta()[:limit]:
+            lines.append(
+                f"{r.before_pct:9.3f} {r.after_pct:9.3f} {r.delta:+8.3f}  "
+                f"{r.image} : {r.symbol}"
+            )
+        return "\n".join(lines)
+
+
+def diff_reports(
+    before: ProfileReport,
+    after: ProfileReport,
+    event: str | None = None,
+) -> ProfileDiff:
+    """Align two reports on (image, symbol) and compute share deltas.
+
+    Args:
+        before / after: the two profiles (typically same workload, two
+            configurations or two code versions).
+        event: which event's shares to compare; defaults to the first
+            event both reports carry.
+
+    Raises:
+        ConfigError: when the reports share no event.
+    """
+    if event is None:
+        common = [e for e in before.events if e in after.events]
+        if not common:
+            raise ConfigError("reports share no event to compare")
+        event = common[0]
+    if event not in before.events or event not in after.events:
+        raise ConfigError(f"event {event!r} missing from one report")
+
+    def shares(report: ProfileReport) -> dict[tuple[str, str], float]:
+        return {
+            (r.image, r.symbol): report.percent(r, event) for r in report.rows
+        }
+
+    b, a = shares(before), shares(after)
+    rows = [
+        DiffRow(
+            image=img, symbol=sym,
+            before_pct=b.get((img, sym), 0.0),
+            after_pct=a.get((img, sym), 0.0),
+        )
+        for (img, sym) in sorted(set(b) | set(a))
+    ]
+    return ProfileDiff(event=event, rows=rows)

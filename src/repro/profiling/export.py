@@ -1,0 +1,69 @@
+"""Machine-readable report exports.
+
+Real ``opreport`` grew ``--xml`` for downstream tooling; we provide XML in
+that spirit plus CSV for spreadsheets/pandas.  Exports are pure functions
+of a :class:`~repro.profiling.report.ProfileReport`, so they work for any
+profiler variant (stock, VIProf, XenoProf-unified).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from xml.etree import ElementTree as ET
+
+from repro.profiling.report import ProfileReport
+
+__all__ = ["report_to_xml", "report_to_csv"]
+
+
+def report_to_xml(report: ProfileReport) -> str:
+    """Serialize a report to an ``opreport --xml``-flavoured document::
+
+        <profile>
+          <events><event name="..." total="..."/></events>
+          <symbols>
+            <symbol image="..." name="...">
+              <count event="..." samples="..." percent="..."/>
+            </symbol>
+          </symbols>
+        </profile>
+    """
+    root = ET.Element("profile")
+    events_el = ET.SubElement(root, "events")
+    for ev in report.events:
+        ET.SubElement(
+            events_el, "event",
+            name=ev, total=str(report.totals.get(ev, 0)),
+        )
+    symbols_el = ET.SubElement(root, "symbols")
+    for row in report.sorted_rows():
+        sym_el = ET.SubElement(
+            symbols_el, "symbol", image=row.image, name=row.symbol
+        )
+        for ev in report.events:
+            n = row.count(ev)
+            if n:
+                ET.SubElement(
+                    sym_el, "count",
+                    event=ev, samples=str(n),
+                    percent=f"{report.percent(row, ev):.4f}",
+                )
+    return ET.tostring(root, encoding="unicode")
+
+
+def report_to_csv(report: ProfileReport) -> str:
+    """Serialize a report to CSV: one row per symbol, one sample and one
+    percent column per event."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    header = ["image", "symbol"]
+    for ev in report.events:
+        header += [f"{ev}_samples", f"{ev}_percent"]
+    writer.writerow(header)
+    for row in report.sorted_rows():
+        record = [row.image, row.symbol]
+        for ev in report.events:
+            record += [row.count(ev), f"{report.percent(row, ev):.4f}"]
+        writer.writerow(record)
+    return buf.getvalue()

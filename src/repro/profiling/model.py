@@ -1,0 +1,86 @@
+"""Core profiling records.
+
+Two stages of sample mirror OProfile's pipeline:
+
+* :class:`RawSample` — what the kernel module captures at NMI time: a PC, the
+  event, the task, and (VIProf only) the GC epoch stamped at logging time.
+* :class:`ResolvedSample` — after daemon/post-processing: the sample has an
+  image label and (possibly) a symbol.
+
+:class:`TruthLabel` is the simulator's omniscient attribution for the same
+execution — the thing a real profiler can never observe directly — used to
+score profile accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Layer", "TruthLabel", "RawSample", "ResolvedSample"]
+
+
+class Layer(Enum):
+    """Vertical layer of the software stack a cycle belongs to."""
+
+    APP_JIT = "app-jit"  # JIT-compiled application code (in the JVM heap)
+    VM = "vm"  # JVM internals (boot image)
+    NATIVE = "native"  # shared libraries (libc & co.)
+    KERNEL = "kernel"
+    AGENT = "agent"  # VIProf VM-agent library work
+    DAEMON = "daemon"  # profiler daemon work
+    OTHER = "other"  # unrelated system processes (X server, ...)
+
+
+@dataclass(frozen=True, slots=True)
+class TruthLabel:
+    """Ground-truth attribution of a slice of execution."""
+
+    layer: Layer
+    image: str
+    symbol: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.image, self.symbol)
+
+
+@dataclass(frozen=True, slots=True)
+class RawSample:
+    """One hardware sample as captured in the kernel buffer.
+
+    Attributes:
+        pc: interrupted program counter.
+        event_name: hardware event whose counter overflowed.
+        task_id: pid of the interrupted task.
+        kernel_mode: True when the PC is a kernel address.
+        cycle: simulated time of capture.
+        epoch: GC epoch stamped by VIProf's runtime profiler at logging
+            time; -1 for stock OProfile samples (no epoch concept).
+    """
+
+    pc: int
+    event_name: str
+    task_id: int
+    kernel_mode: bool
+    cycle: int
+    epoch: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class ResolvedSample:
+    """A sample after image/symbol attribution.
+
+    ``offset`` is the sample PC's byte offset *within the resolved symbol*
+    (or code body, for JIT samples); -1 when unknown (stripped images,
+    anonymous regions).  Annotation tools bucket on it.
+    """
+
+    raw: RawSample
+    image: str
+    symbol: str
+    offset: int = -1
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.image, self.symbol)

@@ -1,0 +1,154 @@
+"""Profile aggregation and opreport-style tables.
+
+The paper's Figure 1 is an ``opreport --symbols``-style listing with one row
+per (image, symbol) and one percentage column per profiled event — for the
+case study, time (GLOBAL_POWER_EVENTS) and L2 data misses
+(BSQ_CACHE_REFERENCE).  :func:`build_report` aggregates resolved samples into
+that shape and :meth:`ProfileReport.format_table` renders it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.profiling.model import ResolvedSample
+
+__all__ = ["SymbolRow", "ProfileReport", "build_report"]
+
+
+@dataclass
+class SymbolRow:
+    """Aggregated samples for one (image, symbol) pair."""
+
+    image: str
+    symbol: str
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def count(self, event: str) -> int:
+        return self.counts.get(event, 0)
+
+    def add(self, event: str, n: int = 1) -> None:
+        self.counts[event] = self.counts.get(event, 0) + n
+
+
+@dataclass
+class ProfileReport:
+    """A full profile: rows plus per-event totals.
+
+    ``events`` fixes column order; the first event is the primary sort key
+    (descending), matching opreport's behaviour.
+    """
+
+    events: tuple[str, ...]
+    rows: list[SymbolRow]
+    totals: dict[str, int]
+
+    def sorted_rows(self) -> list[SymbolRow]:
+        primary = self.events[0]
+        return sorted(
+            self.rows,
+            key=lambda r: tuple(-r.count(e) for e in (primary, *self.events[1:])),
+        )
+
+    def percent(self, row: SymbolRow, event: str) -> float:
+        total = self.totals.get(event, 0)
+        return 100.0 * row.count(event) / total if total else 0.0
+
+    def row_for(self, image: str, symbol: str) -> SymbolRow | None:
+        for r in self.rows:
+            if r.image == image and r.symbol == symbol:
+                return r
+        return None
+
+    def image_share(self, image: str, event: str | None = None) -> float:
+        """Fraction (0..1) of an event's samples attributed to ``image``."""
+        ev = event or self.events[0]
+        total = self.totals.get(ev, 0)
+        if not total:
+            return 0.0
+        return sum(r.count(ev) for r in self.rows if r.image == image) / total
+
+    def image_totals(self) -> list[tuple[str, dict[str, int]]]:
+        """Aggregate rows per image (opreport's default, symbol-less view),
+        sorted by the primary event, descending."""
+        per_image: dict[str, dict[str, int]] = {}
+        for r in self.rows:
+            acc = per_image.setdefault(r.image, {})
+            for ev, n in r.counts.items():
+                acc[ev] = acc.get(ev, 0) + n
+        primary = self.events[0]
+        return sorted(
+            per_image.items(), key=lambda kv: (-kv[1].get(primary, 0), kv[0])
+        )
+
+    def format_image_summary(self, limit: int | None = None) -> str:
+        """The image-level listing opreport prints without ``-l``."""
+        primary = self.events[0]
+        total = max(1, self.totals.get(primary, 0))
+        lines = [f"{'samples':>8} {'%':>9}  image name"]
+        items = self.image_totals()
+        if limit is not None:
+            items = items[:limit]
+        for image, counts in items:
+            n = counts.get(primary, 0)
+            lines.append(f"{n:8d} {100 * n / total:9.4f}  {image}")
+        return "\n".join(lines)
+
+    def format_table(
+        self, limit: int | None = None, column_labels: dict[str, str] | None = None
+    ) -> str:
+        """Render the Figure-1-style listing.
+
+        Args:
+            limit: show at most this many rows.
+            column_labels: optional event -> short header (defaults to
+                ``Time %`` for the first column, ``Dmiss %`` for a cache-miss
+                event, else the event name).
+        """
+        labels = []
+        for e in self.events:
+            if column_labels and e in column_labels:
+                labels.append(column_labels[e])
+            elif e == "GLOBAL_POWER_EVENTS":
+                labels.append("Time %")
+            elif "CACHE" in e:
+                labels.append("Dmiss %")
+            else:
+                labels.append(f"{e} %")
+        header = "  ".join(f"{lbl:>8}" for lbl in labels)
+        header += "  {:<24}  {}".format("Image name", "Symbol name")
+        lines = [header]
+        rows = self.sorted_rows()
+        if limit is not None:
+            rows = rows[:limit]
+        for r in rows:
+            cells = "  ".join(f"{self.percent(r, e):8.4f}" for e in self.events)
+            lines.append(f"{cells}  {r.image:<24}  {r.symbol}")
+        return "\n".join(lines)
+
+
+def build_report(
+    samples: list[ResolvedSample], events: tuple[str, ...] | None = None
+) -> ProfileReport:
+    """Aggregate resolved samples (possibly spanning several events) into a
+    report.  ``events`` fixes the column order; by default events appear in
+    first-seen order."""
+    if events is None:
+        seen: list[str] = []
+        for s in samples:
+            if s.raw.event_name not in seen:
+                seen.append(s.raw.event_name)
+        events = tuple(seen)
+    rows: dict[tuple[str, str], SymbolRow] = {}
+    totals: dict[str, int] = {e: 0 for e in events}
+    for s in samples:
+        ev = s.raw.event_name
+        if ev not in totals:
+            continue
+        row = rows.get(s.key)
+        if row is None:
+            row = SymbolRow(image=s.image, symbol=s.symbol)
+            rows[s.key] = row
+        row.add(ev)
+        totals[ev] += 1
+    return ProfileReport(events=events, rows=list(rows.values()), totals=totals)

@@ -1,0 +1,39 @@
+"""Full-system execution engine and experiment harness.
+
+* :mod:`repro.system.ledger` — the ground-truth cycle/miss ledger the
+  simulator keeps while running (what a real profiler can only estimate);
+* :mod:`repro.system.engine` — assembles a complete machine (CPU, kernel,
+  processes, JVM, profiler) and runs one benchmark under one profiling
+  configuration;
+* :mod:`repro.system.experiment` — the run matrices behind the paper's
+  figures (base / OProfile / VIProf at several sampling periods);
+* :mod:`repro.system.api` — the three-function public API
+  (:func:`~repro.system.api.base_run`,
+  :func:`~repro.system.api.oprofile_profile`,
+  :func:`~repro.system.api.viprof_profile`).
+"""
+
+from repro.system.ledger import TruthLedger
+from repro.system.engine import EngineConfig, ProfilerMode, RunResult, SystemEngine
+from repro.system.api import base_run, oprofile_profile, viprof_profile
+from repro.system.experiment import (
+    OverheadCell,
+    OverheadMatrix,
+    run_case_study,
+    run_overhead_matrix,
+)
+
+__all__ = [
+    "TruthLedger",
+    "EngineConfig",
+    "ProfilerMode",
+    "RunResult",
+    "SystemEngine",
+    "base_run",
+    "oprofile_profile",
+    "viprof_profile",
+    "OverheadCell",
+    "OverheadMatrix",
+    "run_case_study",
+    "run_overhead_matrix",
+]

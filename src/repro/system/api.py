@@ -1,0 +1,92 @@
+"""Three-function public API.
+
+>>> from repro import viprof_profile
+>>> from repro.workloads import by_name
+>>> result = viprof_profile(by_name("ps"), period=90_000, time_scale=0.1)
+>>> vr = result.viprof_report()
+>>> print(vr.report.format_table(limit=10))
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.oprofile.opcontrol import OprofileConfig
+from repro.system.engine import EngineConfig, ProfilerMode, RunResult, SystemEngine
+from repro.workloads.base import Workload
+
+__all__ = ["base_run", "oprofile_profile", "viprof_profile"]
+
+
+def base_run(
+    workload: Workload,
+    seed: int = 7,
+    time_scale: float = 1.0,
+    background: bool = True,
+    noise: bool = True,
+) -> RunResult:
+    """Run a benchmark with no profiler attached (Figure 3's baseline)."""
+    cfg = EngineConfig(
+        mode=ProfilerMode.NONE,
+        seed=seed,
+        time_scale=time_scale,
+        background=background,
+        noise=noise,
+    )
+    return SystemEngine(workload, cfg).run()
+
+
+def oprofile_profile(
+    workload: Workload,
+    period: int = 90_000,
+    session_dir: Path | None = None,
+    seed: int = 7,
+    time_scale: float = 1.0,
+    config: OprofileConfig | None = None,
+    background: bool = True,
+    noise: bool = True,
+) -> RunResult:
+    """Profile a benchmark with stock OProfile.
+
+    ``result.oprofile_report()`` gives the Figure 1 (bottom) style listing
+    with JIT code left anonymous.
+    """
+    cfg = EngineConfig(
+        mode=ProfilerMode.OPROFILE,
+        profile_config=config or OprofileConfig.paper_config(period),
+        session_dir=session_dir,
+        seed=seed,
+        time_scale=time_scale,
+        background=background,
+        noise=noise,
+    )
+    return SystemEngine(workload, cfg).run()
+
+
+def viprof_profile(
+    workload: Workload,
+    period: int = 90_000,
+    session_dir: Path | None = None,
+    seed: int = 7,
+    time_scale: float = 1.0,
+    config: OprofileConfig | None = None,
+    background: bool = True,
+    noise: bool = True,
+    record_callgraph: bool = False,
+) -> RunResult:
+    """Profile a benchmark with VIProf (runtime profiler + VM agent).
+
+    ``result.viprof_report()`` gives the Figure 1 (top) style listing with
+    JIT and VM-internal methods fully resolved.
+    """
+    cfg = EngineConfig(
+        mode=ProfilerMode.VIPROF,
+        profile_config=config or OprofileConfig.paper_config(period),
+        session_dir=session_dir,
+        seed=seed,
+        time_scale=time_scale,
+        background=background,
+        noise=noise,
+        record_callgraph=record_callgraph,
+    )
+    return SystemEngine(workload, cfg).run()

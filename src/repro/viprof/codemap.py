@@ -1,0 +1,220 @@
+"""Epoch-stamped JIT code maps.
+
+The VM agent writes one map file per GC epoch, *just before* the collection
+that closes the epoch.  Each map is **partial**: it contains only methods
+compiled (or recompiled) during that epoch plus methods moved by the
+previous collection — the paper's key amortization trick.
+
+Resolution (paper §3.2): a sample stamped with epoch *e* is looked up in
+map *e*; on a miss the tools search map *e-1*, *e-2*, ... until the first
+map containing the address.  That guarantees attribution to the most
+recently compiled-or-moved method that occupied the address at the sample's
+time, even though addresses are recycled across epochs by the copying
+collector.
+
+Map files are plain text (one record per line: start, size, tier, name),
+matching the flavour of Jikes RVM's own map artifacts::
+
+    # viprof code map epoch 7
+    0x60812340 0x00000420 O1 org.example.app.Scanner.parseLine
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import CodeMapError
+
+__all__ = ["CodeMapRecord", "CodeMapWriter", "CodeMap", "CodeMapIndex"]
+
+_FILE_RE = re.compile(r"^jit-map\.(\d{5})$")
+_HEADER_RE = re.compile(r"^# viprof code map epoch (\d+)$")
+_LINE_RE = re.compile(
+    r"^(0x[0-9a-fA-F]+) (0x[0-9a-fA-F]+) (\S+) (.+)$"
+)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class CodeMapRecord:
+    """One mapped method body: image-absolute address range plus identity."""
+
+    address: int
+    size: int
+    tier: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.address <= 0:
+            raise CodeMapError(f"bad address {self.address:#x} for {self.name!r}")
+        if self.size <= 0:
+            raise CodeMapError(f"bad size {self.size} for {self.name!r}")
+
+    @property
+    def end(self) -> int:
+        return self.address + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.address <= addr < self.end
+
+    def to_line(self) -> str:
+        return f"{self.address:#010x} {self.size:#010x} {self.tier} {self.name}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "CodeMapRecord":
+        m = _LINE_RE.match(line)
+        if m is None:
+            raise CodeMapError(f"malformed code-map line: {line!r}")
+        return cls(
+            address=int(m.group(1), 16),
+            size=int(m.group(2), 16),
+            tier=m.group(3),
+            name=m.group(4),
+        )
+
+
+class CodeMapWriter:
+    """Writes per-epoch map files into a session directory."""
+
+    def __init__(self, map_dir: Path | str) -> None:
+        self.map_dir = Path(map_dir)
+        self.map_dir.mkdir(parents=True, exist_ok=True)
+        self.maps_written = 0
+        self.records_written = 0
+        self._epochs_seen: set[int] = set()
+
+    def path_for(self, epoch: int) -> Path:
+        return self.map_dir / f"jit-map.{epoch:05d}"
+
+    def write(self, epoch: int, records: Iterable[CodeMapRecord]) -> Path:
+        """Write the (partial) map for ``epoch``.
+
+        Raises:
+            CodeMapError: if a map for this epoch was already written
+                (epochs close exactly once).
+        """
+        if epoch < 0:
+            raise CodeMapError(f"negative epoch {epoch}")
+        if epoch in self._epochs_seen:
+            raise CodeMapError(f"map for epoch {epoch} already written")
+        self._epochs_seen.add(epoch)
+        path = self.path_for(epoch)
+        recs = sorted(records)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(f"# viprof code map epoch {epoch}\n")
+            for r in recs:
+                fh.write(r.to_line() + "\n")
+        self.maps_written += 1
+        self.records_written += len(recs)
+        return path
+
+
+class CodeMap:
+    """One epoch's records, indexed for address lookup.
+
+    Records within a single epoch must be non-overlapping: the bump
+    allocator never reuses space between collections (property-tested in
+    ``tests/viprof/test_codemap_properties.py``).
+    """
+
+    def __init__(self, epoch: int, records: list[CodeMapRecord]):
+        self.epoch = epoch
+        self._records = sorted(records)
+        self._addrs = [r.address for r in self._records]
+        prev: CodeMapRecord | None = None
+        for r in self._records:
+            if prev is not None and r.address < prev.end:
+                raise CodeMapError(
+                    f"epoch {epoch}: records {prev.name!r} and {r.name!r} overlap"
+                )
+            prev = r
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> tuple[CodeMapRecord, ...]:
+        return tuple(self._records)
+
+    def lookup(self, addr: int) -> CodeMapRecord | None:
+        i = bisect.bisect_right(self._addrs, addr) - 1
+        if i < 0:
+            return None
+        r = self._records[i]
+        return r if r.contains(addr) else None
+
+    @classmethod
+    def load(cls, path: Path) -> "CodeMap":
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise CodeMapError(f"{path}: empty map file")
+        m = _HEADER_RE.match(lines[0])
+        if m is None:
+            raise CodeMapError(f"{path}: bad header {lines[0]!r}")
+        epoch = int(m.group(1))
+        records = [CodeMapRecord.from_line(ln) for ln in lines[1:] if ln.strip()]
+        return cls(epoch, records)
+
+
+class CodeMapIndex:
+    """All of a session's maps plus the backward-resolution algorithm."""
+
+    def __init__(self, maps: dict[int, CodeMap]):
+        self._maps = maps
+        self.lookups = 0
+        self.fallback_steps = 0  # how far backward searches walked, total
+
+    @classmethod
+    def load_dir(cls, map_dir: Path | str) -> "CodeMapIndex":
+        map_dir = Path(map_dir)
+        maps: dict[int, CodeMap] = {}
+        for path in sorted(map_dir.iterdir()):
+            m = _FILE_RE.match(path.name)
+            if m is None:
+                continue
+            cm = CodeMap.load(path)
+            if int(m.group(1)) != cm.epoch:
+                raise CodeMapError(
+                    f"{path}: filename epoch {m.group(1)} != header epoch {cm.epoch}"
+                )
+            maps[cm.epoch] = cm
+        return cls(maps)
+
+    @property
+    def epochs(self) -> tuple[int, ...]:
+        return tuple(sorted(self._maps))
+
+    def map_for(self, epoch: int) -> CodeMap | None:
+        return self._maps.get(epoch)
+
+    def resolve(
+        self, epoch: int, addr: int, backward: bool = True
+    ) -> tuple[CodeMapRecord, int] | None:
+        """Resolve ``addr`` for a sample taken during ``epoch``.
+
+        Searches the sample's epoch first, then walks strictly backwards.
+        Returns ``(record, epoch_found)`` or None when no map ever held the
+        address (e.g. the method was compiled after the last map write and
+        the final flush is missing).
+
+        ``backward=False`` is the ablation: consult only the sample's own
+        epoch map, which loses every sample whose method was compiled or
+        moved in an earlier epoch.
+        """
+        if not self._maps:
+            return None
+        self.lookups += 1
+        top = min(epoch, max(self._maps)) if epoch >= 0 else max(self._maps)
+        bottom = top if not backward else min(self._maps)
+        for e in range(top, bottom - 1, -1):
+            cm = self._maps.get(e)
+            if cm is None:
+                continue
+            rec = cm.lookup(addr)
+            if rec is not None:
+                return rec, e
+            self.fallback_steps += 1
+        return None

@@ -1,0 +1,125 @@
+"""One-stop VIProf session wiring.
+
+A session owns the kernel module, the runtime profiler (extended daemon),
+the code-map writer, and hands out the VM agent that gets hooked into the
+JVM.  The system engine drives a session's lifecycle; users get reports
+from :meth:`ViprofSession.report` after the run.
+
+Directory layout under ``session_dir``::
+
+    samples/            per-event sample files (daemon output)
+    jit-maps/           per-epoch partial code maps (agent output)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ProfilerError
+from repro.hardware.cpu import CPU
+from repro.jvm.bootimage import RvmMap
+from repro.oprofile.daemon import DaemonCosts, DaemonWork
+from repro.oprofile.kmodule import OprofileKernelModule
+from repro.oprofile.opcontrol import OprofileConfig
+from repro.os.kernel import Kernel
+from repro.viprof.codemap import CodeMapIndex, CodeMapWriter
+from repro.viprof.postprocess import ViprofReport
+from repro.viprof.runtime_profiler import ViprofRuntimeProfiler
+from repro.viprof.vm_agent import AgentCosts, ViprofVmAgent
+
+__all__ = ["ViprofSession"]
+
+
+class ViprofSession:
+    """The VIProf stack for one profiling run."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: OprofileConfig,
+        session_dir: Path | str,
+        daemon_costs: DaemonCosts | None = None,
+        agent_costs: AgentCosts | None = None,
+        full_map_rewrite: bool = False,
+        eager_move_logging: bool = False,
+        jit_fast_path: bool = True,
+    ) -> None:
+        """The three boolean knobs select the ablation variants studied in
+        ``benchmarks/bench_ablation.py``; the defaults are the paper's
+        design."""
+        self.kernel = kernel
+        self.config = config
+        self.session_dir = Path(session_dir)
+        self.sample_dir = self.session_dir / config.output_dir_name
+        self.map_dir = self.session_dir / "jit-maps"
+        self.kmodule = OprofileKernelModule(config)
+        self.daemon = ViprofRuntimeProfiler(
+            kernel, self.kmodule, config, self.sample_dir,
+            costs=daemon_costs, jit_fast_path=jit_fast_path,
+        )
+        self.map_writer = CodeMapWriter(self.map_dir)
+        self._agent_costs = agent_costs
+        self._full_map_rewrite = full_map_rewrite
+        self._eager_move_logging = eager_move_logging
+        self._agent: ViprofVmAgent | None = None
+        self._active = False
+
+    # ------------------------------------------------------------------
+
+    def make_agent(
+        self, vm_task_id: int, epoch_source: Callable[[], int]
+    ) -> ViprofVmAgent:
+        """Create the VM agent to hook into the JVM (one per session)."""
+        if self._agent is not None:
+            raise ProfilerError("session already has a VM agent")
+        self._agent = ViprofVmAgent(
+            writer=self.map_writer,
+            runtime_profiler=self.daemon,
+            epoch_source=epoch_source,
+            vm_task_id=vm_task_id,
+            costs=self._agent_costs,
+            full_map_rewrite=self._full_map_rewrite,
+            eager_move_logging=self._eager_move_logging,
+        )
+        return self._agent
+
+    @property
+    def agent(self) -> ViprofVmAgent:
+        if self._agent is None:
+            raise ProfilerError("make_agent() has not been called")
+        return self._agent
+
+    # ------------------------------------------------------------------
+
+    def start(self, cpu: CPU) -> None:
+        if self._active:
+            raise ProfilerError("session already started")
+        self.kmodule.setup(cpu)
+        self.daemon.start()
+        self._active = True
+
+    def stop(self) -> DaemonWork:
+        """Final daemon drain + kernel-module shutdown."""
+        if not self._active:
+            raise ProfilerError("session not started")
+        work = self.daemon.stop()
+        self.kmodule.shutdown()
+        self._active = False
+        return work
+
+    # ------------------------------------------------------------------
+
+    def report(
+        self, rvm_map: RvmMap, backward_traversal: bool = True
+    ) -> ViprofReport:
+        """Build the extended post-processor over this session's artifacts."""
+        codemaps = CodeMapIndex.load_dir(self.map_dir)
+        return ViprofReport(
+            kernel=self.kernel,
+            sample_dir=self.sample_dir,
+            codemaps=codemaps,
+            rvm_map=rvm_map,
+            registrations=self.daemon.registrations,
+            backward_traversal=backward_traversal,
+        )

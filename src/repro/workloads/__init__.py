@@ -1,0 +1,33 @@
+"""Synthetic benchmark workloads.
+
+The paper evaluates SPEC JVM98, the DaCapo suite, and SPEC pseudoJBB.  We
+cannot run real Java programs, so each benchmark is a *workload model*: a
+population of methods with per-benchmark size/hotness/allocation/working-set
+characteristics and an infinite, deterministic invocation schedule.  The
+models are calibrated so the *dynamics that drive the paper's results* are
+right per benchmark: run length (Figure 3 base times), compilation traffic,
+GC frequency, and JIT-vs-VM-vs-native cycle mix.
+
+Factories:
+
+* :mod:`repro.workloads.dacapo` — ``antlr, bloat, fop, hsqldb, pmd, xalan,
+  ps`` (the Figure 1/2 set);
+* :mod:`repro.workloads.specjvm98` — the seven JVM98 programs plus the
+  aggregate ``jvm98()`` used in Figure 2;
+* :mod:`repro.workloads.pseudojbb` — ``pseudojbb()`` (3 warehouses,
+  100 K transactions);
+* :mod:`repro.workloads.synthetic` — the generic generator, also handy for
+  tests and custom experiments.
+"""
+
+from repro.workloads.base import Workload, by_name, paper_suite
+from repro.workloads.synthetic import SyntheticSpec, make_methods, make_workload
+
+__all__ = [
+    "Workload",
+    "by_name",
+    "paper_suite",
+    "SyntheticSpec",
+    "make_methods",
+    "make_workload",
+]

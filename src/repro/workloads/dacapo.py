@@ -1,0 +1,344 @@
+"""DaCapo benchmark models (``large`` inputs, as in the paper).
+
+Per-benchmark characters, chosen to reproduce the dynamics the paper
+reports:
+
+* **antlr** — parser generator: a large method population compiled and
+  recompiled aggressively relative to a short run, plus a high allocation
+  rate.  This is why antlr shows the largest VIProf slowdown in Figure 2
+  (map-write costs barely amortize).
+* **bloat** — bytecode optimizer: long run, big population, steady
+  allocation; amortizes well.
+* **fop** — XSL-FO to PDF: the shortest run; startup compilation dominates.
+* **hsqldb** — in-memory SQL database: the longest run, by far the largest
+  data working set (poor L2 behaviour), few methods; amortizes best.
+* **pmd** — source analyzer: mid-sized everything.
+* **xalan** — XSLT processor: long run, large working set, string-heavy
+  native mix.
+* **ps** — PostScript interpreter (Figure 1's case study): scanner/
+  interpreter loop with the paper's ``Scanner.parseLine`` among the hot
+  methods.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+from repro.workloads.synthetic import SyntheticSpec, make_methods
+
+__all__ = [
+    "antlr", "bloat", "fop", "hsqldb", "pmd", "xalan", "ps",
+    "chart", "eclipse", "jython", "luindex", "lusearch",
+]
+
+MB = 1024 * 1024
+
+
+def antlr() -> Workload:
+    spec = SyntheticSpec(
+        package="org.antlr.dacapo",
+        n_methods=560,
+        zipf_s=0.85,  # flat: many warm methods -> lots of compilation
+        bytecode_range=(60, 1600),
+        mean_cycles_per_invocation=1300,
+        alloc_bytes_per_kcycle=4300,
+        data_bytes=12 * MB,
+        locality=0.86,
+        accesses_per_kcycle=150,
+        seed=101,
+        class_pool=("Grammar", "Lexer", "ParserGen", "DFA", "Token",
+                    "RuleBlock", "Alternative", "CodeGenerator"),
+    )
+    return Workload(
+        name="antlr", base_time_s=8.7, methods=make_methods(spec),
+        survival_rate=0.08, phases=8, burst=(6, 20), seed=spec.seed,
+        description="parser generator; compile- and alloc-heavy short run",
+    )
+
+
+def bloat() -> Workload:
+    spec = SyntheticSpec(
+        package="edu.purdue.bloat",
+        n_methods=420,
+        zipf_s=1.1,
+        bytecode_range=(50, 1400),
+        mean_cycles_per_invocation=2800,
+        alloc_bytes_per_kcycle=487,
+        data_bytes=32 * MB,
+        locality=0.8,
+        accesses_per_kcycle=170,
+        seed=102,
+        class_pool=("ClassEditor", "MethodEditor", "FlowGraph", "Block",
+                    "Expr", "Stmt", "SSAGraph", "Liveness"),
+    )
+    return Workload(
+        name="bloat", base_time_s=28.5, methods=make_methods(spec),
+        survival_rate=0.12, phases=5, seed=spec.seed,
+        description="bytecode optimizer; long, steady run",
+    )
+
+
+def fop() -> Workload:
+    spec = SyntheticSpec(
+        package="org.apache.fop",
+        n_methods=300,
+        zipf_s=1.0,
+        bytecode_range=(40, 1000),
+        mean_cycles_per_invocation=2200,
+        alloc_bytes_per_kcycle=721,
+        data_bytes=10 * MB,
+        locality=0.88,
+        accesses_per_kcycle=140,
+        seed=103,
+        class_pool=("FOTreeBuilder", "LayoutManager", "Area", "PDFRenderer",
+                    "PropertyList", "Block", "LineArea"),
+    )
+    return Workload(
+        name="fop", base_time_s=3.2, methods=make_methods(spec),
+        survival_rate=0.1, phases=3, seed=spec.seed,
+        description="XSL-FO formatter; shortest run, startup-dominated",
+    )
+
+
+def hsqldb() -> Workload:
+    spec = SyntheticSpec(
+        package="org.hsqldb",
+        n_methods=260,
+        zipf_s=1.25,  # tight hot loop over table/index code
+        bytecode_range=(60, 1200),
+        mean_cycles_per_invocation=3200,
+        alloc_bytes_per_kcycle=215,
+        data_bytes=96 * MB,  # in-memory database: poor L2 behaviour
+        locality=0.7,
+        accesses_per_kcycle=260,
+        seed=104,
+        class_pool=("Database", "Table", "Index", "Session", "Result",
+                    "Expression", "Parser", "Cache", "Row"),
+    )
+    return Workload(
+        name="hsqldb", base_time_s=43.0, methods=make_methods(spec),
+        survival_rate=0.2, phases=2, seed=spec.seed,
+        nursery_bytes=512 * 1024, mature_bytes=24 * MB,
+        description="in-memory SQL database; longest run, biggest data",
+    )
+
+
+def pmd() -> Workload:
+    spec = SyntheticSpec(
+        package="net.sourceforge.pmd",
+        n_methods=360,
+        zipf_s=1.05,
+        bytecode_range=(50, 1100),
+        mean_cycles_per_invocation=2500,
+        alloc_bytes_per_kcycle=520,
+        data_bytes=28 * MB,
+        locality=0.82,
+        accesses_per_kcycle=165,
+        seed=105,
+        class_pool=("RuleContext", "JavaParser", "ASTCompilationUnit",
+                    "AbstractRule", "SymbolTable", "Scope", "NodeVisitor"),
+    )
+    return Workload(
+        name="pmd", base_time_s=16.3, methods=make_methods(spec),
+        survival_rate=0.11, phases=4, seed=spec.seed,
+        description="Java source analyzer",
+    )
+
+
+def xalan() -> Workload:
+    spec = SyntheticSpec(
+        package="org.apache.xalan",
+        n_methods=340,
+        zipf_s=1.15,
+        bytecode_range=(50, 1300),
+        mean_cycles_per_invocation=2700,
+        alloc_bytes_per_kcycle=521,
+        data_bytes=40 * MB,
+        locality=0.76,
+        accesses_per_kcycle=200,
+        seed=106,
+        class_pool=("TransformerImpl", "StylesheetRoot", "ElemTemplate",
+                    "XPathContext", "DTMManager", "SAX2DTM", "NodeSet"),
+        method_pool=("transform", "execute", "getNode", "nextNode",
+                     "characters", "startElement", "endElement", "select",
+                     "evaluate", "resolve", "copy", "applyTemplates"),
+    )
+    return Workload(
+        name="xalan", base_time_s=22.2, methods=make_methods(spec),
+        survival_rate=0.13, phases=4, seed=spec.seed,
+        native_fraction=0.08,
+        description="XSLT processor; string-heavy",
+    )
+
+
+def ps() -> Workload:
+    """DaCapo ``ps`` — the paper's Figure 1 case study.
+
+    The pinned names guarantee the exact application frame visible in
+    Figure 1 exists in the population.
+    """
+    spec = SyntheticSpec(
+        package="edu.unm.cs.oal.dacapo.javaPostScript.red",
+        n_methods=320,
+        zipf_s=1.2,
+        bytecode_range=(40, 1100),
+        mean_cycles_per_invocation=2400,
+        alloc_bytes_per_kcycle=578,
+        data_bytes=20 * MB,
+        locality=0.8,
+        accesses_per_kcycle=175,
+        seed=107,
+        class_pool=("Interpreter", "Scanner", "GraphicsState", "PathBuilder",
+                    "FontOp", "Dictionary", "OperandStack"),
+        method_pool=("execute", "parseLine", "nextToken", "moveTo", "lineTo",
+                     "fill", "stroke", "lookup", "push", "pop", "scale",
+                     "show", "definefont"),
+        pinned_names=(
+            "edu.unm.cs.oal.dacapo.javaPostScript.red.scanner.Scanner.parseLine",
+            "edu.unm.cs.oal.dacapo.javaPostScript.red.interp.Interpreter.execute",
+            "edu.unm.cs.oal.dacapo.javaPostScript.red.graphics.PathBuilder.lineTo",
+        ),
+    )
+    methods = make_methods(spec)
+    # Make the Figure 1 frames genuinely hot: parseLine is the top
+    # application method in the paper's listing.
+    top = max(m.weight for m in methods)
+    methods[0].weight = top * 1.6  # Scanner.parseLine
+    methods[1].weight = top * 0.9  # Interpreter.execute
+    methods[2].weight = top * 0.5  # PathBuilder.lineTo
+    return Workload(
+        name="ps", base_time_s=12.0, methods=methods,
+        survival_rate=0.1, phases=4, seed=spec.seed,
+        description="PostScript interpreter; the Figure 1 case study",
+    )
+
+
+# ---------------------------------------------------------------------------
+# The rest of the DaCapo 2006 suite.  The paper's Figure 2 runs the seven
+# benchmarks above; these five complete the suite for library users (they
+# are not part of the figure reproductions).
+# ---------------------------------------------------------------------------
+
+
+def chart() -> Workload:
+    spec = SyntheticSpec(
+        package="org.jfree.chart",
+        n_methods=340,
+        zipf_s=1.1,
+        bytecode_range=(40, 1200),
+        mean_cycles_per_invocation=2600,
+        alloc_bytes_per_kcycle=610,
+        data_bytes=18 * MB,
+        locality=0.83,
+        accesses_per_kcycle=160,
+        seed=108,
+        class_pool=("JFreeChart", "XYPlot", "CategoryAxis", "Renderer",
+                    "DatasetUtilities", "PdfGraphics2D"),
+        method_pool=("draw", "render", "calculate", "getDataItem", "layout",
+                     "refreshTicks", "plot", "stroke"),
+    )
+    return Workload(
+        name="chart", base_time_s=14.0, methods=make_methods(spec),
+        survival_rate=0.1, phases=3, seed=spec.seed,
+        description="pdf chart renderer (DaCapo 2006; not in the paper's figures)",
+    )
+
+
+def eclipse() -> Workload:
+    spec = SyntheticSpec(
+        package="org.eclipse.jdt",
+        n_methods=620,  # the biggest code base in the suite
+        zipf_s=0.9,
+        bytecode_range=(40, 1500),
+        mean_cycles_per_invocation=2200,
+        alloc_bytes_per_kcycle=760,
+        data_bytes=48 * MB,
+        locality=0.78,
+        accesses_per_kcycle=190,
+        seed=109,
+        class_pool=("Compiler", "Parser", "Scanner", "TypeBinding",
+                    "LookupEnvironment", "ClassFileReader", "ASTNode"),
+    )
+    return Workload(
+        name="eclipse", base_time_s=65.0, methods=make_methods(spec),
+        survival_rate=0.16, phases=6, seed=spec.seed,
+        mature_bytes=32 * MB,
+        description="JDT compiler workload (DaCapo 2006; not in the paper's figures)",
+    )
+
+
+def jython() -> Workload:
+    spec = SyntheticSpec(
+        package="org.python.core",
+        n_methods=400,
+        zipf_s=1.0,
+        bytecode_range=(40, 1000),
+        mean_cycles_per_invocation=2000,
+        alloc_bytes_per_kcycle=1400,  # interpreters allocate furiously
+        data_bytes=10 * MB,
+        locality=0.85,
+        accesses_per_kcycle=150,
+        seed=110,
+        class_pool=("PyObject", "PyFrame", "PyDictionary", "PyString",
+                    "CodeLoader", "imp"),
+        method_pool=("__call__", "invoke", "getattr", "setattr", "interpret",
+                     "resolve", "createFrame", "intern"),
+    )
+    return Workload(
+        name="jython", base_time_s=20.0, methods=make_methods(spec),
+        survival_rate=0.07, phases=4, seed=spec.seed,
+        description="pybench under Jython (DaCapo 2006; not in the paper's figures)",
+    )
+
+
+def luindex() -> Workload:
+    spec = SyntheticSpec(
+        package="org.apache.lucene.index",
+        n_methods=220,
+        zipf_s=1.3,
+        bytecode_range=(50, 900),
+        mean_cycles_per_invocation=2800,
+        alloc_bytes_per_kcycle=520,
+        data_bytes=22 * MB,
+        locality=0.8,
+        accesses_per_kcycle=180,
+        seed=111,
+        class_pool=("IndexWriter", "DocumentWriter", "SegmentMerger",
+                    "TermInfosWriter", "FieldsWriter"),
+        method_pool=("addDocument", "invertDocument", "merge", "flush",
+                     "writeTerm", "sortPostings"),
+    )
+    return Workload(
+        name="luindex", base_time_s=18.0, methods=make_methods(spec),
+        survival_rate=0.12, phases=2, seed=spec.seed,
+        native_fraction=0.09,  # index I/O
+        description="lucene indexing (DaCapo 2006; not in the paper's figures)",
+    )
+
+
+def lusearch() -> Workload:
+    spec = SyntheticSpec(
+        package="org.apache.lucene.search",
+        n_methods=180,
+        zipf_s=1.4,
+        bytecode_range=(50, 800),
+        mean_cycles_per_invocation=2400,
+        alloc_bytes_per_kcycle=680,
+        data_bytes=30 * MB,
+        locality=0.72,
+        accesses_per_kcycle=220,
+        seed=112,
+        class_pool=("IndexSearcher", "TermScorer", "BooleanQuery",
+                    "SegmentTermEnum", "FieldCache"),
+        method_pool=("search", "score", "next", "skipTo", "readTerm",
+                     "collect"),
+    )
+    return Workload(
+        name="lusearch", base_time_s=9.0, methods=make_methods(spec),
+        survival_rate=0.09, phases=2, seed=spec.seed,
+        description="lucene search (DaCapo 2006; not in the paper's figures)",
+    )
+
+
+for _f in (antlr, bloat, fop, hsqldb, pmd, xalan, ps,
+           chart, eclipse, jython, luindex, lusearch):
+    register(_f.__name__, _f)

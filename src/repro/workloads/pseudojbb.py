@@ -1,0 +1,63 @@
+"""SPEC pseudoJBB model.
+
+pseudoJBB is SPEC JBB2000 modified to run a *fixed number of transactions*
+(3 warehouses x 100 K transactions in the paper) so execution time is
+directly measurable.  Character: a long, steady server workload — a modest
+method population that warms up quickly and then runs flat out of
+opt-compiled mature code, with a substantial resident data set (the
+warehouses).  The long flat phase is why pseudojbb amortizes profiling
+overhead so well in Figure 2.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+from repro.workloads.synthetic import SyntheticSpec, make_methods
+
+__all__ = ["pseudojbb", "WAREHOUSES", "TRANSACTIONS"]
+
+MB = 1024 * 1024
+
+WAREHOUSES = 3
+TRANSACTIONS = 100_000
+
+
+def pseudojbb() -> Workload:
+    spec = SyntheticSpec(
+        package="spec.jbb",
+        n_methods=200,
+        zipf_s=1.35,  # the five TPC-C-style transactions dominate
+        bytecode_range=(80, 1400),
+        mean_cycles_per_invocation=3400,
+        alloc_bytes_per_kcycle=398,
+        data_bytes=64 * MB,  # warehouse state: large resident set
+        locality=0.72,
+        accesses_per_kcycle=230,
+        seed=211,
+        class_pool=("TransactionManager", "Warehouse", "District", "Stock",
+                    "Orderline", "Customer", "NewOrderTransaction",
+                    "PaymentTransaction", "DeliveryTransaction"),
+        method_pool=("process", "execute", "retrieve", "update", "insert",
+                     "getStock", "payment", "delivery", "orderStatus",
+                     "stockLevel", "nextSequence"),
+        pinned_names=(
+            "spec.jbb.TransactionManager.runTxn",
+            "spec.jbb.NewOrderTransaction.process",
+            "spec.jbb.Warehouse.retrieveStock",
+        ),
+    )
+    methods = make_methods(spec)
+    top = max(m.weight for m in methods)
+    methods[0].weight = top * 1.4
+    methods[1].weight = top * 1.0
+    methods[2].weight = top * 0.7
+    return Workload(
+        name="pseudojbb", base_time_s=31.0, methods=methods,
+        survival_rate=0.18, phases=1,  # steady state: no phase churn
+        seed=spec.seed,
+        mature_bytes=24 * MB,
+        description=f"{WAREHOUSES} warehouses, {TRANSACTIONS} transactions",
+    )
+
+
+register("pseudojbb", pseudojbb)

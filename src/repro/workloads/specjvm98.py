@@ -1,0 +1,120 @@
+"""SPEC JVM98 benchmark models (input size 100, as in the paper).
+
+The paper's Figure 2 shows JVM98 as a single aggregate bar with a 5.74 s
+average base time (Figure 3).  We provide the seven individual programs for
+examples/tests plus :func:`jvm98`, the aggregate workload used in the
+figure reproductions: a composite population with JVM98's overall character
+(small-to-medium programs, modest data, quick warm-up).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload, register
+from repro.workloads.synthetic import SyntheticSpec, make_methods
+
+__all__ = [
+    "jvm98", "compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack",
+]
+
+MB = 1024 * 1024
+
+
+def _make(name: str, base_time_s: float, **overrides) -> Workload:
+    defaults = dict(
+        package=f"spec.benchmarks._2{name}",
+        n_methods=220,
+        zipf_s=1.2,
+        bytecode_range=(40, 900),
+        mean_cycles_per_invocation=2300,
+        alloc_bytes_per_kcycle=640,
+        data_bytes=14 * MB,
+        locality=0.85,
+        accesses_per_kcycle=150,
+        seed=sum(ord(c) for c in name) * 7,
+    )
+    wl_kwargs = {"description": overrides.pop("description", "")}
+    for key in ("survival_rate", "phases", "javalib_fraction",
+                "native_fraction", "nursery_bytes", "mature_bytes"):
+        if key in overrides:
+            wl_kwargs[key] = overrides.pop(key)
+    defaults.update(overrides)
+    spec = SyntheticSpec(**defaults)
+    return Workload(
+        name=name, base_time_s=base_time_s, methods=make_methods(spec),
+        seed=spec.seed, **wl_kwargs,
+    )
+
+
+def jvm98() -> Workload:
+    """The aggregate JVM98 workload used for Figures 2 and 3."""
+    return _make(
+        "jvm98", 5.74,
+        package="spec.benchmarks.jvm98",
+        n_methods=280, zipf_s=1.15,
+        data_bytes=16 * MB, alloc_bytes_per_kcycle=540,
+        phases=4,
+        description="SPEC JVM98 aggregate (Figure 2/3 bar)",
+    )
+
+
+def compress() -> Workload:
+    """_201_compress: tight numeric loop, tiny hot set, low allocation."""
+    return _make(
+        "compress", 6.2, n_methods=90, zipf_s=1.8,
+        alloc_bytes_per_kcycle=120, data_bytes=18 * MB, locality=0.93,
+        mean_cycles_per_invocation=3600, phases=1,
+    )
+
+
+def jess() -> Workload:
+    """_202_jess: expert system, allocation-heavy rule matching."""
+    return _make(
+        "jess", 4.6, n_methods=260, zipf_s=1.1,
+        alloc_bytes_per_kcycle=980, data_bytes=8 * MB, phases=3,
+    )
+
+
+def db() -> Workload:
+    """_209_db: address database, pointer-chasing over a big array."""
+    return _make(
+        "db", 7.9, n_methods=110, zipf_s=1.5,
+        alloc_bytes_per_kcycle=260, data_bytes=36 * MB, locality=0.62,
+        accesses_per_kcycle=260, phases=1,
+    )
+
+
+def javac() -> Workload:
+    """_213_javac: the JDK compiler, large method population."""
+    return _make(
+        "javac", 5.3, n_methods=420, zipf_s=0.95,
+        alloc_bytes_per_kcycle=860, data_bytes=12 * MB, phases=5,
+    )
+
+
+def mpegaudio() -> Workload:
+    """_222_mpegaudio: decoder, numeric, nearly allocation-free."""
+    return _make(
+        "mpegaudio", 5.1, n_methods=140, zipf_s=1.6,
+        alloc_bytes_per_kcycle=60, data_bytes=6 * MB, locality=0.95,
+        mean_cycles_per_invocation=3000, phases=1,
+    )
+
+
+def mtrt() -> Workload:
+    """_227_mtrt: multithreaded ray tracer (modelled single-threaded)."""
+    return _make(
+        "mtrt", 4.4, n_methods=180, zipf_s=1.3,
+        alloc_bytes_per_kcycle=720, data_bytes=10 * MB, phases=2,
+    )
+
+
+def jack() -> Workload:
+    """_228_jack: parser generator, bursty allocation."""
+    return _make(
+        "jack", 6.7, n_methods=280, zipf_s=1.05,
+        alloc_bytes_per_kcycle=880, data_bytes=9 * MB, phases=4,
+    )
+
+
+for _f in (jvm98, compress, jess, db, javac, mpegaudio, mtrt, jack):
+    register(_f.__name__, _f)

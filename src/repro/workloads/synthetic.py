@@ -1,0 +1,202 @@
+"""The generic synthetic workload generator.
+
+Given a :class:`SyntheticSpec` this manufactures a deterministic population
+of :class:`~repro.jvm.model.JavaMethod` with:
+
+* Zipf-distributed hotness (a few very hot methods, a long tail — the shape
+  of every real Java profile),
+* log-uniform bytecode sizes,
+* per-method allocation and data-access intensities drawn around the spec's
+  averages, and
+* working sets carved out of a benchmark-wide data region whose total size
+  (relative to the 1 MB L2) controls the benchmark's cache behaviour.
+
+Benchmark modules pass name banks (package prefix, class and method name
+pools) so profiles show plausible frames for each suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.hardware.memory import WorkingSet
+from repro.jvm.model import JavaMethod, MethodId
+from repro.workloads.base import Workload
+
+__all__ = ["SyntheticSpec", "make_methods", "make_workload"]
+
+#: Data heap region the working sets live in (distinct from the code heap,
+#: which the engine lays out; only relative structure matters to the cache
+#: model).
+DATA_REGION_BASE = 0x7000_0000
+
+_DEFAULT_CLASS_POOL = (
+    "Main", "Engine", "Parser", "Scanner", "Builder", "Visitor", "Node",
+    "Table", "Buffer", "Codec", "Worker", "Context", "Registry", "Emitter",
+)
+
+_DEFAULT_METHOD_POOL = (
+    "run", "process", "parse", "scan", "visit", "emit", "update", "lookup",
+    "insert", "next", "read", "write", "transform", "evaluate", "apply",
+    "resolve", "compute", "flush", "encode", "decode",
+)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Knobs for one generated method population.
+
+    Attributes:
+        package: Java package prefix for generated names.
+        n_methods: population size (drives compilation traffic).
+        zipf_s: Zipf exponent for hotness (≈1.0 typical; higher = more
+            skewed toward a few hot methods).
+        bytecode_range: (lo, hi) bytecodes per method, log-uniform.
+        mean_cycles_per_invocation: average per-call work at baseline.
+        alloc_bytes_per_kcycle: allocation intensity (bytes per 1000
+            application cycles) — with the nursery size this sets GC
+            frequency.
+        data_bytes: total data working set of the benchmark (vs. 1 MB L2).
+        locality: average access locality in [0,1].
+        accesses_per_kcycle: data accesses per 1000 cycles.
+        fanout: average callee count recorded per method (call-graph shape).
+        seed: generation seed.
+    """
+
+    package: str
+    n_methods: int
+    zipf_s: float = 1.1
+    bytecode_range: tuple[int, int] = (40, 1200)
+    mean_cycles_per_invocation: int = 2600
+    alloc_bytes_per_kcycle: int = 40
+    data_bytes: int = 24 * 1024 * 1024
+    locality: float = 0.82
+    accesses_per_kcycle: int = 160
+    fanout: float = 2.0
+    seed: int = 11
+    class_pool: tuple[str, ...] = _DEFAULT_CLASS_POOL
+    method_pool: tuple[str, ...] = _DEFAULT_METHOD_POOL
+    pinned_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_methods < 1:
+            raise WorkloadError("n_methods must be >= 1")
+        if self.zipf_s <= 0:
+            raise WorkloadError("zipf_s must be positive")
+        lo, hi = self.bytecode_range
+        if not 0 < lo <= hi:
+            raise WorkloadError(f"bad bytecode_range {self.bytecode_range}")
+        if self.data_bytes <= 0:
+            raise WorkloadError("data_bytes must be positive")
+
+
+def make_methods(spec: SyntheticSpec) -> list[JavaMethod]:
+    """Generate the method population for ``spec`` (deterministic)."""
+    rng = Random(spec.seed)
+    nprng = np.random.default_rng(spec.seed)
+    n = spec.n_methods
+
+    # Zipf hotness over rank; ranks are shuffled so hot methods are spread
+    # through the index space (and thus across schedule phases).
+    ranks = list(range(1, n + 1))
+    rng.shuffle(ranks)
+    weights = [1.0 / (r ** spec.zipf_s) for r in ranks]
+
+    lo, hi = spec.bytecode_range
+    log_lo, log_hi = np.log(lo), np.log(hi)
+    sizes = np.exp(nprng.uniform(log_lo, log_hi, size=n)).astype(int)
+    sizes = np.clip(sizes, lo, hi)
+
+    # Per-method intensity jitter around the spec averages.
+    cyc_jitter = nprng.uniform(0.4, 1.8, size=n)
+    alloc_jitter = nprng.uniform(0.3, 2.0, size=n)
+    access_jitter = nprng.uniform(0.5, 1.6, size=n)
+    locality_jitter = np.clip(
+        nprng.normal(spec.locality, 0.07, size=n), 0.3, 0.98
+    )
+
+    # Slice the benchmark data region into per-method working sets sized
+    # proportionally to method hotness (hot methods touch more data).
+    total_w = sum(weights)
+    ws_sizes = [
+        max(4096, int(spec.data_bytes * w / total_w)) for w in weights
+    ]
+
+    names = _make_names(spec, rng)
+    methods: list[JavaMethod] = []
+    ws_base = DATA_REGION_BASE
+    for i in range(n):
+        cycles = max(200, int(spec.mean_cycles_per_invocation * cyc_jitter[i]))
+        allocation = int(cycles / 1000 * spec.alloc_bytes_per_kcycle * alloc_jitter[i])
+        accesses = max(1, int(cycles / 1000 * spec.accesses_per_kcycle * access_jitter[i]))
+        # A method's hot set is bounded in absolute terms (loop-carried
+        # state), not proportional to however much data the benchmark owns:
+        # cap it at a quarter of the 1 MB L2 so hot accesses model reuse,
+        # not streaming.  The cold tail carries the capacity misses.
+        hot_fraction = min(0.12, (256 * 1024) / ws_sizes[i])
+        ws = WorkingSet(
+            base=ws_base,
+            size=ws_sizes[i],
+            locality=float(locality_jitter[i]),
+            hot_fraction=hot_fraction,
+            seed=spec.seed * 1_000_003 + i,
+        )
+        ws_base += ws_sizes[i]
+        n_callees = min(n - 1, max(0, int(rng.expovariate(1.0 / spec.fanout))))
+        callees = tuple(
+            sorted(rng.sample([j for j in range(n) if j != i], n_callees))
+        ) if n_callees else ()
+        methods.append(
+            JavaMethod(
+                mid=names[i],
+                bytecode_size=int(sizes[i]),
+                weight=weights[i],
+                cycles_per_invocation=cycles,
+                alloc_bytes_per_invocation=allocation,
+                accesses_per_invocation=accesses,
+                working_set=ws,
+                callees=callees,
+            )
+        )
+    return methods
+
+
+def _make_names(spec: SyntheticSpec, rng: Random) -> list[MethodId]:
+    """Unique, plausible fully-qualified names; pinned names come first so
+    benchmark modules can guarantee specific Figure-1 frames exist (and,
+    because ranks are shuffled independently, get ordinary hotness)."""
+    names: list[MethodId] = []
+    seen: set[str] = set()
+    for pinned in spec.pinned_names[: spec.n_methods]:
+        cls, _, meth = pinned.rpartition(".")
+        mid = MethodId(class_name=cls, method_name=meth)
+        names.append(mid)
+        seen.add(mid.full_name)
+    i = 0
+    while len(names) < spec.n_methods:
+        cls = rng.choice(spec.class_pool)
+        meth = rng.choice(spec.method_pool)
+        candidate = MethodId(
+            class_name=f"{spec.package}.{cls.lower()}.{cls}",
+            method_name=meth if i == 0 else f"{meth}{i}",
+        )
+        if candidate.full_name not in seen:
+            seen.add(candidate.full_name)
+            names.append(candidate)
+        i += 1
+    return names
+
+
+def make_workload(name: str, base_time_s: float, spec: SyntheticSpec, **kwargs) -> Workload:
+    """Convenience: generate methods and wrap them in a Workload."""
+    return Workload(
+        name=name,
+        base_time_s=base_time_s,
+        methods=make_methods(spec),
+        seed=spec.seed,
+        **kwargs,
+    )

@@ -1,0 +1,37 @@
+"""Future-work extension: Xen-layer profiling (XenoProf integration).
+
+The paper's §5: "we plan to integrate Xen virtualization extensions into
+VIProf to integrate profiling of the Xen layer (via XenoProf) as well as
+multiple concurrently executing software stacks."
+
+This package builds that system on the same substrate:
+
+* :mod:`repro.xen.hypervisor` — a Xen-like hypervisor: its own symbol
+  table above the guest kernels, domains, a credit-style VCPU scheduler,
+  and VMEXIT/hypercall cost accounting;
+* :mod:`repro.xen.xenoprof` — XenoProf-style sampling: the counter
+  overflow handler runs *in the hypervisor*, tags every sample with the
+  currently-running domain, and post-processing resolves each sample
+  against that domain's own software stack (through the domain's VIProf
+  code maps and boot-image map) or against the hypervisor's symbols;
+* :mod:`repro.xen.engine` — a multi-stack engine running several isolated
+  guest stacks (each a kernel + Jikes-RVM-like VM + workload) time-sliced
+  over one physical CPU, the execution model the VIVA project targets.
+"""
+
+from repro.xen.hypervisor import Domain, Hypervisor, VcpuScheduler, XEN_BASE
+from repro.xen.xenoprof import XenoProfBuffer, XenoProfReport, XenoSample
+from repro.xen.engine import GuestSpec, MultiStackEngine, MultiStackResult
+
+__all__ = [
+    "Domain",
+    "Hypervisor",
+    "VcpuScheduler",
+    "XEN_BASE",
+    "XenoSample",
+    "XenoProfBuffer",
+    "XenoProfReport",
+    "GuestSpec",
+    "MultiStackEngine",
+    "MultiStackResult",
+]

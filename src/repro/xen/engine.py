@@ -1,0 +1,310 @@
+"""The multi-stack engine: several guest software stacks over one CPU.
+
+Each guest is a full isolated stack — its own kernel, its own Jikes-RVM-like
+VM with its own heap, code maps and workload — exactly the VIVA execution
+model the paper's introduction describes (one application per virtualized
+stack).  The hypervisor time-slices the guests on one physical CPU;
+XenoProf owns the counters and tags samples with the running domain.
+
+This is a profiling *prototype* of the paper's future work, so the guest
+stacks run without per-guest daemon processes: the hypervisor-side buffer
+is large (as XenoProf's shared pages are) and post-processing reads it
+directly.  VM-agent costs (code-map writes) are still charged inside each
+guest, so per-guest VIProf overhead remains visible.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.hardware.cache import CacheGeometry, StatisticalCacheModel
+from repro.hardware.cpu import CPU, CpuMode, Quantum
+from repro.hardware.events import EventCounts
+from repro.hardware.interrupts import InterruptFrame
+from repro.jvm.bootimage import BootImage, build_boot_image
+from repro.jvm.heap import Heap
+from repro.jvm.machine import JikesVM, StepKind, VmStep
+from repro.oprofile.opcontrol import OprofileConfig
+from repro.os.address_space import PAGE_SIZE, VmaKind
+from repro.os.kernel import Kernel
+from repro.os.loader import ProgramLoader
+from repro.os.binary import standard_libraries
+from repro.profiling.model import RawSample
+from repro.system.engine import build_agent_image, build_jikesrvm_bootstrap
+from repro.system.ledger import TruthLedger
+from repro.viprof.codemap import CodeMapIndex, CodeMapWriter
+from repro.viprof.vm_agent import ViprofVmAgent
+from repro.workloads.base import Workload
+from repro.xen.hypervisor import Domain, Hypervisor, VcpuScheduler
+from repro.xen.xenoprof import (
+    DomainResolver,
+    XenoProfBuffer,
+    XenoProfReport,
+    XenoSample,
+)
+
+__all__ = ["GuestSpec", "MultiStackEngine", "MultiStackResult"]
+
+#: cost of the XenoProf NMI handler (runs in the hypervisor)
+XEN_NMI_HANDLER_CYCLES = 1_300
+#: hypervisor timer interrupt period and cost
+XEN_TIMER_PERIOD = 34_000
+
+
+@dataclass(frozen=True)
+class GuestSpec:
+    """One guest stack to build."""
+
+    workload: Workload
+    weight: int = 256
+    seed: int = 7
+
+
+@dataclass
+class _Guest:
+    domain: Domain
+    kernel: Kernel
+    machine: JikesVM
+    heap: Heap
+    boot: BootImage
+    agent: ViprofVmAgent
+    map_dir: Path
+    vm_pid: int
+    cache: StatisticalCacheModel
+    budget: int
+    ledger: TruthLedger = field(default_factory=TruthLedger)
+    workload_cycles: int = 0
+    steps: "object" = None  # the machine.run() iterator
+
+
+@dataclass
+class MultiStackResult:
+    """Everything a caller needs after a multi-stack run."""
+
+    hypervisor: Hypervisor
+    buffer: XenoProfBuffer
+    report_builder: XenoProfReport
+    guests: dict[int, _Guest]
+    wall_cycles: int
+    session_dir: Path
+    period: int = 90_000
+
+    def save_samples(self) -> list[Path]:
+        """Persist the tagged sample stream, one file per event, under the
+        session directory (what XenoProf's dom0 daemon does)."""
+        from repro.xen.samplefile import XenoSampleFileWriter
+
+        by_event: dict[str, list] = {}
+        for s in self.buffer.samples:
+            by_event.setdefault(s.raw.event_name, []).append(s)
+        paths = []
+        for event, samples in sorted(by_event.items()):
+            path = self.session_dir / f"xenoprof.{event}.samples"
+            with XenoSampleFileWriter(path, event, period=self.period) as w:
+                w.write_many(samples)
+            paths.append(path)
+        return paths
+
+    def domain_report(self, domain_id: int):
+        return self.report_builder.domain_report(self.buffer, domain_id)
+
+    def unified_report(self):
+        return self.report_builder.unified_report(self.buffer)
+
+    def xen_share(self) -> float:
+        return self.report_builder.xen_share(self.buffer)
+
+
+class MultiStackEngine:
+    """Runs N guest stacks under the hypervisor with XenoProf attached."""
+
+    def __init__(
+        self,
+        specs: list[GuestSpec],
+        period: int = 90_000,
+        time_scale: float = 1.0,
+        session_dir: Path | None = None,
+        seed: int = 7,
+    ) -> None:
+        if not specs:
+            raise ConfigError("at least one guest stack is required")
+        self.hypervisor = Hypervisor()
+        self.vcpu_sched = VcpuScheduler(self.hypervisor)
+        self.cpu = CPU()
+        self.buffer = XenoProfBuffer()
+        self.config = OprofileConfig.paper_config(period)
+        self.session_dir = session_dir or Path(
+            tempfile.mkdtemp(prefix="xenoprof-")
+        )
+        self.seed = seed
+        self._current_domain: int = 0
+        self._in_xen_quantum = False
+        self.guests: dict[int, _Guest] = {}
+        for spec in specs:
+            g = self._build_guest(spec, time_scale)
+            self.guests[g.domain.domain_id] = g
+
+        for espec in self.config.events:
+            self.cpu.counters.program(espec.to_counter_config())
+        self.cpu.nmi.register(self._handle_nmi)
+
+    # ------------------------------------------------------------------
+
+    def _build_guest(self, spec: GuestSpec, time_scale: float) -> _Guest:
+        wl = spec.workload
+        domain = self.hypervisor.create_domain(wl.name, weight=spec.weight)
+        kernel = Kernel()
+        proc = kernel.spawn("JikesRVM")
+        loader = ProgramLoader(proc.address_space, kernel.layout)
+        loader.load_executable(build_jikesrvm_bootstrap())
+        for img in standard_libraries():
+            loader.load_library(img)
+        loader.load_library(build_agent_image())
+        boot = build_boot_image()
+        boot_vma = loader.map_file_segment(boot.image, at=kernel.layout.anon_base)
+        nursery_vma = loader.map_anonymous(
+            wl.nursery_bytes, at=boot_vma.end + PAGE_SIZE
+        )
+        mature_vma = loader.map_anonymous(
+            wl.mature_bytes, at=nursery_vma.end + PAGE_SIZE
+        )
+        heap = Heap(
+            nursery_base=nursery_vma.start, nursery_size=wl.nursery_bytes,
+            mature_base=mature_vma.start, mature_size=wl.mature_bytes,
+        )
+        map_dir = self.session_dir / f"dom{domain.domain_id}" / "jit-maps"
+        agent = ViprofVmAgent(writer=CodeMapWriter(map_dir))
+
+        def resolver(image_name: str, symbol: str) -> tuple[int, int]:
+            for vma in proc.address_space:
+                if vma.kind is VmaKind.FILE and vma.image is not None:
+                    if vma.image.name == image_name:
+                        sym = vma.image.find_symbol(symbol)
+                        return vma.start + sym.offset, sym.size
+            raise ConfigError(f"{image_name!r} not mapped in {wl.name}")
+
+        machine = JikesVM(
+            boot=boot, boot_base=boot_vma.start, heap=heap, workload=wl,
+            native_resolver=resolver,
+            seed=spec.seed ^ (wl.seed << 8) ^ (domain.domain_id << 17),
+            hooks=agent,
+        )
+        guest = _Guest(
+            domain=domain, kernel=kernel, machine=machine, heap=heap,
+            boot=boot, agent=agent, map_dir=map_dir, vm_pid=proc.pid,
+            cache=StatisticalCacheModel(
+                CacheGeometry.paper_l2(),
+                seed=spec.seed ^ domain.domain_id,
+            ),
+            budget=wl.budget_cycles(time_scale),
+        )
+        guest.steps = machine.run()
+        return guest
+
+    # ------------------------------------------------------------------
+
+    def _handle_nmi(self, frame: InterruptFrame) -> int:
+        in_xen = self.hypervisor.is_xen_address(frame.pc)
+        guest = self.guests[self._current_domain]
+        self.buffer.append(
+            XenoSample(
+                raw=RawSample(
+                    pc=frame.pc,
+                    event_name=frame.event_name,
+                    task_id=frame.task_id,
+                    kernel_mode=frame.mode is CpuMode.KERNEL,
+                    cycle=frame.cycle,
+                    epoch=guest.machine.epoch,
+                ),
+                domain_id=self._current_domain,
+            ),
+            in_xen=in_xen,
+        )
+        return XEN_NMI_HANDLER_CYCLES
+
+    def _exec_xen(self, symbol: str, cycles: int) -> None:
+        pc = self.hypervisor.xen_pc(symbol)
+        sym = self.hypervisor.image.find_symbol(symbol)
+        counts = EventCounts(cycles=cycles, instructions=cycles // 2)
+        self.cpu.execute(
+            Quantum(pc_start=pc, code_len=sym.size, counts=counts,
+                    mode=CpuMode.KERNEL)
+        )
+
+    def _exec_guest_step(self, guest: _Guest, step: VmStep) -> None:
+        misses = 0
+        if step.working_set is not None and step.accesses > 0:
+            misses = guest.cache.misses_for(step.working_set, step.accesses)
+        counts = EventCounts(
+            cycles=step.cycles,
+            instructions=step.instructions,
+            l2_references=step.accesses,
+            l2_misses=misses,
+            branches=step.instructions // 6,
+        )
+        self.cpu.current_task_id = guest.vm_pid
+        self.cpu.execute(
+            Quantum(pc_start=step.pc, code_len=step.code_len, counts=counts)
+        )
+        guest.ledger.record(step.truth, step.cycles, misses)
+        if step.kind is not StepKind.AGENT:
+            guest.workload_cycles += step.cycles
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> MultiStackResult:
+        next_timer = XEN_TIMER_PERIOD
+        while True:
+            domain = self.vcpu_sched.pick()
+            if domain is None:
+                break
+            guest = self.guests[domain.domain_id]
+            self._current_domain = domain.domain_id
+
+            # World switch into the guest.
+            self._exec_xen("context_switch", Hypervisor.WORLD_SWITCH_CYCLES)
+            self.hypervisor.world_switches += 1
+
+            slice_end = self.cpu.cycle + self.vcpu_sched.slice_cycles
+            start = self.cpu.cycle
+            while (
+                self.cpu.cycle < slice_end
+                and guest.workload_cycles < guest.budget
+            ):
+                if self.cpu.cycle >= next_timer:
+                    self._exec_xen(
+                        "vmx_vmexit_handler", Hypervisor.TIMER_VMEXIT_CYCLES
+                    )
+                    self._exec_xen("pit_timer_fn", 140)
+                    next_timer += XEN_TIMER_PERIOD
+                    continue
+                self._exec_guest_step(guest, next(guest.steps))
+            self.vcpu_sched.charge(domain, self.cpu.cycle - start)
+
+            if guest.workload_cycles >= guest.budget and not domain.finished:
+                for step in guest.machine.finish():
+                    self._exec_guest_step(guest, step)
+                domain.finished = True
+
+        resolvers = {
+            did: DomainResolver(
+                kernel=g.kernel,
+                vm_task_id=g.vm_pid,
+                heap_bounds=g.heap.bounds,
+                codemaps=CodeMapIndex.load_dir(g.map_dir),
+                rvm_map=g.boot.rvm_map,
+            )
+            for did, g in self.guests.items()
+        }
+        return MultiStackResult(
+            hypervisor=self.hypervisor,
+            buffer=self.buffer,
+            report_builder=XenoProfReport(self.hypervisor, resolvers),
+            guests=self.guests,
+            wall_cycles=self.cpu.cycle,
+            session_dir=self.session_dir,
+            period=self.config.primary_period,
+        )

@@ -1,0 +1,150 @@
+"""The Xen-like hypervisor substrate.
+
+Xen occupies the top of the virtual address space, above even guest kernel
+space; guest-visible addresses never collide with it, so a sample PC alone
+distinguishes "hypervisor" from "inside some guest" — but *which* guest
+owns a guest-space PC is only known to the hypervisor's scheduler, which is
+exactly why XenoProf must tag samples with the running domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.os.binary import BinaryImage, Symbol
+
+__all__ = ["XEN_BASE", "Domain", "Hypervisor", "VcpuScheduler", "build_xen_image"]
+
+#: Hypervisor virtual base — above the guests' 0xC0000000 kernel space.
+XEN_BASE = 0xF800_0000
+
+#: Default VCPU time slice (cycles) — 30 ms at the simulated clock,
+#: Xen's credit-scheduler default.
+DEFAULT_VCPU_SLICE = 102_000
+
+_XEN_FUNCS: tuple[tuple[str, int], ...] = (
+    ("do_sched_op", 0x200),
+    ("csched_schedule", 0x400),
+    ("context_switch", 0x280),
+    ("vmx_vmexit_handler", 0x380),
+    ("do_event_channel_op", 0x220),
+    ("do_grant_table_op", 0x260),
+    ("evtchn_send", 0x120),
+    ("do_page_fault_xen", 0x300),
+    ("pit_timer_fn", 0x140),
+    ("xenoprof_handle_nmi", 0x1A0),
+    ("xenoprof_add_sample", 0x120),
+)
+
+
+def build_xen_image() -> BinaryImage:
+    """The hypervisor binary (``xen-syms``) with its symbol table."""
+    syms, off = [], 0x4000
+    for name, size in _XEN_FUNCS:
+        syms.append(Symbol(offset=off, size=size, name=name))
+        off += size + 32
+    return BinaryImage("xen-syms", 0x80_0000, syms)
+
+
+@dataclass
+class Domain:
+    """One guest domain.
+
+    Attributes:
+        domain_id: Xen domain id (0 is the privileged control domain).
+        name: domain name.
+        weight: credit-scheduler weight (relative CPU share).
+        cpu_cycles: cycles this domain has consumed.
+        finished: set by the engine when the guest's workload completes.
+    """
+
+    domain_id: int
+    name: str
+    weight: int = 256
+    cpu_cycles: int = 0
+    finished: bool = False
+
+    def __post_init__(self) -> None:
+        if self.domain_id < 0:
+            raise ConfigError("domain id must be non-negative")
+        if self.weight <= 0:
+            raise ConfigError("scheduler weight must be positive")
+
+
+class Hypervisor:
+    """Hypervisor state: image, domains, and cost accounting."""
+
+    #: cost of a world switch between domains (VMCS swap, TLB flush)
+    WORLD_SWITCH_CYCLES = 2_600
+    #: cost of servicing one timer VMEXIT
+    TIMER_VMEXIT_CYCLES = 420
+
+    def __init__(self) -> None:
+        self.image = build_xen_image()
+        self._domains: dict[int, Domain] = {}
+        self.world_switches = 0
+
+    def create_domain(self, name: str, weight: int = 256) -> Domain:
+        did = len(self._domains)
+        dom = Domain(domain_id=did, name=name, weight=weight)
+        self._domains[did] = dom
+        return dom
+
+    @property
+    def domains(self) -> tuple[Domain, ...]:
+        return tuple(self._domains.values())
+
+    def domain(self, domain_id: int) -> Domain:
+        try:
+            return self._domains[domain_id]
+        except KeyError:
+            raise ConfigError(f"no domain {domain_id}") from None
+
+    # -- hypervisor-space symbolization ---------------------------------
+
+    def is_xen_address(self, addr: int) -> bool:
+        return addr >= XEN_BASE
+
+    def xen_pc(self, symbol: str) -> int:
+        return XEN_BASE + self.image.find_symbol(symbol).offset
+
+    def resolve(self, addr: int) -> tuple[str, str]:
+        """Hypervisor PC → (image, symbol)."""
+        if not self.is_xen_address(addr):
+            raise ConfigError(f"{addr:#x} is not a hypervisor address")
+        return self.image.name, self.image.symbol_name_at(addr - XEN_BASE)
+
+
+class VcpuScheduler:
+    """Credit-style weighted round-robin over runnable domains."""
+
+    def __init__(self, hypervisor: Hypervisor, slice_cycles: int = DEFAULT_VCPU_SLICE):
+        if slice_cycles <= 0:
+            raise ConfigError("VCPU slice must be positive")
+        self.hypervisor = hypervisor
+        self.slice_cycles = slice_cycles
+        self._credits: dict[int, float] = {}
+
+    def pick(self) -> Domain | None:
+        """Choose the runnable domain with the most accumulated credit.
+
+        Credits accrue proportionally to weight and are burned when a
+        domain runs, yielding weighted fair sharing over time.
+        """
+        runnable = [d for d in self.hypervisor.domains if not d.finished]
+        if not runnable:
+            return None
+        for d in runnable:
+            self._credits[d.domain_id] = (
+                self._credits.get(d.domain_id, 0.0) + d.weight
+            )
+        best = max(
+            runnable,
+            key=lambda d: (self._credits[d.domain_id], -d.domain_id),
+        )
+        self._credits[best.domain_id] -= sum(d.weight for d in runnable)
+        return best
+
+    def charge(self, domain: Domain, cycles: int) -> None:
+        domain.cpu_cycles += cycles

@@ -1,0 +1,64 @@
+"""Tests for the analysis.accuracy scoring helpers."""
+
+import pytest
+
+from repro import oprofile_profile, viprof_profile
+from repro.analysis import (
+    sampleable_share,
+    score_oprofile_blindness,
+    score_viprof_accuracy,
+)
+from tests.conftest import make_tiny_workload
+
+
+@pytest.fixture(scope="module")
+def vrun(tmp_path_factory):
+    return viprof_profile(
+        make_tiny_workload(base_time_s=0.8), period=10_000,
+        session_dir=tmp_path_factory.mktemp("v"), noise=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def orun(tmp_path_factory):
+    return oprofile_profile(
+        make_tiny_workload(base_time_s=0.8), period=10_000,
+        session_dir=tmp_path_factory.mktemp("o"), noise=False,
+    )
+
+
+class TestSampleableShare:
+    def test_excludes_handler_cycles(self, vrun):
+        raw_total = vrun.ledger.total_cycles
+        share = sampleable_share(vrun, raw_total // 2)
+        assert share > 0.5  # denominator shrank by the handler cycles
+
+    def test_shares_sum_to_one(self, vrun):
+        total = sum(
+            sampleable_share(vrun, e.cycles)
+            for e in vrun.ledger.by_symbol.values()
+        )
+        handler = sampleable_share(vrun, vrun.cpu_stats.nmi_handler_cycles)
+        assert total == pytest.approx(1.0 + handler, rel=1e-6)
+
+
+class TestScoreViprof:
+    def test_score_fields(self, vrun):
+        score = score_viprof_accuracy(vrun)
+        assert score.jit_samples > 50
+        assert score.resolution_rate > 0.95
+        assert score.hot_methods_checked >= 1
+        assert 0.0 <= score.mean_share_error <= score.max_share_error
+        assert score.mean_share_error < 0.03
+
+    def test_threshold_controls_population(self, vrun):
+        strict = score_viprof_accuracy(vrun, hot_threshold=0.2)
+        loose = score_viprof_accuracy(vrun, hot_threshold=0.001)
+        assert loose.hot_methods_checked >= strict.hot_methods_checked
+
+
+class TestScoreBlindness:
+    def test_blind_share_close_to_truth(self, orun):
+        blind, true = score_oprofile_blindness(orun)
+        assert blind == pytest.approx(true, abs=0.06)
+        assert blind > 0.3  # JVM workloads live mostly in the blind zone

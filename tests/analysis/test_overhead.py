@@ -1,0 +1,59 @@
+"""Tests for overhead decomposition."""
+
+import pytest
+
+from repro import base_run, oprofile_profile, viprof_profile
+from repro.analysis import decompose_overhead
+from tests.conftest import make_tiny_workload
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    kw = dict(time_scale=1.0, seed=5, noise=False, background=False)
+    base = base_run(make_tiny_workload(base_time_s=0.3), **kw)
+    oprof = oprofile_profile(
+        make_tiny_workload(base_time_s=0.3), period=45_000,
+        session_dir=tmp_path_factory.mktemp("o"), **kw,
+    )
+    viprof = viprof_profile(
+        make_tiny_workload(base_time_s=0.3), period=45_000,
+        session_dir=tmp_path_factory.mktemp("v"), **kw,
+    )
+    return base, oprof, viprof
+
+
+class TestDecomposition:
+    def test_components_sum_to_slowdown(self, runs):
+        base, oprof, _ = runs
+        b = decompose_overhead(base, oprof)
+        reconstructed = (
+            b.nmi_pct + b.daemon_pct + b.agent_pct + b.residual_pct
+        )
+        assert reconstructed == pytest.approx(
+            100 * (b.slowdown - 1), rel=1e-6
+        )
+
+    def test_oprofile_has_no_agent_cost(self, runs):
+        base, oprof, _ = runs
+        b = decompose_overhead(base, oprof)
+        assert b.agent_cycles == 0
+        assert b.nmi_cycles > 0
+        assert b.daemon_cycles > 0
+
+    def test_viprof_agent_cost_positive(self, runs):
+        base, _, viprof = runs
+        b = decompose_overhead(base, viprof)
+        assert b.agent_cycles > 0
+
+    def test_viprof_daemon_cheaper_than_oprofile(self, runs):
+        """The paper's anon-path replacement, visible in the decomposition:
+        VIProf's daemon does strictly less work per JIT sample."""
+        base, oprof, viprof = runs
+        bo = decompose_overhead(base, oprof)
+        bv = decompose_overhead(base, viprof)
+        assert bv.daemon_cycles < bo.daemon_cycles
+
+    def test_format_row(self, runs):
+        base, oprof, _ = runs
+        txt = decompose_overhead(base, oprof).format_row()
+        assert "nmi" in txt and "daemon" in txt

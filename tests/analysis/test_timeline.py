@@ -1,0 +1,94 @@
+"""Tests for sample timelines and phase detection."""
+
+import pytest
+
+from repro.analysis.timeline import build_timeline
+from repro.errors import ConfigError
+from repro.profiling.model import RawSample, ResolvedSample
+
+
+def sample(cycle, symbol, image="JIT.App", event="GLOBAL_POWER_EVENTS"):
+    raw = RawSample(
+        pc=0x1000, event_name=event, task_id=1, kernel_mode=False,
+        cycle=cycle,
+    )
+    return ResolvedSample(raw=raw, image=image, symbol=symbol)
+
+
+class TestBuildTimeline:
+    def test_windows_partition_by_cycle(self):
+        samples = [sample(10, "a"), sample(110, "b"), sample(150, "b")]
+        tl = build_timeline(samples, window_cycles=100)
+        assert len(tl.windows) == 2
+        assert tl.windows[0].counts == {("JIT.App", "a"): 1}
+        assert tl.windows[1].counts == {("JIT.App", "b"): 2}
+
+    def test_empty_samples(self):
+        tl = build_timeline([], window_cycles=100)
+        assert tl.windows == []
+
+    def test_other_events_filtered(self):
+        samples = [sample(10, "a"), sample(20, "a", event="BSQ_CACHE_REFERENCE")]
+        tl = build_timeline(samples, window_cycles=100)
+        assert tl.windows[0].total == 1
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigError):
+            build_timeline([], window_cycles=0)
+
+    def test_dominant(self):
+        samples = [sample(10, "a"), sample(20, "b"), sample(30, "b")]
+        tl = build_timeline(samples, window_cycles=100)
+        assert tl.windows[0].dominant() == ("JIT.App", "b")
+
+
+class TestTransitions:
+    def test_phase_shift_detected(self):
+        samples = (
+            [sample(i * 10, "phase1") for i in range(10)]
+            + [sample(100 + i * 10, "phase2") for i in range(10)]
+        )
+        tl = build_timeline(samples, window_cycles=100)
+        assert tl.transitions(min_divergence=0.5) == [1]
+
+    def test_stable_behaviour_no_transitions(self):
+        samples = [sample(i * 10, "steady") for i in range(50)]
+        tl = build_timeline(samples, window_cycles=100)
+        assert tl.transitions() == []
+
+    def test_divergence_validation(self):
+        tl = build_timeline([sample(1, "a")], window_cycles=10)
+        with pytest.raises(ConfigError):
+            tl.transitions(min_divergence=0.0)
+
+    def test_partial_shift_below_threshold(self):
+        # 50/50 -> 60/40 is a small move; 50/50 -> 100/0 is a phase change.
+        w1 = [sample(i, "a") for i in range(5)] + [
+            sample(5 + i, "b") for i in range(5)
+        ]
+        w2 = [sample(100 + i, "a") for i in range(6)] + [
+            sample(110 + i, "b") for i in range(4)
+        ]
+        tl = build_timeline(w1 + w2, window_cycles=100)
+        assert tl.transitions(min_divergence=0.4) == []
+        assert tl.transitions(min_divergence=0.05) == [1]
+
+
+class TestEndToEndTimeline:
+    def test_phased_workload_shows_transitions(self, tmp_path):
+        """A multi-phase workload's VIProf timeline shows its phases."""
+        from repro import viprof_profile
+        from tests.conftest import make_tiny_workload
+
+        run = viprof_profile(
+            make_tiny_workload(base_time_s=0.8, phases=3), period=6_000,
+            session_dir=tmp_path, noise=False,
+        )
+        post = run.viprof_report().post
+        resolved = [post.resolve(s) for s in post.read_samples()]
+        tl = build_timeline(resolved, window_cycles=300_000)
+        assert len(tl.windows) >= 5
+        # Behaviour genuinely shifts across the run.
+        dominants = {d for d in tl.dominant_sequence() if d is not None}
+        assert len(dominants) >= 2
+        assert "window" in tl.format_table()

@@ -1,0 +1,96 @@
+"""Shared fixtures: small, fast workloads and assembled subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.memory import WorkingSet
+from repro.jvm.bootimage import build_boot_image
+from repro.jvm.heap import Heap
+from repro.jvm.model import JavaMethod, MethodId
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import SyntheticSpec, make_methods
+
+
+def make_tiny_methods(n: int = 6, seed: int = 3) -> list[JavaMethod]:
+    """A handful of hand-sized methods for unit tests."""
+    methods = []
+    for i in range(n):
+        methods.append(
+            JavaMethod(
+                mid=MethodId(class_name="test.app.Worker", method_name=f"m{i}"),
+                bytecode_size=100 + 30 * i,
+                weight=1.0 / (i + 1),
+                cycles_per_invocation=1500,
+                alloc_bytes_per_invocation=800,
+                accesses_per_invocation=200,
+                working_set=WorkingSet(
+                    base=0x7000_0000 + i * 0x10_0000,
+                    size=64 * 1024,
+                    seed=seed + i,
+                ),
+                callees=(max(0, i - 1),) if i else (),
+            )
+        )
+    return methods
+
+
+def make_tiny_workload(
+    name: str = "tiny", base_time_s: float = 0.05, n: int = 6, **kwargs
+) -> Workload:
+    defaults = dict(
+        survival_rate=0.1,
+        nursery_bytes=64 * 1024,
+        mature_bytes=2 * 1024 * 1024,
+        phases=2,
+        burst=(4, 12),
+        seed=13,
+    )
+    defaults.update(kwargs)
+    return Workload(
+        name=name,
+        base_time_s=base_time_s,
+        methods=make_tiny_methods(n),
+        **defaults,
+    )
+
+
+@pytest.fixture
+def tiny_workload() -> Workload:
+    return make_tiny_workload()
+
+
+@pytest.fixture
+def small_synthetic_workload() -> Workload:
+    """A generated population, bigger than tiny but still fast."""
+    spec = SyntheticSpec(
+        package="test.gen",
+        n_methods=40,
+        mean_cycles_per_invocation=1800,
+        alloc_bytes_per_kcycle=900,
+        data_bytes=4 * 1024 * 1024,
+        seed=21,
+    )
+    return Workload(
+        name="gen-small",
+        base_time_s=0.2,
+        methods=make_methods(spec),
+        nursery_bytes=128 * 1024,
+        mature_bytes=4 * 1024 * 1024,
+        seed=21,
+    )
+
+
+@pytest.fixture
+def boot_image():
+    return build_boot_image()
+
+
+@pytest.fixture
+def small_heap() -> Heap:
+    return Heap(
+        nursery_base=0x6080_0000,
+        nursery_size=64 * 1024,
+        mature_base=0x6100_0000,
+        mature_size=1024 * 1024,
+    )

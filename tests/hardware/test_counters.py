@@ -1,0 +1,155 @@
+"""Unit + property tests for the counter bank."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError, CounterError
+from repro.hardware.counters import CounterBank, CounterConfig, HardwareCounter
+from repro.hardware.events import (
+    BSQ_CACHE_REFERENCE,
+    GLOBAL_POWER_EVENTS,
+    INSTR_RETIRED,
+    EventCounts,
+)
+
+
+def cycles_config(period=90_000, **kw):
+    return CounterConfig(event=GLOBAL_POWER_EVENTS, period=period, **kw)
+
+
+class TestCounterConfig:
+    def test_negative_period_rejected(self):
+        with pytest.raises(ConfigError):
+            CounterConfig(event=GLOBAL_POWER_EVENTS, period=-5)
+
+    def test_below_event_minimum_rejected(self):
+        with pytest.raises(ConfigError):
+            CounterConfig(event=GLOBAL_POWER_EVENTS, period=100)
+
+    def test_must_count_some_mode(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            CounterConfig(
+                event=GLOBAL_POWER_EVENTS, period=90_000,
+                count_user=False, count_kernel=False,
+            )
+
+
+class TestHardwareCounter:
+    def test_initial_remaining_is_period(self):
+        c = HardwareCounter(config=cycles_config(90_000))
+        assert c.remaining == 90_000
+
+    def test_events_to_overflow_none_when_under(self):
+        c = HardwareCounter(config=cycles_config(90_000))
+        assert c.events_to_overflow(89_999) is None
+
+    def test_events_to_overflow_exact(self):
+        c = HardwareCounter(config=cycles_config(90_000))
+        assert c.events_to_overflow(90_000) == 90_000
+
+    def test_events_to_overflow_mid_quantum(self):
+        c = HardwareCounter(config=cycles_config(90_000))
+        c.consume(89_000)
+        assert c.events_to_overflow(5_000) == 1_000
+
+    def test_consume_counts_multiple_overflows(self):
+        c = HardwareCounter(config=cycles_config(90_000))
+        fired = c.consume(270_000)
+        assert fired == 3
+        assert c.remaining == 90_000
+
+    def test_consume_partial_then_overflow(self):
+        c = HardwareCounter(config=cycles_config(100_000))
+        assert c.consume(60_000) == 0
+        assert c.consume(60_000) == 1
+        assert c.remaining == 100_000 - 20_000
+
+    def test_negative_delta_rejected(self):
+        c = HardwareCounter(config=cycles_config())
+        with pytest.raises(CounterError):
+            c.consume(-1)
+        with pytest.raises(CounterError):
+            c.events_to_overflow(-1)
+
+    def test_reload(self):
+        c = HardwareCounter(config=cycles_config(90_000))
+        c.consume(10)
+        c.reload()
+        assert c.remaining == 90_000
+
+    def test_mode_filtering(self):
+        c = HardwareCounter(config=cycles_config(count_kernel=False))
+        assert c.counts_in_mode(kernel_mode=False)
+        assert not c.counts_in_mode(kernel_mode=True)
+
+    @given(
+        period=st.integers(min_value=3_000, max_value=1_000_000),
+        deltas=st.lists(st.integers(min_value=0, max_value=500_000), max_size=30),
+    )
+    def test_overflow_count_matches_arithmetic(self, period, deltas):
+        """Property: total overflows == floor(total_events / period) and the
+        live remainder is consistent."""
+        c = HardwareCounter(config=cycles_config(period))
+        fired = sum(c.consume(d) for d in deltas)
+        total = sum(deltas)
+        assert fired == total // period
+        assert c.remaining == period - (total % period)
+
+
+class TestCounterBank:
+    def test_program_and_len(self):
+        bank = CounterBank()
+        bank.program(cycles_config())
+        assert len(bank) == 1
+
+    def test_duplicate_event_rejected(self):
+        bank = CounterBank()
+        bank.program(cycles_config())
+        with pytest.raises(CounterError, match="already has a counter"):
+            bank.program(cycles_config(45_000))
+
+    def test_bank_capacity(self):
+        bank = CounterBank(num_counters=1)
+        bank.program(cycles_config())
+        with pytest.raises(CounterError, match="in use"):
+            bank.program(CounterConfig(event=INSTR_RETIRED, period=90_000))
+
+    def test_clear(self):
+        bank = CounterBank()
+        bank.program(cycles_config())
+        bank.clear()
+        assert len(bank) == 0
+
+    def test_first_overflow_none_when_quiet(self):
+        bank = CounterBank()
+        bank.program(cycles_config(90_000))
+        assert bank.first_overflow(EventCounts(cycles=100), False) is None
+
+    def test_first_overflow_picks_earliest_in_cycle_space(self):
+        bank = CounterBank()
+        bank.program(cycles_config(90_000))
+        bank.program(CounterConfig(event=BSQ_CACHE_REFERENCE, period=1_000))
+        # 2000 misses across 100_000 cycles: miss counter fires at miss
+        # 1000 == cycle 50_000; the cycle counter fires at cycle 90_000.
+        counts = EventCounts(cycles=100_000, l2_misses=2_000)
+        hit = bank.first_overflow(counts, kernel_mode=False)
+        assert hit is not None
+        counter, at_events, cyc_at = hit
+        assert counter.event is BSQ_CACHE_REFERENCE
+        assert at_events == 1_000
+        assert cyc_at == 50_000
+
+    def test_first_overflow_respects_mode(self):
+        bank = CounterBank()
+        bank.program(cycles_config(90_000, count_kernel=False))
+        counts = EventCounts(cycles=200_000)
+        assert bank.first_overflow(counts, kernel_mode=True) is None
+        assert bank.first_overflow(counts, kernel_mode=False) is not None
+
+    def test_consume_all_advances_every_counter(self):
+        bank = CounterBank()
+        c1 = bank.program(cycles_config(90_000))
+        c2 = bank.program(CounterConfig(event=BSQ_CACHE_REFERENCE, period=1_000))
+        bank.consume_all(EventCounts(cycles=10_000, l2_misses=100), False)
+        assert c1.remaining == 80_000
+        assert c2.remaining == 900

@@ -1,0 +1,66 @@
+"""Unit tests for the NMI line."""
+
+from repro.hardware.interrupts import CpuMode, InterruptFrame, NMILine
+
+
+def frame(pc=0x1000):
+    return InterruptFrame(
+        pc=pc, mode=CpuMode.USER, event_name="GLOBAL_POWER_EVENTS",
+        task_id=1000, cycle=123,
+    )
+
+
+class TestNMILine:
+    def test_unarmed_line_costs_nothing(self):
+        line = NMILine()
+        assert line.raise_nmi(frame()) == 0
+        assert line.delivered == 0
+
+    def test_handler_cost_returned(self):
+        line = NMILine()
+        line.register(lambda f: 1700)
+        assert line.raise_nmi(frame()) == 1700
+        assert line.delivered == 1
+
+    def test_handler_sees_frame(self):
+        line = NMILine()
+        seen = []
+        line.register(lambda f: seen.append(f) or 10)
+        line.raise_nmi(frame(pc=0xDEAD0))
+        assert seen[0].pc == 0xDEAD0
+        assert seen[0].mode is CpuMode.USER
+
+    def test_reentrant_nmi_dropped(self):
+        line = NMILine()
+
+        def reentrant_handler(f):
+            # An overflow inside the handler: delivery must be suppressed.
+            inner = line.raise_nmi(frame())
+            assert inner == 0
+            return 100
+
+        line.register(reentrant_handler)
+        assert line.raise_nmi(frame()) == 100
+        assert line.delivered == 1
+        assert line.dropped == 1
+
+    def test_unregister(self):
+        line = NMILine()
+        line.register(lambda f: 5)
+        line.unregister()
+        assert not line.armed
+        assert line.raise_nmi(frame()) == 0
+
+    def test_handler_exception_clears_in_handler_state(self):
+        line = NMILine()
+
+        def bad(f):
+            raise RuntimeError("boom")
+
+        line.register(bad)
+        try:
+            line.raise_nmi(frame())
+        except RuntimeError:
+            pass
+        line.register(lambda f: 7)
+        assert line.raise_nmi(frame()) == 7

@@ -1,0 +1,117 @@
+"""Accuracy validation: sampled profiles vs the simulator's ground truth.
+
+This is the quantitative version of the paper's Figure 1 claim — VIProf's
+per-symbol sample shares must converge to the true cycle shares, including
+for JIT code that stock OProfile cannot attribute at all.
+"""
+
+import pytest
+
+from repro import viprof_profile, oprofile_profile
+from repro.jvm.machine import JIT_APP_IMAGE_LABEL
+from repro.profiling.model import Layer
+from tests.conftest import make_tiny_workload
+
+
+@pytest.fixture(scope="module")
+def runs(tmp_path_factory):
+    wl_v = make_tiny_workload(base_time_s=1.5)
+    wl_o = make_tiny_workload(base_time_s=1.5)
+    v = viprof_profile(
+        wl_v, period=5_000,  # dense sampling for tight statistics
+        session_dir=tmp_path_factory.mktemp("v"), noise=False,
+    )
+    o = oprofile_profile(
+        wl_o, period=5_000,
+        session_dir=tmp_path_factory.mktemp("o"), noise=False,
+    )
+    return v, o
+
+
+def sampleable_share(run, cycles: int) -> float:
+    """True share of the cycles a sampler can actually see: NMI-handler
+    cycles run with sampling masked, so they never produce samples and
+    every other share inflates proportionally."""
+    total = run.ledger.total_cycles - run.cpu_stats.nmi_handler_cycles
+    return cycles / total
+
+
+class TestViprofAccuracy:
+    def test_resolution_rate_high(self, runs):
+        v, _ = runs
+        stats = v.viprof_report().jit_stats
+        assert stats.jit_samples > 100
+        assert stats.resolution_rate > 0.98
+
+    def test_hot_jit_methods_match_ground_truth(self, runs):
+        """For every method with >2% true cycle share, the VIProf sample
+        share must be within 2 percentage points (per-run sampling error at
+        this density)."""
+        v, _ = runs
+        report = v.viprof_report().report
+        truth = v.ledger
+        checked = 0
+        for (image, symbol), entry in truth.top_symbols(30):
+            if image != JIT_APP_IMAGE_LABEL:
+                continue
+            if truth.cycle_share((image, symbol)) < 0.02:
+                continue
+            true_share = sampleable_share(v, entry.cycles)
+            row = report.row_for(image, symbol)
+            assert row is not None, f"missing hot method {symbol}"
+            sampled = report.percent(row, "GLOBAL_POWER_EVENTS") / 100.0
+            assert sampled == pytest.approx(true_share, abs=0.025), symbol
+            checked += 1
+        assert checked >= 2
+
+    def test_layer_shares_match_ground_truth(self, runs):
+        v, _ = runs
+        report = v.viprof_report().report
+        truth = v.ledger
+        # JIT layer share via the report's image share.
+        sampled_jit = report.image_share(JIT_APP_IMAGE_LABEL)
+        true_jit = sampleable_share(v, truth.layer_cycles(Layer.APP_JIT))
+        assert sampled_jit == pytest.approx(true_jit, abs=0.04)
+
+    def test_miss_shares_tracked(self, runs):
+        v, _ = runs
+        report = v.viprof_report().report
+        truth = v.ledger
+        hot = max(
+            (k for k in truth.by_symbol if k[0] == JIT_APP_IMAGE_LABEL),
+            key=lambda k: truth.by_symbol[k].l2_misses,
+        )
+        row = report.row_for(*hot)
+        assert row is not None
+        sampled = (
+            row.count("BSQ_CACHE_REFERENCE")
+            / max(1, report.totals["BSQ_CACHE_REFERENCE"])
+        )
+        assert sampled == pytest.approx(truth.miss_share(hot), abs=0.08)
+
+
+class TestOprofileBlindness:
+    def test_oprofile_sees_no_jit_methods(self, runs):
+        _, o = runs
+        report = o.oprofile_report()
+        assert not any(r.image == JIT_APP_IMAGE_LABEL for r in report.rows)
+
+    def test_oprofile_anon_share_matches_true_jit_share(self, runs):
+        """Stock OProfile puts the samples in anonymous ranges — the volume
+        is right, the attribution is not."""
+        _, o = runs
+        report = o.oprofile_report()
+        anon_share = sum(
+            report.percent(r, "GLOBAL_POWER_EVENTS") / 100.0
+            for r in report.rows
+            if r.image.startswith("anon (range:")
+        )
+        true_jit = sampleable_share(o, o.ledger.layer_cycles(Layer.APP_JIT))
+        assert anon_share == pytest.approx(true_jit, abs=0.05)
+
+    def test_boot_image_unsymbolized_under_oprofile(self, runs):
+        _, o = runs
+        report = o.oprofile_report()
+        rvm_rows = [r for r in report.rows if r.image == "RVM.code.image"]
+        assert rvm_rows
+        assert all(r.symbol == "(no symbols)" for r in rvm_rows)

@@ -1,0 +1,63 @@
+"""Determinism: identical configuration => bit-identical results; seed and
+configuration changes => different (but valid) results."""
+
+from repro import base_run, viprof_profile
+from repro.profiling.samplefile import SampleFileReader
+from tests.conftest import make_tiny_workload
+
+
+def fingerprint(result):
+    return (
+        result.wall_cycles,
+        result.workload_cycles,
+        result.ledger.total_cycles,
+        result.ledger.total_misses,
+        tuple(sorted(
+            (k, e.cycles) for k, e in result.ledger.by_symbol.items()
+        )),
+    )
+
+
+class TestDeterminism:
+    def test_base_runs_identical(self):
+        a = base_run(make_tiny_workload(), seed=11)
+        b = base_run(make_tiny_workload(), seed=11)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_viprof_runs_identical_including_samples(self, tmp_path):
+        a = viprof_profile(
+            make_tiny_workload(), seed=11, session_dir=tmp_path / "a"
+        )
+        b = viprof_profile(
+            make_tiny_workload(), seed=11, session_dir=tmp_path / "b"
+        )
+        assert fingerprint(a) == fingerprint(b)
+        for f in sorted((tmp_path / "a" / "samples").glob("*.samples")):
+            sa = list(SampleFileReader(f))
+            sb = list(SampleFileReader(tmp_path / "b" / "samples" / f.name))
+            assert sa == sb
+
+    def test_code_maps_identical(self, tmp_path):
+        viprof_profile(make_tiny_workload(), seed=11, session_dir=tmp_path / "a")
+        viprof_profile(make_tiny_workload(), seed=11, session_dir=tmp_path / "b")
+        maps_a = sorted((tmp_path / "a" / "jit-maps").iterdir())
+        maps_b = sorted((tmp_path / "b" / "jit-maps").iterdir())
+        assert [p.name for p in maps_a] == [p.name for p in maps_b]
+        for pa, pb in zip(maps_a, maps_b):
+            assert pa.read_text() == pb.read_text()
+
+    def test_different_seed_changes_run(self):
+        a = base_run(make_tiny_workload(), seed=11)
+        b = base_run(make_tiny_workload(), seed=12)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_reports_identical(self, tmp_path):
+        a = viprof_profile(
+            make_tiny_workload(), seed=11, session_dir=tmp_path / "a"
+        )
+        b = viprof_profile(
+            make_tiny_workload(), seed=11, session_dir=tmp_path / "b"
+        )
+        ta = a.viprof_report().report.format_table()
+        tb = b.viprof_report().report.format_table()
+        assert ta == tb

@@ -1,0 +1,86 @@
+"""Unit tests for the adaptive optimization system."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.jvm.adaptive import AdaptiveSystem, RecompilationLadder
+from repro.jvm.compiler import CompilerTier
+
+
+class TestLadder:
+    def test_default_thresholds_increase(self):
+        l = RecompilationLadder()
+        assert l.opt0_at < l.opt1_at < l.opt2_at
+
+    def test_bad_ladder_rejected(self):
+        with pytest.raises(ConfigError):
+            RecompilationLadder(opt0_at=100, opt1_at=50, opt2_at=200)
+
+    def test_tier_for(self):
+        l = RecompilationLadder(opt0_at=10, opt1_at=100, opt2_at=1000)
+        assert l.tier_for(5) is CompilerTier.BASELINE
+        assert l.tier_for(10) is CompilerTier.OPT0
+        assert l.tier_for(999) is CompilerTier.OPT1
+        assert l.tier_for(10_000) is CompilerTier.OPT2
+
+
+class TestAdaptiveSystem:
+    def test_first_invocation_requests_baseline(self):
+        aos = AdaptiveSystem()
+        assert aos.record_invocations(0, 1) is CompilerTier.BASELINE
+
+    def test_no_recompile_until_threshold(self):
+        aos = AdaptiveSystem(ladder=RecompilationLadder(10, 100, 1000))
+        aos.record_invocations(0, 1)
+        aos.note_compiled(0, CompilerTier.BASELINE)
+        assert aos.record_invocations(0, 5) is None
+
+    def test_recompile_at_opt0_threshold(self):
+        aos = AdaptiveSystem(ladder=RecompilationLadder(10, 100, 1000))
+        aos.record_invocations(0, 1)
+        aos.note_compiled(0, CompilerTier.BASELINE)
+        assert aos.record_invocations(0, 9) is CompilerTier.OPT0
+
+    def test_big_burst_can_skip_tiers(self):
+        aos = AdaptiveSystem(ladder=RecompilationLadder(10, 100, 1000))
+        aos.record_invocations(0, 1)
+        aos.note_compiled(0, CompilerTier.BASELINE)
+        assert aos.record_invocations(0, 5000) is CompilerTier.OPT2
+
+    def test_never_downgrades(self):
+        aos = AdaptiveSystem(ladder=RecompilationLadder(10, 100, 1000))
+        aos.record_invocations(0, 1)
+        aos.note_compiled(0, CompilerTier.OPT2)
+        assert aos.record_invocations(0, 50) is None
+
+    def test_methods_tracked_independently(self):
+        aos = AdaptiveSystem(ladder=RecompilationLadder(10, 100, 1000))
+        aos.record_invocations(0, 1)
+        aos.note_compiled(0, CompilerTier.BASELINE)
+        assert aos.record_invocations(1, 1) is CompilerTier.BASELINE
+        assert aos.invocations(0) == 1
+        assert aos.invocations(1) == 1
+
+    def test_invocation_counts_accumulate(self):
+        aos = AdaptiveSystem()
+        aos.record_invocations(3, 7)
+        aos.record_invocations(3, 5)
+        assert aos.invocations(3) == 12
+
+    def test_positive_count_required(self):
+        aos = AdaptiveSystem()
+        with pytest.raises(ConfigError):
+            aos.record_invocations(0, 0)
+
+    def test_current_tier_tracking(self):
+        aos = AdaptiveSystem()
+        assert aos.current_tier(0) is None
+        aos.note_compiled(0, CompilerTier.OPT1)
+        assert aos.current_tier(0) is CompilerTier.OPT1
+
+    def test_recompilations_counted(self):
+        aos = AdaptiveSystem(ladder=RecompilationLadder(10, 100, 1000))
+        aos.record_invocations(0, 1)
+        aos.note_compiled(0, CompilerTier.BASELINE)
+        aos.record_invocations(0, 20)
+        assert aos.recompilations_requested == 2

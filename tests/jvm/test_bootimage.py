@@ -1,0 +1,80 @@
+"""Unit tests for the boot image and RVM.map."""
+
+import pytest
+
+from repro.errors import SymbolError
+from repro.jvm.bootimage import (
+    BOOT_IMAGE_NAME,
+    RvmMap,
+    RvmMapEntry,
+    VmActivity,
+    build_boot_image,
+)
+
+
+class TestBuildBootImage:
+    def test_image_is_stripped(self):
+        boot = build_boot_image()
+        assert boot.image.stripped
+        assert boot.image.name == BOOT_IMAGE_NAME
+
+    def test_map_covers_paper_symbols(self):
+        boot = build_boot_image()
+        for name in (
+            "com.ibm.jikesrvm.classloader.VM_NormalMethod.getOsrPrologueLength",
+            "com.ibm.jikesrvm.classloader.VM_NormalMethod.hasArrayRead",
+            "com.ibm.jikesrvm.opt.VM_OptCompiledMethod.createCodePatchMaps",
+            "com.ibm.jikesrvm.opt.VM_OptGenericGCMapIterator.checkForMissedSpills",
+            "com.ibm.jikesrvm.VM_MainThread.run",
+            "com.ibm.jikesrvm.classloader.VM_NormalMethod.finalizeOsrSpecialization",
+            "com.ibm.jikesrvm.opt.VM_OptMachineCodeMap.getMethodForMCOffset",
+            "java.util.Vector.trimToSize",
+        ):
+            boot.rvm_map.find(name)
+
+    def test_every_activity_has_entries(self):
+        boot = build_boot_image()
+        for act in VmActivity:
+            assert boot.entries_for(act)
+
+    def test_entries_within_image(self):
+        boot = build_boot_image()
+        for e in boot.rvm_map.entries:
+            assert 0 <= e.offset
+            assert e.offset + e.size <= boot.image.size
+
+    def test_map_resolution_roundtrip(self):
+        boot = build_boot_image()
+        for e in boot.rvm_map.entries:
+            assert boot.rvm_map.resolve(e.offset) is e
+            assert boot.rvm_map.resolve(e.offset + e.size - 1) is e
+
+    def test_gap_resolves_none(self):
+        boot = build_boot_image()
+        assert boot.rvm_map.resolve(0) is None
+
+    def test_deterministic(self):
+        a, b = build_boot_image(), build_boot_image()
+        assert [e.name for e in a.rvm_map.entries] == [
+            e.name for e in b.rvm_map.entries
+        ]
+
+
+class TestRvmMap:
+    def test_overlap_rejected(self):
+        with pytest.raises(SymbolError, match="overlap"):
+            RvmMap(
+                [
+                    RvmMapEntry(0x100, 0x80, "a"),
+                    RvmMapEntry(0x150, 0x40, "b"),
+                ]
+            )
+
+    def test_find_missing(self):
+        m = RvmMap([RvmMapEntry(0x100, 0x80, "a")])
+        with pytest.raises(SymbolError):
+            m.find("b")
+
+    def test_len(self):
+        m = RvmMap([RvmMapEntry(0x100, 0x80, "a")])
+        assert len(m) == 1

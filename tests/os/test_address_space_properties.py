@@ -1,0 +1,74 @@
+"""Property-based tests: address-space invariants under arbitrary map
+sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AddressSpaceError
+from repro.os.address_space import PAGE_SIZE, AddressSpace, VmaKind
+
+MAP_REQUESTS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 24),  # start
+        st.integers(min_value=1, max_value=1 << 18),  # size
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestAddressSpaceProperties:
+    @given(reqs=MAP_REQUESTS)
+    @settings(max_examples=60, deadline=None)
+    def test_no_two_vmas_overlap(self, reqs):
+        """However many maps succeed or fail, the installed VMAs never
+        overlap and stay sorted."""
+        space = AddressSpace()
+        for start, size in reqs:
+            try:
+                space.map(start, size, VmaKind.ANON)
+            except AddressSpaceError:
+                pass
+        vmas = list(space)
+        for a, b in zip(vmas, vmas[1:]):
+            assert a.end <= b.start
+
+    @given(reqs=MAP_REQUESTS, probe=st.integers(min_value=0, max_value=1 << 25))
+    @settings(max_examples=60, deadline=None)
+    def test_resolve_agrees_with_linear_scan(self, reqs, probe):
+        space = AddressSpace()
+        for start, size in reqs:
+            try:
+                space.map(start, size, VmaKind.ANON)
+            except AddressSpaceError:
+                pass
+        expected = next((v for v in space if v.contains(probe)), None)
+        assert space.resolve(probe) is expected
+
+    @given(reqs=MAP_REQUESTS)
+    @settings(max_examples=40, deadline=None)
+    def test_successful_maps_are_page_aligned_and_cover_request(self, reqs):
+        space = AddressSpace()
+        for start, size in reqs:
+            try:
+                v = space.map(start, size, VmaKind.ANON)
+            except AddressSpaceError:
+                continue
+            assert v.start % PAGE_SIZE == 0
+            assert v.end % PAGE_SIZE == 0
+            assert v.start <= start
+            assert v.end >= start + size
+
+    @given(reqs=MAP_REQUESTS)
+    @settings(max_examples=40, deadline=None)
+    def test_unmap_everything_empties_space(self, reqs):
+        space = AddressSpace()
+        installed = []
+        for start, size in reqs:
+            try:
+                installed.append(space.map(start, size, VmaKind.ANON))
+            except AddressSpaceError:
+                pass
+        for v in installed:
+            space.unmap(v)
+        assert len(space) == 0
+        assert space.resolve(reqs[0][0]) is None

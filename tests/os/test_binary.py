@@ -1,0 +1,94 @@
+"""Unit tests for binary images and symbol resolution."""
+
+import pytest
+
+from repro.errors import SymbolError
+from repro.os.binary import NO_SYMBOLS, BinaryImage, Symbol, standard_libraries
+
+
+class TestSymbol:
+    def test_validation(self):
+        with pytest.raises(SymbolError):
+            Symbol(offset=-1, size=10, name="x")
+        with pytest.raises(SymbolError):
+            Symbol(offset=0, size=0, name="x")
+
+    def test_contains(self):
+        s = Symbol(offset=0x100, size=0x40, name="f")
+        assert s.contains(0x100)
+        assert s.contains(0x13F)
+        assert not s.contains(0x140)
+        assert not s.contains(0xFF)
+
+
+class TestBinaryImage:
+    def test_symbol_at_exact(self):
+        img = BinaryImage("a.so", 0x1000, [Symbol(0x100, 0x40, "f")])
+        assert img.symbol_at(0x100).name == "f"
+        assert img.symbol_at(0x13F).name == "f"
+
+    def test_symbol_gap_returns_none(self):
+        img = BinaryImage(
+            "a.so", 0x1000,
+            [Symbol(0x100, 0x40, "f"), Symbol(0x200, 0x40, "g")],
+        )
+        assert img.symbol_at(0x180) is None
+
+    def test_out_of_image_returns_none(self):
+        img = BinaryImage("a.so", 0x1000, [Symbol(0x100, 0x40, "f")])
+        assert img.symbol_at(0x2000) is None
+        assert img.symbol_at(-1) is None
+
+    def test_symbol_name_at_stripped(self):
+        img = BinaryImage("stripped.so", 0x1000)
+        assert img.stripped
+        assert img.symbol_name_at(0x500) == NO_SYMBOLS
+
+    def test_overlapping_symbols_rejected(self):
+        with pytest.raises(SymbolError, match="overlap"):
+            BinaryImage(
+                "a.so", 0x1000,
+                [Symbol(0x100, 0x80, "f"), Symbol(0x150, 0x40, "g")],
+            )
+
+    def test_symbol_past_image_rejected(self):
+        with pytest.raises(SymbolError, match="past image size"):
+            BinaryImage("a.so", 0x100, [Symbol(0x80, 0x100, "f")])
+
+    def test_find_symbol(self):
+        img = BinaryImage("a.so", 0x1000, [Symbol(0x100, 0x40, "f")])
+        assert img.find_symbol("f").offset == 0x100
+        with pytest.raises(SymbolError):
+            img.find_symbol("nope")
+
+    def test_unsorted_input_sorted_internally(self):
+        img = BinaryImage(
+            "a.so", 0x1000,
+            [Symbol(0x200, 0x40, "g"), Symbol(0x100, 0x40, "f")],
+        )
+        assert img.symbol_at(0x110).name == "f"
+
+
+class TestStandardLibraries:
+    def test_paper_libraries_present(self):
+        names = {img.name for img in standard_libraries()}
+        assert "libc-2.3.2.so" in names
+        assert "libfb.so" in names
+        assert "libxul.so.0d" in names
+
+    def test_libxul_is_stripped(self):
+        libxul = next(
+            i for i in standard_libraries() if i.name.startswith("libxul")
+        )
+        assert libxul.stripped
+
+    def test_libc_has_memset(self):
+        libc = next(
+            i for i in standard_libraries() if i.name.startswith("libc")
+        )
+        assert libc.find_symbol("memset").size > 0
+
+    def test_libfb_has_figure1_symbols(self):
+        libfb = next(i for i in standard_libraries() if i.name == "libfb.so")
+        libfb.find_symbol("fbCopyAreammx")
+        libfb.find_symbol("fbCompositeSolidMask_nx8x8888mmx")

@@ -1,0 +1,79 @@
+"""Unit tests for the kernel: process table, kernel symbolization."""
+
+import pytest
+
+from repro.errors import AddressSpaceError
+from repro.os.binary import NO_SYMBOLS
+from repro.os.kernel import Kernel, build_vmlinux
+
+
+class TestVmlinux:
+    def test_contains_core_symbols(self):
+        img = build_vmlinux()
+        for name in ("schedule", "do_page_fault", "timer_interrupt",
+                     "oprofile_nmi_handler", "__switch_to"):
+            img.find_symbol(name)
+
+    def test_symbols_non_overlapping(self):
+        img = build_vmlinux()
+        syms = img.symbols
+        for a, b in zip(syms, syms[1:]):
+            assert a.end <= b.offset
+
+
+class TestProcessTable:
+    def test_spawn_unique_pids(self):
+        k = Kernel()
+        a, b = k.spawn("x"), k.spawn("y")
+        assert a.pid != b.pid
+        assert k.process(a.pid) is a
+        assert k.process(999999) is None
+
+    def test_processes_listing(self):
+        k = Kernel()
+        k.spawn("x")
+        k.spawn("y")
+        assert len(k.processes) == 2
+
+
+class TestKernelSymbolization:
+    def test_kernel_pc_roundtrip(self):
+        k = Kernel()
+        pc = k.kernel_pc("schedule")
+        assert k.is_kernel_address(pc)
+        image, sym = k.resolve_kernel(pc)
+        assert image == "vmlinux"
+        assert sym == "schedule"
+
+    def test_kernel_pc_with_offset(self):
+        k = Kernel()
+        pc = k.kernel_pc("do_page_fault", offset=0x10)
+        assert k.resolve_kernel(pc)[1] == "do_page_fault"
+
+    def test_kernel_pc_offset_clamped_to_symbol(self):
+        k = Kernel()
+        pc = k.kernel_pc("schedule", offset=10**9)
+        assert k.resolve_kernel(pc)[1] == "schedule"
+
+    def test_user_address_rejected(self):
+        k = Kernel()
+        with pytest.raises(AddressSpaceError):
+            k.resolve_kernel(0x0804_8000)
+
+    def test_unknown_kernel_offset_is_no_symbols(self):
+        k = Kernel()
+        image, sym = k.resolve_kernel(k.layout.kernel_base + 0x10)
+        assert sym == NO_SYMBOLS
+
+    def test_is_kernel_address_boundary(self):
+        k = Kernel()
+        assert not k.is_kernel_address(k.layout.kernel_base - 1)
+        assert k.is_kernel_address(k.layout.kernel_base)
+
+
+class TestActivities:
+    def test_standard_activities_resolve(self):
+        k = Kernel()
+        for act in k.standard_activities():
+            k.kernel_pc(act.symbol)
+            assert act.cycles > 0

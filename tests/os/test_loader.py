@@ -1,0 +1,82 @@
+"""Unit tests for the program loader and layout."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.os.address_space import AddressSpace, VmaKind
+from repro.os.binary import BinaryImage, standard_libraries
+from repro.os.loader import Layout, ProgramLoader
+
+
+def loader():
+    return ProgramLoader(AddressSpace())
+
+
+class TestLayout:
+    def test_default_ordering(self):
+        lay = Layout()
+        assert lay.exe_base < lay.lib_base < lay.anon_base < lay.kernel_base
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(LoaderError):
+            Layout(exe_base=0x50000000, lib_base=0x40000000)
+
+
+class TestProgramLoader:
+    def test_executable_at_classic_base(self):
+        l = loader()
+        v = l.load_executable(BinaryImage("app", 0x8000))
+        assert v.start == 0x0804_8000
+        assert v.kind is VmaKind.FILE
+
+    def test_libraries_stack_upwards_with_guard_pages(self):
+        l = loader()
+        libs = standard_libraries()
+        vmas = [l.load_library(img) for img in libs]
+        for a, b in zip(vmas, vmas[1:]):
+            assert b.start > a.end  # guard page between
+        assert vmas[0].start == Layout().lib_base
+
+    def test_anonymous_auto_placement(self):
+        l = loader()
+        a = l.map_anonymous(0x10000)
+        b = l.map_anonymous(0x10000)
+        assert a.start == Layout().anon_base
+        assert b.start > a.end
+        assert a.kind is VmaKind.ANON
+
+    def test_anonymous_explicit_placement(self):
+        l = loader()
+        v = l.map_anonymous(0x10000, at=0x7000_0000)
+        assert v.start == 0x7000_0000
+
+    def test_file_segment_at_fixed_address(self):
+        l = loader()
+        img = BinaryImage("RVM.code.image", 0x80000)
+        v = l.map_file_segment(img, at=0x6000_0000)
+        assert v.start == 0x6000_0000
+        assert v.image is img
+
+    def test_stack_below_kernel(self):
+        l = loader()
+        v = l.map_stack()
+        lay = Layout()
+        assert v.end == lay.stack_top
+        assert v.kind is VmaKind.STACK
+
+    def test_anonymous_exhaustion(self):
+        l = loader()
+        with pytest.raises(LoaderError, match="exhausted"):
+            l.map_anonymous(0x7000_0000)  # bigger than the anon region
+
+    def test_full_process_layout_resolves_everywhere(self):
+        space = AddressSpace()
+        l = ProgramLoader(space)
+        exe = l.load_executable(BinaryImage("app", 0x8000))
+        lib = l.load_library(standard_libraries()[0])
+        heap = l.map_anonymous(0x100000)
+        stack = l.map_stack()
+        assert space.resolve(exe.start + 4) is exe
+        assert space.resolve(lib.start + 4) is lib
+        assert space.resolve(heap.start + 4) is heap
+        assert space.resolve(stack.start + 4) is stack

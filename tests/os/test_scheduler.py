@@ -1,0 +1,105 @@
+"""Unit tests for the scheduler."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.os.process import Process
+from repro.os.scheduler import CONTEXT_SWITCH_CYCLES, Scheduler, Task, TaskState
+
+
+def task(pid, name="t", priority=10):
+    return Task(process=Process(pid=pid, name=name), priority=priority)
+
+
+class TestScheduler:
+    def test_single_runnable_picked_without_switch_cost(self):
+        s = Scheduler()
+        t = task(1)
+        s.add(t)
+        picked, cost = s.pick(0)
+        assert picked is t
+        assert cost == 0  # no previous task
+
+    def test_repeat_pick_same_task_no_switch(self):
+        s = Scheduler()
+        t = task(1)
+        s.add(t)
+        s.pick(0)
+        _, cost = s.pick(10)
+        assert cost == 0
+        assert s.context_switches == 0
+
+    def test_switch_cost_charged_on_change(self):
+        s = Scheduler()
+        a, b = task(1), task(2)
+        s.add(a)
+        s.add(b)
+        first, _ = s.pick(0)
+        second, cost = s.pick(1)
+        assert second is not first
+        assert cost == CONTEXT_SWITCH_CYCLES
+        assert s.context_switches == 1
+
+    def test_round_robin_fairness(self):
+        s = Scheduler()
+        a, b = task(1), task(2)
+        s.add(a)
+        s.add(b)
+        picks = [s.pick(i)[0].pid for i in range(6)]
+        assert picks.count(1) == 3
+        assert picks.count(2) == 3
+
+    def test_priority_preference(self):
+        s = Scheduler()
+        lo, hi = task(1, priority=10), task(2, priority=5)
+        s.add(lo)
+        s.add(hi)
+        assert s.pick(0)[0] is hi
+
+    def test_sleep_and_wake(self):
+        s = Scheduler()
+        t = task(1)
+        s.add(t)
+        s.sleep(t, until=100)
+        assert s.pick(50)[0] is None
+        picked, _ = s.pick(100)
+        assert picked is t
+        assert t.state is TaskState.RUNNABLE
+
+    def test_next_wake(self):
+        s = Scheduler()
+        a, b = task(1), task(2)
+        s.add(a)
+        s.add(b)
+        s.sleep(a, 500)
+        s.sleep(b, 200)
+        assert s.next_wake() == 200
+
+    def test_next_wake_none_when_all_runnable(self):
+        s = Scheduler()
+        s.add(task(1))
+        assert s.next_wake() is None
+
+    def test_exited_task_never_picked(self):
+        s = Scheduler()
+        t = task(1)
+        s.add(t)
+        s.remove(t)
+        assert s.pick(0)[0] is None
+        assert t not in s.tasks
+
+    def test_duplicate_pid_rejected(self):
+        s = Scheduler()
+        s.add(task(1))
+        with pytest.raises(ConfigError):
+            s.add(task(1))
+
+    def test_all_sleeping_returns_none(self):
+        s = Scheduler()
+        a, b = task(1), task(2)
+        s.add(a)
+        s.add(b)
+        s.sleep(a, 1000)
+        s.sleep(b, 2000)
+        picked, cost = s.pick(10)
+        assert picked is None and cost == 0

@@ -1,0 +1,83 @@
+"""Property-based tests for the scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.os.process import Process
+from repro.os.scheduler import Scheduler, Task, TaskState
+
+
+def make_tasks(priorities):
+    return [
+        Task(process=Process(pid=100 + i, name=f"t{i}"), priority=p)
+        for i, p in enumerate(priorities)
+    ]
+
+
+class TestSchedulerProperties:
+    @given(
+        priorities=st.lists(
+            st.integers(min_value=1, max_value=3), min_size=2, max_size=6
+        ),
+        n_picks=st.integers(min_value=20, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equal_priority_round_robin_is_fair(self, priorities, n_picks):
+        """Among always-runnable tasks of the best priority class, pick
+        counts never diverge by more than one."""
+        s = Scheduler()
+        tasks = make_tasks(priorities)
+        for t in tasks:
+            s.add(t)
+        counts = {t.pid: 0 for t in tasks}
+        for i in range(n_picks):
+            picked, _ = s.pick(i)
+            counts[picked.pid] += 1
+        best = min(priorities)
+        best_counts = [
+            counts[t.pid] for t in tasks if t.priority == best
+        ]
+        assert max(best_counts) - min(best_counts) <= 1
+        # Lower-priority tasks starve while better ones are runnable.
+        assert all(
+            counts[t.pid] == 0 for t in tasks if t.priority != best
+        )
+
+    @given(
+        sleeps=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # task index
+                st.integers(min_value=1, max_value=1000),  # wake deadline
+            ),
+            max_size=20,
+        ),
+        probe=st.integers(min_value=0, max_value=1500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sleeping_task_never_picked_early(self, sleeps, probe):
+        s = Scheduler()
+        tasks = make_tasks([5, 5, 5, 5])
+        for t in tasks:
+            s.add(t)
+        for idx, until in sleeps:
+            s.sleep(tasks[idx], until)
+        picked, _ = s.pick(probe)
+        if picked is not None:
+            assert not (
+                picked.state is TaskState.SLEEPING and picked.wake_at > probe
+            )
+            # Invariant: a picked task is runnable.
+            assert picked.state is TaskState.RUNNABLE
+
+    @given(
+        deadlines=st.lists(
+            st.integers(min_value=1, max_value=10_000), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_next_wake_is_minimum(self, deadlines):
+        s = Scheduler()
+        tasks = make_tasks([5] * len(deadlines))
+        for t, d in zip(tasks, deadlines):
+            s.add(t)
+            s.sleep(t, d)
+        assert s.next_wake() == min(deadlines)

@@ -1,0 +1,37 @@
+"""Integration test for the two-pass PGO experiment."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pgo import run_pgo_experiment
+from tests.conftest import make_tiny_workload
+
+
+@pytest.fixture(scope="module")
+def pgo_result():
+    return run_pgo_experiment(
+        lambda: make_tiny_workload(base_time_s=0.6, burst=(10, 30)),
+        time_scale=1.0,
+        period=30_000,
+        min_share=0.01,
+    )
+
+
+class TestPgoExperiment:
+    def test_factory_validation(self):
+        with pytest.raises(ConfigError):
+            run_pgo_experiment(lambda: "not a workload", time_scale=0.1)
+
+    def test_hot_set_found(self, pgo_result):
+        assert pgo_result.hot_methods > 0
+        assert pgo_result.pgo_compiles > 0
+        assert pgo_result.pgo_compiles <= pgo_result.hot_methods
+
+    def test_throughput_improves(self, pgo_result):
+        """Hot code running optimized from its first call must complete more
+        invocations within the same workload-cycle budget."""
+        assert pgo_result.throughput_gain > 1.0
+
+    def test_summary_format(self, pgo_result):
+        txt = pgo_result.format_summary()
+        assert "hot methods" in txt and "%" in txt

@@ -1,0 +1,82 @@
+"""Unit tests for profile-guided compilation decisions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.jvm.compiler import CompilerTier
+from repro.pgo.guided import PgoAdaptiveSystem, hot_method_names
+from repro.profiling.model import RawSample, ResolvedSample
+from repro.profiling.report import build_report
+from tests.conftest import make_tiny_methods
+
+
+def jit_sample(symbol):
+    raw = RawSample(
+        pc=0x6080_0000, event_name="GLOBAL_POWER_EVENTS", task_id=1,
+        kernel_mode=False, cycle=0,
+    )
+    return ResolvedSample(raw=raw, image="JIT.App", symbol=symbol)
+
+
+def other_sample(image, symbol):
+    raw = RawSample(
+        pc=0x4000_0000, event_name="GLOBAL_POWER_EVENTS", task_id=1,
+        kernel_mode=False, cycle=0,
+    )
+    return ResolvedSample(raw=raw, image=image, symbol=symbol)
+
+
+class TestHotMethodNames:
+    def test_extracts_hot_jit_methods_only(self):
+        samples = (
+            [jit_sample("app.A.hot")] * 50
+            + [jit_sample("app.A.cold")]
+            + [other_sample("RVM.map", "vm.Internal.method")] * 49
+        )
+        hot = hot_method_names(build_report(samples), min_share=0.05)
+        assert hot == {"app.A.hot"}
+
+    def test_threshold_validation(self):
+        rep = build_report([jit_sample("x")])
+        with pytest.raises(ConfigError):
+            hot_method_names(rep, min_share=0.0)
+
+    def test_empty_report(self):
+        rep = build_report([], events=("GLOBAL_POWER_EVENTS",))
+        assert hot_method_names(rep) == set()
+
+
+class TestPgoAdaptiveSystem:
+    def make_system(self, hot, tier=CompilerTier.OPT1):
+        s = PgoAdaptiveSystem(hot_names=frozenset(hot), direct_tier=tier)
+        s.bind_method_names(make_tiny_methods(3))
+        return s
+
+    def test_hot_method_compiled_directly_at_tier(self):
+        s = self.make_system({"test.app.Worker.m0"})
+        assert s.record_invocations(0, 1) is CompilerTier.OPT1
+        assert s.pgo_compiles == 1
+
+    def test_cold_method_follows_ladder(self):
+        s = self.make_system({"test.app.Worker.m0"})
+        assert s.record_invocations(1, 1) is CompilerTier.BASELINE
+        assert s.pgo_compiles == 0
+
+    def test_direct_tier_configurable(self):
+        s = self.make_system({"test.app.Worker.m2"}, tier=CompilerTier.OPT2)
+        assert s.record_invocations(2, 1) is CompilerTier.OPT2
+
+    def test_hot_method_can_still_climb_past_direct_tier(self):
+        s = self.make_system({"test.app.Worker.m0"})
+        s.record_invocations(0, 1)
+        s.note_compiled(0, CompilerTier.OPT1)
+        decision = s.record_invocations(0, s.ladder.opt2_at)
+        assert decision is CompilerTier.OPT2
+
+    def test_unprofiled_phase_still_works(self):
+        """Methods absent from the hot set behave exactly as the stock
+        ladder — a profiling run that missed a phase degrades gracefully."""
+        s = self.make_system(set())
+        assert s.record_invocations(0, 1) is CompilerTier.BASELINE
+        s.note_compiled(0, CompilerTier.BASELINE)
+        assert s.record_invocations(0, s.ladder.opt0_at) is CompilerTier.OPT0

@@ -1,0 +1,102 @@
+"""Unit tests for within-symbol annotation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.profiling.annotate import annotate_symbol
+from repro.profiling.model import RawSample, ResolvedSample
+
+
+def sample(offset, event="GLOBAL_POWER_EVENTS", image="a.so", symbol="f"):
+    raw = RawSample(
+        pc=0x1000 + max(0, offset), event_name=event, task_id=1,
+        kernel_mode=False, cycle=0,
+    )
+    return ResolvedSample(raw=raw, image=image, symbol=symbol, offset=offset)
+
+
+class TestAnnotateSymbol:
+    def test_bucketing(self):
+        samples = [sample(0), sample(5), sample(16), sample(40)]
+        ann = annotate_symbol(samples, "a.so", "f", bucket_bytes=16)
+        offsets = [r.offset for r in ann.rows]
+        assert offsets == [0, 16, 32]
+        assert ann.rows[0].count("GLOBAL_POWER_EVENTS") == 2
+
+    def test_non_matching_samples_skipped(self):
+        samples = [sample(0), sample(0, symbol="g"), sample(0, image="b.so")]
+        ann = annotate_symbol(samples, "a.so", "f")
+        assert ann.totals["GLOBAL_POWER_EVENTS"] == 1
+
+    def test_unknown_offsets_counted_separately(self):
+        samples = [sample(-1), sample(8)]
+        ann = annotate_symbol(samples, "a.so", "f")
+        assert ann.unknown_offset_samples == 1
+        assert len(ann.rows) == 1
+
+    def test_multi_event_columns(self):
+        samples = [sample(0), sample(0, event="BSQ_CACHE_REFERENCE")]
+        ann = annotate_symbol(samples, "a.so", "f")
+        assert ann.rows[0].count("BSQ_CACHE_REFERENCE") == 1
+
+    def test_bytecode_conversion(self):
+        samples = [sample(80)]
+        ann = annotate_symbol(samples, "a.so", "f", bucket_bytes=16, expansion=8)
+        assert ann.rows[0].bytecode_index == 80 // 8
+
+    def test_no_expansion_no_bytecode(self):
+        ann = annotate_symbol([sample(80)], "a.so", "f")
+        assert ann.rows[0].bytecode_index is None
+
+    def test_hottest(self):
+        samples = [sample(0)] + [sample(32)] * 3
+        ann = annotate_symbol(samples, "a.so", "f", bucket_bytes=16)
+        assert ann.hottest("GLOBAL_POWER_EVENTS").offset == 32
+        assert ann.hottest("BSQ_CACHE_REFERENCE") is None
+
+    def test_bucket_validation(self):
+        with pytest.raises(ConfigError):
+            annotate_symbol([], "a.so", "f", bucket_bytes=0)
+
+    def test_format_table(self):
+        ann = annotate_symbol([sample(0)], "a.so", "f", expansion=8)
+        txt = ann.format_table()
+        assert "a.so:f" in txt and "~bc 0" in txt
+
+
+class TestEndToEndAnnotation:
+    def test_opreport_annotate_kernel_symbol(self, tmp_path):
+        from repro import oprofile_profile
+        from tests.conftest import make_tiny_workload
+
+        run = oprofile_profile(
+            make_tiny_workload(base_time_s=0.4), period=10_000,
+            session_dir=tmp_path,
+        )
+        from repro.oprofile.opreport import OpReport
+
+        rep = OpReport(run.kernel, run.sample_dir)
+        ann = rep.annotate("libc-2.3.2.so", "memset", bucket_bytes=32)
+        assert ann.totals.get("GLOBAL_POWER_EVENTS", 0) >= 0
+        assert ann.unknown_offset_samples == 0
+
+    def test_viprof_annotate_jit_method(self, tmp_path):
+        from repro import viprof_profile
+        from tests.conftest import make_tiny_workload
+
+        run = viprof_profile(
+            make_tiny_workload(base_time_s=0.5), period=8_000,
+            session_dir=tmp_path,
+        )
+        vr = run.viprof_report()
+        # Pick the hottest JIT method from the report.
+        jit = next(
+            r for r in vr.report.sorted_rows() if r.image == "JIT.App"
+        )
+        ann = vr.post.annotate_jit(jit.symbol, bucket_bytes=32)
+        assert ann.rows, "hot JIT method produced no annotated buckets"
+        assert all(
+            r.bytecode_index is not None for r in ann.rows
+        ), "tier expansion should give bytecode indices"
+        # Offsets must lie inside the method body.
+        assert all(r.offset >= 0 for r in ann.rows)

@@ -1,0 +1,71 @@
+"""Unit tests for profile differencing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.profiling.diff import diff_reports
+from repro.profiling.model import RawSample, ResolvedSample
+from repro.profiling.report import build_report
+
+
+def resolved(symbol, image="JIT.App", event="GLOBAL_POWER_EVENTS"):
+    raw = RawSample(
+        pc=0x1000, event_name=event, task_id=1, kernel_mode=False, cycle=0
+    )
+    return ResolvedSample(raw=raw, image=image, symbol=symbol)
+
+
+def report(spec: dict[str, int]):
+    samples = []
+    for symbol, n in spec.items():
+        samples.extend([resolved(symbol)] * n)
+    return build_report(samples, events=("GLOBAL_POWER_EVENTS",))
+
+
+class TestDiffReports:
+    def test_deltas(self):
+        before = report({"a": 50, "b": 50})
+        after = report({"a": 80, "b": 20})
+        d = diff_reports(before, after)
+        rows = {r.symbol: r for r in d.rows}
+        assert rows["a"].delta == pytest.approx(30.0)
+        assert rows["b"].delta == pytest.approx(-30.0)
+
+    def test_appeared_and_vanished(self):
+        before = report({"a": 10})
+        after = report({"b": 10})
+        d = diff_reports(before, after)
+        assert [r.symbol for r in d.appeared()] == ["b"]
+        assert [r.symbol for r in d.vanished()] == ["a"]
+
+    def test_regressions_and_improvements(self):
+        before = report({"a": 10, "b": 90})
+        after = report({"a": 90, "b": 10})
+        d = diff_reports(before, after)
+        assert [r.symbol for r in d.regressions()] == ["a"]
+        assert [r.symbol for r in d.improvements()] == ["b"]
+
+    def test_sorted_by_absolute_delta(self):
+        before = report({"a": 50, "b": 45, "c": 5})
+        after = report({"a": 5, "b": 55, "c": 40})
+        d = diff_reports(before, after)
+        assert d.sorted_by_delta()[0].symbol == "a"
+
+    def test_no_common_event_rejected(self):
+        before = report({"a": 1})
+        after_samples = [resolved("a", event="BSQ_CACHE_REFERENCE")]
+        after = build_report(after_samples, events=("BSQ_CACHE_REFERENCE",))
+        with pytest.raises(ConfigError, match="share no event"):
+            diff_reports(before, after)
+
+    def test_explicit_missing_event_rejected(self):
+        with pytest.raises(ConfigError):
+            diff_reports(report({"a": 1}), report({"a": 1}), event="NOPE")
+
+    def test_format_table(self):
+        d = diff_reports(report({"a": 1}), report({"a": 1}))
+        assert "delta" in d.format_table()
+
+    def test_identical_reports_zero_delta(self):
+        d = diff_reports(report({"a": 3, "b": 1}), report({"a": 3, "b": 1}))
+        assert all(r.delta == 0.0 for r in d.rows)

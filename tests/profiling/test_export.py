@@ -1,0 +1,83 @@
+"""Tests for XML/CSV report export."""
+
+import csv
+import io
+from xml.etree import ElementTree as ET
+
+from repro.profiling.export import report_to_csv, report_to_xml
+from repro.profiling.model import RawSample, ResolvedSample
+from repro.profiling.report import build_report
+
+
+def resolved(image, symbol, event="GLOBAL_POWER_EVENTS"):
+    raw = RawSample(
+        pc=0x1000, event_name=event, task_id=1, kernel_mode=False, cycle=0
+    )
+    return ResolvedSample(raw=raw, image=image, symbol=symbol)
+
+
+def sample_report():
+    samples = (
+        [resolved("JIT.App", "app.Main.hot")] * 3
+        + [resolved("libc-2.3.2.so", "memset")]
+        + [resolved("JIT.App", "app.Main.hot", event="BSQ_CACHE_REFERENCE")]
+    )
+    return build_report(
+        samples, events=("GLOBAL_POWER_EVENTS", "BSQ_CACHE_REFERENCE")
+    )
+
+
+class TestXmlExport:
+    def test_well_formed_and_complete(self):
+        xml = report_to_xml(sample_report())
+        root = ET.fromstring(xml)
+        assert root.tag == "profile"
+        events = {e.get("name"): e.get("total") for e in root.find("events")}
+        assert events["GLOBAL_POWER_EVENTS"] == "4"
+        symbols = root.find("symbols").findall("symbol")
+        assert {s.get("name") for s in symbols} == {"app.Main.hot", "memset"}
+
+    def test_counts_and_percents(self):
+        root = ET.fromstring(report_to_xml(sample_report()))
+        hot = next(
+            s for s in root.find("symbols") if s.get("name") == "app.Main.hot"
+        )
+        counts = {c.get("event"): c for c in hot}
+        assert counts["GLOBAL_POWER_EVENTS"].get("samples") == "3"
+        assert counts["GLOBAL_POWER_EVENTS"].get("percent") == "75.0000"
+        assert counts["BSQ_CACHE_REFERENCE"].get("samples") == "1"
+
+    def test_zero_counts_omitted(self):
+        root = ET.fromstring(report_to_xml(sample_report()))
+        memset = next(
+            s for s in root.find("symbols") if s.get("name") == "memset"
+        )
+        assert len(memset) == 1  # only the time event
+
+    def test_special_characters_escaped(self):
+        rep = build_report([resolved("a<b>.so", 'f"&g')])
+        root = ET.fromstring(report_to_xml(rep))  # must not raise
+        sym = root.find("symbols").find("symbol")
+        assert sym.get("image") == "a<b>.so"
+        assert sym.get("name") == 'f"&g'
+
+
+class TestCsvExport:
+    def test_header_and_rows(self):
+        text = report_to_csv(sample_report())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][:2] == ["image", "symbol"]
+        assert "GLOBAL_POWER_EVENTS_samples" in rows[0]
+        assert rows[1][:2] == ["JIT.App", "app.Main.hot"]
+        assert rows[1][2] == "3"
+
+    def test_sorted_by_primary_event(self):
+        text = report_to_csv(sample_report())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[1][1] == "app.Main.hot"
+        assert rows[2][1] == "memset"
+
+    def test_empty_report(self):
+        rep = build_report([], events=("GLOBAL_POWER_EVENTS",))
+        rows = list(csv.reader(io.StringIO(report_to_csv(rep))))
+        assert len(rows) == 1

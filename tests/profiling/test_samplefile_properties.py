@@ -1,0 +1,47 @@
+"""Property-based round-trip tests for the sample-file format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.profiling.model import RawSample
+from repro.profiling.samplefile import SampleFileReader, SampleFileWriter
+
+SAMPLES = st.lists(
+    st.builds(
+        RawSample,
+        pc=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        event_name=st.just("GLOBAL_POWER_EVENTS"),
+        task_id=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        kernel_mode=st.booleans(),
+        cycle=st.integers(min_value=0, max_value=(1 << 63) - 1),
+        epoch=st.integers(min_value=-1, max_value=(1 << 31) - 1),
+    ),
+    max_size=50,
+)
+
+
+@given(samples=SAMPLES, period=st.integers(min_value=1, max_value=10**9))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_preserves_everything(tmp_path_factory, samples, period):
+    p = tmp_path_factory.mktemp("sf") / "t.samples"
+    with SampleFileWriter(p, "GLOBAL_POWER_EVENTS", period) as w:
+        for s in samples:
+            w.write(s)
+    r = SampleFileReader(p)
+    assert r.period == period
+    assert list(r) == samples
+    assert len(r) == len(samples)
+
+
+@given(
+    name=st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_event_name_roundtrip(tmp_path_factory, name):
+    p = tmp_path_factory.mktemp("sf") / "t.samples"
+    with SampleFileWriter(p, name, 1000):
+        pass
+    assert SampleFileReader(p).event_name == name

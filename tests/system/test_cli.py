@@ -1,0 +1,69 @@
+"""Tests for the viprof CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "pseudojbb" in out and "antlr" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "fop", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "JIT.App" in out
+        assert "% resolved" in out
+
+    def test_case_study(self, capsys):
+        assert main(["case-study", "--scale", "0.08", "--rows", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "=== VIProf ===" in out and "=== Oprofile ===" in out
+
+    def test_overhead_subset(self, capsys):
+        assert main(
+            ["overhead", "--benchmarks", "fop", "--scale", "0.08"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "VIProf 45K" in out and "Base time" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "fop", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "oprofile" in out and "viprof" in out and "agent" in out
+
+    def test_unknown_benchmark_errors(self):
+        with pytest.raises(Exception):
+            main(["report", "doom", "--scale", "0.1"])
+
+    def test_annotate(self, capsys):
+        assert main(["annotate", "fop", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "~bc" in out and "hottest bucket" in out
+
+    def test_diff(self, capsys):
+        assert main(
+            ["diff", "fop", "--scale", "0.1", "--period", "20000", "45000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out
+
+    def test_pgo(self, capsys):
+        assert main(["pgo", "fop", "--scale", "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "hot methods" in out
+
+    def test_xen(self, capsys):
+        assert main(["xen", "fop", "--scale", "0.08"]) == 0
+        out = capsys.readouterr().out
+        assert "world switches" in out and "dom0:" in out
+
+    def test_timeline(self, capsys):
+        assert main(
+            ["timeline", "fop", "--scale", "0.2", "--period", "20000",
+             "--window", "500000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase transitions" in out and "window" in out

@@ -1,0 +1,136 @@
+"""Tests for the full-system engine: assembly, accounting, profiler wiring."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.oprofile.opcontrol import OprofileConfig
+from repro.profiling.model import Layer
+from repro.system.engine import EngineConfig, ProfilerMode, SystemEngine
+from tests.conftest import make_tiny_workload
+
+
+def run(mode=ProfilerMode.NONE, tmp_path=None, **kw):
+    wl_kw = kw.pop("workload_kwargs", {})
+    wl = make_tiny_workload(base_time_s=0.15, **wl_kw)
+    cfg_kw = dict(mode=mode, seed=3)
+    if mode is not ProfilerMode.NONE:
+        cfg_kw["profile_config"] = OprofileConfig.paper_config(90_000)
+        cfg_kw["session_dir"] = tmp_path
+    cfg_kw.update(kw)
+    return SystemEngine(wl, EngineConfig(**cfg_kw)).run()
+
+
+class TestConfigValidation:
+    def test_profiled_mode_needs_config(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(mode=ProfilerMode.OPROFILE)
+
+    def test_bad_time_scale(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(time_scale=0)
+
+
+class TestBaseRun:
+    def test_budget_reached(self):
+        r = run()
+        assert r.workload_cycles >= r.budget_cycles
+        assert r.wall_cycles >= r.workload_cycles
+
+    def test_ledger_covers_all_layers(self):
+        r = run()
+        for layer in (Layer.APP_JIT, Layer.VM, Layer.NATIVE, Layer.KERNEL,
+                      Layer.OTHER):
+            assert r.ledger.layer_cycles(layer) > 0, layer
+
+    def test_no_profiler_artifacts(self):
+        r = run()
+        assert r.sample_dir is None
+        assert r.daemon_stats is None
+        assert r.agent_stats is None
+        assert r.ledger.layer_cycles(Layer.DAEMON) == 0
+        assert r.ledger.layer_cycles(Layer.AGENT) == 0
+
+    def test_seconds_conversion(self):
+        r = run()
+        assert r.seconds == pytest.approx(r.wall_cycles / 3_400_000)
+
+    def test_no_background_option(self):
+        r = run(background=False)
+        assert r.ledger.layer_cycles(Layer.OTHER) == 0
+
+    def test_deterministic_wall_cycles(self):
+        assert run().wall_cycles == run().wall_cycles
+
+
+class TestOprofileRun:
+    def test_samples_written(self, tmp_path):
+        r = run(ProfilerMode.OPROFILE, tmp_path)
+        assert r.sample_dir is not None
+        assert r.daemon_stats.samples_logged > 0
+        assert r.daemon_stats.jit_samples == 0  # stock daemon: no JIT path
+
+    def test_overhead_positive(self, tmp_path):
+        base = run(noise=False, background=False)
+        prof = run(ProfilerMode.OPROFILE, tmp_path, noise=False,
+                   background=False)
+        assert prof.slowdown_vs(base) > 1.0
+
+    def test_report_shows_anonymous_jit(self, tmp_path):
+        r = run(ProfilerMode.OPROFILE, tmp_path)
+        report = r.oprofile_report()
+        anon = [row for row in report.rows if row.image.startswith("anon")]
+        assert anon, "JIT samples should appear as anonymous ranges"
+
+    def test_viprof_report_unavailable(self, tmp_path):
+        r = run(ProfilerMode.OPROFILE, tmp_path)
+        with pytest.raises(ConfigError):
+            r.viprof_report()
+
+    def test_daemon_cycles_in_ledger(self, tmp_path):
+        r = run(ProfilerMode.OPROFILE, tmp_path)
+        assert r.ledger.layer_cycles(Layer.DAEMON) > 0
+        nmi = r.ledger.by_symbol.get(("vmlinux", "oprofile_nmi_handler"))
+        assert nmi is not None and nmi.cycles > 0
+
+
+class TestViprofRun:
+    def test_agent_and_maps(self, tmp_path):
+        r = run(ProfilerMode.VIPROF, tmp_path)
+        assert r.agent_stats.compiles_logged > 0
+        assert r.agent_stats.maps_written > 0
+        maps = list((tmp_path / "jit-maps").iterdir())
+        assert maps
+
+    def test_jit_samples_classified(self, tmp_path):
+        r = run(ProfilerMode.VIPROF, tmp_path)
+        assert r.daemon_stats.jit_samples > 0
+
+    def test_report_resolves_jit_methods(self, tmp_path):
+        r = run(ProfilerMode.VIPROF, tmp_path)
+        vr = r.viprof_report()
+        assert vr.jit_stats.jit_samples > 0
+        assert vr.jit_stats.resolution_rate > 0.9
+        jit_rows = [
+            row for row in vr.report.rows if row.image == "JIT.App"
+        ]
+        assert any(row.symbol.startswith("test.app") for row in jit_rows)
+
+    def test_agent_cycles_in_ledger(self, tmp_path):
+        r = run(ProfilerMode.VIPROF, tmp_path)
+        assert r.ledger.layer_cycles(Layer.AGENT) > 0
+
+    def test_epochs_stamped(self, tmp_path):
+        from repro.profiling.samplefile import SampleFileReader
+
+        r = run(ProfilerMode.VIPROF, tmp_path)
+        f = next((tmp_path / "samples").glob("*.samples"))
+        epochs = {s.epoch for s in SampleFileReader(f)}
+        assert -1 not in epochs
+        assert epochs
+
+    def test_callgraph_recorded_when_enabled(self, tmp_path):
+        r = run(ProfilerMode.VIPROF, tmp_path, record_callgraph=True)
+        assert r.callgraph is not None
+        ev = "GLOBAL_POWER_EVENTS"
+        assert r.callgraph.recorder.self_samples
+        assert r.callgraph.cross_layer_arcs(ev)

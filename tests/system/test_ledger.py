@@ -1,0 +1,63 @@
+"""Unit tests for the ground-truth ledger."""
+
+from repro.profiling.model import Layer, TruthLabel
+from repro.system.ledger import TruthLedger
+
+
+def label(layer=Layer.APP_JIT, image="JIT.App", symbol="a.B.m"):
+    return TruthLabel(layer=layer, image=image, symbol=symbol)
+
+
+class TestTruthLedger:
+    def test_record_accumulates(self):
+        l = TruthLedger()
+        l.record(label(), 100, 5)
+        l.record(label(), 50, 1)
+        e = l.by_symbol[("JIT.App", "a.B.m")]
+        assert e.cycles == 150 and e.l2_misses == 6
+        assert l.total_cycles == 150 and l.total_misses == 6
+
+    def test_layer_rollup(self):
+        l = TruthLedger()
+        l.record(label(Layer.APP_JIT), 100)
+        l.record(label(Layer.VM, "RVM.map", "x"), 60)
+        l.record(label(Layer.APP_JIT, symbol="other"), 40)
+        assert l.layer_cycles(Layer.APP_JIT) == 140
+        assert abs(l.layer_share(Layer.APP_JIT) - 0.7) < 1e-9
+        assert l.layer_share(Layer.KERNEL) == 0.0
+
+    def test_cycle_and_miss_share(self):
+        l = TruthLedger()
+        l.record(label(symbol="a"), 75, 3)
+        l.record(label(symbol="b"), 25, 1)
+        assert abs(l.cycle_share(("JIT.App", "a")) - 0.75) < 1e-9
+        assert abs(l.miss_share(("JIT.App", "a")) - 0.75) < 1e-9
+        assert l.cycle_share(("nope", "x")) == 0.0
+
+    def test_empty_ledger_shares(self):
+        l = TruthLedger()
+        assert l.cycle_share(("a", "b")) == 0.0
+        assert l.layer_share(Layer.VM) == 0.0
+        assert l.miss_share(("a", "b")) == 0.0
+
+    def test_idle_tracked_separately(self):
+        l = TruthLedger()
+        l.record(label(), 100)
+        l.record_idle(50)
+        assert l.idle_cycles == 50
+        assert l.total_cycles == 100
+
+    def test_top_symbols_sorted(self):
+        l = TruthLedger()
+        l.record(label(symbol="cold"), 10)
+        l.record(label(symbol="hot"), 1000)
+        l.record(label(symbol="warm"), 100)
+        top = l.top_symbols(2)
+        assert top[0][0] == ("JIT.App", "hot")
+        assert top[1][0] == ("JIT.App", "warm")
+
+    def test_format_table(self):
+        l = TruthLedger()
+        l.record(label(), 100, 10)
+        txt = l.format_table()
+        assert "JIT.App : a.B.m" in txt

@@ -1,0 +1,78 @@
+"""Tests for windowed profiling (opcontrol --start/--stop semantics)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.oprofile.opcontrol import OprofileConfig
+from repro.profiling.samplefile import SampleFileReader
+from repro.system.engine import EngineConfig, ProfilerMode, SystemEngine
+from tests.conftest import make_tiny_workload
+
+
+def run_windowed(tmp_path, window, mode=ProfilerMode.VIPROF):
+    cfg = EngineConfig(
+        mode=mode,
+        profile_config=OprofileConfig.paper_config(20_000),
+        session_dir=tmp_path,
+        seed=4,
+        noise=False,
+        profile_window=window,
+    )
+    return SystemEngine(make_tiny_workload(base_time_s=0.4), cfg).run()
+
+
+class TestWindowValidation:
+    @pytest.mark.parametrize("window", [(-0.1, 1.0), (0.5, 0.5), (0.2, 1.2)])
+    def test_bad_windows_rejected(self, window):
+        with pytest.raises(ConfigError, match="profile_window"):
+            EngineConfig(profile_window=window)
+
+
+class TestWindowedRun:
+    def test_full_window_is_default_behaviour(self, tmp_path):
+        full = run_windowed(tmp_path / "full", (0.0, 1.0))
+        assert full.daemon_stats.samples_logged > 0
+
+    def test_samples_restricted_to_window(self, tmp_path):
+        """A (0.4, 0.7) window's samples must span roughly the middle of
+        the run and be proportionally fewer than a full profile's."""
+        full = run_windowed(tmp_path / "full", (0.0, 1.0))
+        mid = run_windowed(tmp_path / "mid", (0.4, 0.7))
+        n_full = full.daemon_stats.samples_logged
+        n_mid = mid.daemon_stats.samples_logged
+        assert 0 < n_mid < n_full
+        assert n_mid == pytest.approx(n_full * 0.3, rel=0.5)
+        cycles = [
+            s.cycle
+            for p in (tmp_path / "mid" / "samples").glob("*.samples")
+            for s in SampleFileReader(p)
+        ]
+        assert min(cycles) > 0.25 * mid.wall_cycles
+        assert max(cycles) < 0.85 * mid.wall_cycles
+
+    def test_windowed_overhead_lower(self, tmp_path):
+        from repro.system.api import base_run
+
+        base = base_run(
+            make_tiny_workload(base_time_s=0.4), seed=4, noise=False
+        )
+        full = run_windowed(tmp_path / "f", (0.0, 1.0))
+        narrow = run_windowed(tmp_path / "n", (0.45, 0.55))
+        assert narrow.slowdown_vs(base) < full.slowdown_vs(base)
+
+    def test_late_attach_report_still_resolves(self, tmp_path):
+        """Attaching after warm-up: samples mostly hit code compiled before
+        profiling began — only backward traversal plus the final map flush
+        make them resolvable."""
+        late = run_windowed(tmp_path / "late", (0.5, 1.0))
+        vr = late.viprof_report()
+        assert vr.jit_stats.jit_samples > 0
+        assert vr.jit_stats.resolution_rate > 0.9
+
+    def test_oprofile_windowed(self, tmp_path):
+        mid = run_windowed(
+            tmp_path / "om", (0.3, 0.6), mode=ProfilerMode.OPROFILE
+        )
+        assert mid.daemon_stats.samples_logged > 0
+        report = mid.oprofile_report()
+        assert report.totals["GLOBAL_POWER_EVENTS"] > 0

@@ -1,0 +1,86 @@
+"""Tests for the ablation switches (DESIGN.md §5).
+
+Each ablation must (a) still produce a working profiler and (b) move the
+cost/accuracy needle in the direction the paper's design argument predicts.
+"""
+
+import pytest
+
+from repro import viprof_profile
+from tests.conftest import make_tiny_workload
+
+
+def profiled(tmp_path, name, **engine_flags):
+    from repro.oprofile.opcontrol import OprofileConfig
+    from repro.system.engine import EngineConfig, ProfilerMode, SystemEngine
+
+    cfg = EngineConfig(
+        mode=ProfilerMode.VIPROF,
+        profile_config=OprofileConfig.paper_config(45_000),
+        session_dir=tmp_path / name,
+        seed=3,
+        noise=False,
+        background=False,
+        **engine_flags,
+    )
+    return SystemEngine(make_tiny_workload(base_time_s=0.4), cfg).run()
+
+
+class TestFullMapRewrite:
+    def test_costs_more_and_writes_more_records(self, tmp_path):
+        paper = profiled(tmp_path, "paper")
+        full = profiled(tmp_path, "full", viprof_full_maps=True)
+        assert full.agent_stats.records_written > paper.agent_stats.records_written
+        from repro.profiling.model import Layer
+
+        assert (
+            full.ledger.layer_cycles(Layer.AGENT)
+            > paper.ledger.layer_cycles(Layer.AGENT)
+        )
+
+    def test_full_maps_still_resolve(self, tmp_path):
+        full = profiled(tmp_path, "full2", viprof_full_maps=True)
+        stats = full.viprof_report().jit_stats
+        assert stats.resolution_rate > 0.9
+
+
+class TestEagerMoveLogging:
+    def test_gc_path_cost_increases(self, tmp_path):
+        paper = profiled(tmp_path, "paper3")
+        eager = profiled(tmp_path, "eager", viprof_eager_move_log=True)
+        from repro.profiling.model import Layer
+
+        # Same moves, but each one now pays the call-out-of-GC price.
+        assert (
+            eager.ledger.layer_cycles(Layer.AGENT)
+            > paper.ledger.layer_cycles(Layer.AGENT)
+        )
+
+    def test_eager_logging_still_resolves(self, tmp_path):
+        eager = profiled(tmp_path, "eager2", viprof_eager_move_log=True)
+        assert eager.viprof_report().jit_stats.resolution_rate > 0.9
+
+
+class TestAnonPathAblation:
+    def test_daemon_pays_anon_costs(self, tmp_path):
+        paper = profiled(tmp_path, "paper4")
+        anon = profiled(tmp_path, "anon", viprof_anon_path=True)
+        assert paper.daemon_stats.jit_samples > 0
+        assert anon.daemon_stats.jit_samples == 0
+        assert anon.daemon_stats.anon_samples > 0
+
+    def test_post_processing_unaffected(self, tmp_path):
+        """Resolution works either way — the fast path is purely a runtime
+        cost optimization (epochs are stamped at NMI time)."""
+        anon = profiled(tmp_path, "anon2", viprof_anon_path=True)
+        assert anon.viprof_report().jit_stats.resolution_rate > 0.9
+
+
+class TestBackwardTraversalAblation:
+    def test_own_epoch_only_loses_samples(self, tmp_path):
+        run = profiled(tmp_path, "bt")
+        with_bt = run.viprof_report(backward_traversal=True).jit_stats
+        without = run.viprof_report(backward_traversal=False).jit_stats
+        assert without.unresolved > with_bt.unresolved
+        assert without.resolution_rate < with_bt.resolution_rate
+        assert with_bt.resolution_rate > 0.95

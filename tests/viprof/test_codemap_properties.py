@@ -1,0 +1,100 @@
+"""Property-based tests for code-map resolution.
+
+The central correctness claim of the paper's epoch scheme: for any history
+of compilations and moves, resolving (epoch, address) through the partial
+maps returns exactly the method that occupied that address during that
+epoch.  We build random histories with a simple allocator oracle and check
+the maps against the oracle.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.viprof.codemap import CodeMap, CodeMapIndex, CodeMapRecord, CodeMapWriter
+
+SIZE = 0x100
+
+# A history is a list of epochs; each epoch is a list of (slot, method_tag)
+# placements meaning "method_tag now occupies slot".  Slots model
+# addresses; a later placement of a slot supersedes earlier ones.
+HISTORIES = st.lists(  # epochs
+    st.lists(  # placements within the epoch
+        st.tuples(
+            st.integers(min_value=0, max_value=15),  # slot
+            st.integers(min_value=0, max_value=30),  # method tag
+        ),
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def addr_of(slot: int) -> int:
+    return 0x6080_0000 + slot * SIZE
+
+
+def build(tmp_path, history):
+    """Write one partial map per epoch containing exactly that epoch's
+    placements (later placements of the same slot within an epoch win),
+    and build the oracle: occupancy[epoch][slot] = tag."""
+    writer = CodeMapWriter(tmp_path)
+    occupancy: list[dict[int, int]] = []
+    current: dict[int, int] = {}
+    for epoch, placements in enumerate(history):
+        epoch_final: dict[int, int] = {}
+        for slot, tag in placements:
+            epoch_final[slot] = tag
+        current = {**current, **epoch_final}
+        occupancy.append(dict(current))
+        records = [
+            CodeMapRecord(
+                address=addr_of(slot), size=SIZE, tier="O0", name=f"m{tag}"
+            )
+            for slot, tag in epoch_final.items()
+        ]
+        writer.write(epoch, records)
+    return CodeMapIndex.load_dir(tmp_path), occupancy
+
+
+class TestResolutionOracle:
+    @given(history=HISTORIES, slot=st.integers(min_value=0, max_value=15),
+           query_epoch=st.integers(min_value=0, max_value=9))
+    @settings(max_examples=120, deadline=None)
+    def test_resolution_matches_oracle(self, tmp_path_factory, history, slot,
+                                       query_epoch):
+        tmp = tmp_path_factory.mktemp("maps")
+        idx, occupancy = build(tmp, history)
+        e = min(query_epoch, len(history) - 1)
+        expected = occupancy[e].get(slot)
+        hit = idx.resolve(e, addr_of(slot) + 0x10)
+        if expected is None:
+            assert hit is None
+        else:
+            record, found_epoch = hit
+            assert record.name == f"m{expected}"
+            assert found_epoch <= e
+
+    @given(history=HISTORIES)
+    @settings(max_examples=60, deadline=None)
+    def test_found_epoch_is_most_recent_placement(self, tmp_path_factory,
+                                                  history):
+        tmp = tmp_path_factory.mktemp("maps")
+        idx, occupancy = build(tmp, history)
+        last = len(history) - 1
+        for slot, tag in occupancy[last].items():
+            record, found_epoch = idx.resolve(last, addr_of(slot))
+            # The epoch where it was found must contain that exact record.
+            cm = idx.map_for(found_epoch)
+            assert cm is not None
+            assert cm.lookup(addr_of(slot)).name == record.name
+
+    @given(history=HISTORIES)
+    @settings(max_examples=60, deadline=None)
+    def test_per_epoch_maps_never_overlap(self, tmp_path_factory, history):
+        tmp = tmp_path_factory.mktemp("maps")
+        idx, _ = build(tmp, history)
+        for e in idx.epochs:
+            cm = idx.map_for(e)
+            recs = cm.records
+            for a, b in zip(recs, recs[1:]):
+                assert a.end <= b.address

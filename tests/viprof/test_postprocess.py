@@ -1,0 +1,156 @@
+"""Unit tests for VIProf post-processing: code-map resolution of JIT
+samples, boot-image symbolization, fall-through to stock behaviour."""
+
+import pytest
+
+from repro.jvm.bootimage import RVM_MAP_IMAGE_LABEL, build_boot_image
+from repro.jvm.machine import JIT_APP_IMAGE_LABEL
+from repro.oprofile.kmodule import OprofileKernelModule
+from repro.oprofile.opcontrol import EventSpec, OprofileConfig
+from repro.os.binary import standard_libraries
+from repro.os.kernel import Kernel
+from repro.os.loader import ProgramLoader
+from repro.profiling.model import RawSample
+from repro.viprof.codemap import CodeMapIndex, CodeMapRecord, CodeMapWriter
+from repro.viprof.postprocess import UNRESOLVED_JIT, ViprofReport
+from repro.viprof.runtime_profiler import ViprofRuntimeProfiler
+
+
+def config():
+    return OprofileConfig(events=(EventSpec("GLOBAL_POWER_EVENTS", 90_000),))
+
+
+@pytest.fixture
+def rig(tmp_path):
+    kernel = Kernel()
+    proc = kernel.spawn("JikesRVM")
+    loader = ProgramLoader(proc.address_space)
+    libc_vma = loader.load_library(standard_libraries()[0])
+    boot = build_boot_image()
+    boot_vma = loader.map_file_segment(boot.image, at=0x6000_0000)
+    heap_vma = loader.map_anonymous(0x200000, at=boot_vma.end + 0x1000)
+
+    km = OprofileKernelModule(config())
+    sample_dir = tmp_path / "samples"
+    rp = ViprofRuntimeProfiler(kernel, km, config(), sample_dir)
+    rp.register_vm(proc.pid, (heap_vma.start, heap_vma.end), lambda: 0)
+    rp.start()
+
+    map_dir = tmp_path / "maps"
+    writer = CodeMapWriter(map_dir)
+    # Epoch 0: method A at heap start; epoch 1: A moved up.
+    a0 = heap_vma.start + 0x100
+    a1 = heap_vma.start + 0x8000
+    writer.write(0, [CodeMapRecord(a0, 0x200, "O0", "app.Main.hot")])
+    writer.write(1, [CodeMapRecord(a1, 0x200, "O1", "app.Main.hot")])
+
+    def add(pc, epoch=-1, kernel_mode=False, task=proc.pid):
+        km.buffer.append(
+            RawSample(
+                pc=pc, event_name="GLOBAL_POWER_EVENTS", task_id=task,
+                kernel_mode=kernel_mode, cycle=0, epoch=epoch,
+            )
+        )
+
+    return {
+        "kernel": kernel, "proc": proc, "libc": libc_vma, "boot": boot,
+        "boot_vma": boot_vma, "heap": heap_vma, "km": km, "rp": rp,
+        "writer": writer, "add": add, "sample_dir": sample_dir,
+        "map_dir": map_dir, "a0": a0, "a1": a1,
+    }
+
+
+def build_report_obj(rig):
+    rig["rp"].stop()
+    return ViprofReport(
+        kernel=rig["kernel"],
+        sample_dir=rig["sample_dir"],
+        codemaps=CodeMapIndex.load_dir(rig["map_dir"]),
+        rvm_map=rig["boot"].rvm_map,
+        registrations=rig["rp"].registrations,
+    )
+
+
+class TestJitResolution:
+    def test_jit_sample_resolves_via_epoch_map(self, rig):
+        rig["add"](rig["a0"] + 0x10, epoch=0)
+        rig["km"].buffer and rig["rp"].wakeup()
+        post = build_report_obj(rig)
+        report = post.generate()
+        row = report.row_for(JIT_APP_IMAGE_LABEL, "app.Main.hot")
+        assert row is not None
+        assert post.jit_stats.resolved_in_own_epoch == 1
+
+    def test_moved_method_resolves_in_both_epochs(self, rig):
+        rig["add"](rig["a0"] + 0x10, epoch=0)
+        rig["add"](rig["a1"] + 0x10, epoch=1)
+        rig["rp"].wakeup()
+        post = build_report_obj(rig)
+        report = post.generate()
+        row = report.row_for(JIT_APP_IMAGE_LABEL, "app.Main.hot")
+        assert row.count("GLOBAL_POWER_EVENTS") == 2
+
+    def test_backward_traversal_for_unmoved_method(self, rig):
+        # Sample in epoch 1 at the epoch-0 address: map 1 misses, map 0 hits.
+        rig["add"](rig["a0"] + 0x10, epoch=1)
+        rig["rp"].wakeup()
+        post = build_report_obj(rig)
+        post.generate()
+        assert post.jit_stats.resolved_in_earlier_epoch == 1
+
+    def test_unresolvable_jit_sample_reported(self, rig):
+        rig["add"](rig["heap"].start + 0x100000, epoch=1)
+        rig["rp"].wakeup()
+        post = build_report_obj(rig)
+        report = post.generate()
+        assert report.row_for(JIT_APP_IMAGE_LABEL, UNRESOLVED_JIT) is not None
+        assert post.jit_stats.unresolved == 1
+        assert post.jit_stats.resolution_rate < 1.0
+
+
+class TestBootImageResolution:
+    def test_boot_sample_resolves_via_rvm_map(self, rig):
+        entry = rig["boot"].rvm_map.find("com.ibm.jikesrvm.VM_MainThread.run")
+        rig["add"](rig["boot_vma"].start + entry.offset + 4)
+        rig["rp"].wakeup()
+        report = build_report_obj(rig).generate()
+        row = report.row_for(
+            RVM_MAP_IMAGE_LABEL, "com.ibm.jikesrvm.VM_MainThread.run"
+        )
+        assert row is not None
+
+    def test_boot_gap_reports_no_symbols(self, rig):
+        rig["add"](rig["boot_vma"].start + 4)  # before the first map entry
+        rig["rp"].wakeup()
+        report = build_report_obj(rig).generate()
+        assert any(
+            r.image == RVM_MAP_IMAGE_LABEL and r.symbol == "(no symbols)"
+            for r in report.rows
+        )
+
+
+class TestFallThrough:
+    def test_libc_sample_resolves_normally(self, rig):
+        libc = rig["libc"].image
+        off = libc.find_symbol("memset").offset
+        rig["add"](rig["libc"].start + off)
+        rig["rp"].wakeup()
+        report = build_report_obj(rig).generate()
+        assert report.row_for("libc-2.3.2.so", "memset") is not None
+
+    def test_kernel_sample_resolves_normally(self, rig):
+        rig["add"](
+            rig["kernel"].kernel_pc("do_page_fault"), kernel_mode=True
+        )
+        rig["rp"].wakeup()
+        report = build_report_obj(rig).generate()
+        assert report.row_for("vmlinux", "do_page_fault") is not None
+
+    def test_other_task_heap_address_not_jit(self, rig):
+        other = rig["kernel"].spawn("other")
+        oloader = ProgramLoader(other.address_space)
+        rig["add"](rig["a0"], task=other.pid)
+        rig["rp"].wakeup()
+        post = build_report_obj(rig)
+        post.generate()
+        assert post.jit_stats.jit_samples == 0

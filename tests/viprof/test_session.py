@@ -1,0 +1,64 @@
+"""Unit tests for the ViprofSession wiring."""
+
+import pytest
+
+from repro.errors import ProfilerError
+from repro.hardware.cpu import CPU
+from repro.oprofile.opcontrol import OprofileConfig
+from repro.os.kernel import Kernel
+from repro.viprof.session import ViprofSession
+
+
+def make_session(tmp_path):
+    return ViprofSession(
+        Kernel(), OprofileConfig.paper_config(90_000), tmp_path / "sess"
+    )
+
+
+class TestSession:
+    def test_directory_layout(self, tmp_path):
+        s = make_session(tmp_path)
+        assert s.map_dir.exists()
+        assert s.map_dir.name == "jit-maps"
+        assert s.sample_dir.name == "samples"
+
+    def test_make_agent_once(self, tmp_path):
+        s = make_session(tmp_path)
+        agent = s.make_agent(vm_task_id=1000, epoch_source=lambda: 0)
+        assert s.agent is agent
+        with pytest.raises(ProfilerError, match="already has"):
+            s.make_agent(vm_task_id=1000, epoch_source=lambda: 0)
+
+    def test_agent_before_make_rejected(self, tmp_path):
+        s = make_session(tmp_path)
+        with pytest.raises(ProfilerError):
+            _ = s.agent
+
+    def test_start_stop_lifecycle(self, tmp_path):
+        s = make_session(tmp_path)
+        cpu = CPU()
+        s.start(cpu)
+        assert cpu.nmi.armed
+        assert len(cpu.counters) == 2
+        s.stop()
+        assert not cpu.nmi.armed
+        with pytest.raises(ProfilerError):
+            s.stop()
+
+    def test_double_start_rejected(self, tmp_path):
+        s = make_session(tmp_path)
+        cpu = CPU()
+        s.start(cpu)
+        with pytest.raises(ProfilerError):
+            s.start(cpu)
+
+    def test_report_requires_artifacts(self, tmp_path):
+        from repro.jvm.bootimage import build_boot_image
+
+        s = make_session(tmp_path)
+        cpu = CPU()
+        s.start(cpu)
+        s.stop()
+        post = s.report(build_boot_image().rvm_map)
+        report = post.generate()
+        assert report.totals["GLOBAL_POWER_EVENTS"] == 0

@@ -1,0 +1,151 @@
+"""Unit tests for the VIProf VM agent: compile logging, flag-don't-log
+moves, partial per-epoch map writes, exit flush."""
+
+from repro.jvm.compiler import CompilerTier, JitCompiler
+from repro.viprof.codemap import CodeMapIndex, CodeMapWriter
+from repro.viprof.vm_agent import AgentCosts, ViprofVmAgent
+from tests.conftest import make_tiny_methods
+
+
+def make_agent(tmp_path, costs=None):
+    return ViprofVmAgent(writer=CodeMapWriter(tmp_path), costs=costs)
+
+
+def body_at(addr, tier=CompilerTier.BASELINE, epoch=0, method=None):
+    compiler = JitCompiler()
+    m = method or make_tiny_methods(1)[0]
+    job = compiler.plan(m, tier)
+    return compiler.make_body(job, addr, epoch)
+
+
+class TestCompileLogging:
+    def test_on_compile_buffers_and_costs(self, tmp_path):
+        agent = make_agent(tmp_path)
+        cost = agent.on_compile(body_at(0x6080_0000))
+        assert cost == agent.costs.log_compile
+        assert agent.stats.compiles_logged == 1
+        # Nothing on disk yet: the log is a buffer.
+        assert agent.writer.maps_written == 0
+
+    def test_compile_address_captured_at_log_time(self, tmp_path):
+        """The buffer entry must hold the address at compile time even if
+        the body object later relocates (paper: the hook writes address,
+        size, signature into the buffer immediately)."""
+        agent = make_agent(tmp_path)
+        b = body_at(0x6080_0000)
+        agent.on_compile(b)
+        b.relocate(0x6100_0000, promoted=True)
+        agent.pre_gc(0)
+        idx = CodeMapIndex.load_dir(agent.writer.map_dir)
+        assert idx.resolve(0, 0x6080_0010) is not None
+
+
+class TestMoveFlagging:
+    def test_flag_is_cheap_and_deferred(self, tmp_path):
+        costs = AgentCosts()
+        agent = make_agent(tmp_path, costs)
+        b = body_at(0x6080_0000)
+        cost = agent.on_code_move(b, 0x6070_0000)
+        assert cost == costs.flag_move
+        assert costs.flag_move < costs.log_compile < costs.map_write_base
+        assert agent.stats.moves_flagged == 1
+        assert agent.writer.maps_written == 0
+
+    def test_double_flag_writes_once(self, tmp_path):
+        agent = make_agent(tmp_path)
+        b = body_at(0x6080_0000)
+        agent.on_code_move(b, 0x1000)
+        agent.on_code_move(b, 0x2000)
+        agent.pre_gc(0)
+        idx = CodeMapIndex.load_dir(agent.writer.map_dir)
+        assert len(idx.map_for(0)) == 1
+
+
+class TestMapWrites:
+    def test_pre_gc_writes_partial_map(self, tmp_path):
+        agent = make_agent(tmp_path)
+        agent.on_compile(body_at(0x6080_0000))
+        agent.on_compile(body_at(0x6080_1000))
+        cost = agent.pre_gc(0)
+        assert cost == (
+            agent.costs.map_write_base + 2 * agent.costs.map_write_per_record
+        )
+        idx = CodeMapIndex.load_dir(agent.writer.map_dir)
+        assert len(idx.map_for(0)) == 2
+
+    def test_buffers_cleared_after_write(self, tmp_path):
+        agent = make_agent(tmp_path)
+        agent.on_compile(body_at(0x6080_0000))
+        agent.pre_gc(0)
+        agent.pre_gc(1)
+        idx = CodeMapIndex.load_dir(agent.writer.map_dir)
+        assert len(idx.map_for(1)) == 0  # second map is empty: partial!
+
+    def test_flagged_bodies_written_at_current_address(self, tmp_path):
+        agent = make_agent(tmp_path)
+        b = body_at(0x6080_0000)
+        agent.on_compile(b)
+        agent.pre_gc(0)
+        b.relocate(0x6100_0000, promoted=True)  # the GC closing epoch 0
+        agent.on_code_move(b, 0x6080_0000)
+        agent.pre_gc(1)
+        idx = CodeMapIndex.load_dir(agent.writer.map_dir)
+        rec, epoch = idx.resolve(1, 0x6100_0008)
+        assert epoch == 1
+        rec0, epoch0 = idx.resolve(0, 0x6080_0008)
+        assert epoch0 == 0
+
+    def test_obsolete_flagged_body_still_written(self, tmp_path):
+        agent = make_agent(tmp_path)
+        b = body_at(0x6090_0000)
+        b.obsolete = True
+        agent.on_code_move(b, 0x6080_0000)
+        agent.pre_gc(0)
+        idx = CodeMapIndex.load_dir(agent.writer.map_dir)
+        assert idx.resolve(0, 0x6090_0000) is not None
+
+    def test_post_gc_is_free(self, tmp_path):
+        agent = make_agent(tmp_path)
+        assert agent.post_gc(1) == 0
+
+
+class TestExitFlush:
+    def test_exit_writes_final_epoch_map(self, tmp_path):
+        agent = make_agent(tmp_path)
+        agent.on_compile(body_at(0x6080_0000))
+        cost = agent.on_exit(5)
+        assert cost > 0
+        idx = CodeMapIndex.load_dir(agent.writer.map_dir)
+        assert idx.map_for(5) is not None
+
+    def test_exit_with_nothing_pending_is_free(self, tmp_path):
+        agent = make_agent(tmp_path)
+        assert agent.on_exit(3) == 0
+        assert agent.writer.maps_written == 0
+
+
+class TestRegistration:
+    def test_startup_registers_with_runtime_profiler(self, tmp_path):
+        class FakeRp:
+            def __init__(self):
+                self.calls = []
+
+            def register_vm(self, task_id, heap_bounds, epoch_source):
+                self.calls.append((task_id, heap_bounds, epoch_source))
+
+        rp = FakeRp()
+        agent = ViprofVmAgent(
+            writer=CodeMapWriter(tmp_path),
+            runtime_profiler=rp,
+            epoch_source=lambda: 9,
+            vm_task_id=1234,
+        )
+        cost = agent.on_startup((0x6080_0000, 0x6200_0000))
+        assert cost == agent.costs.register
+        assert rp.calls == [
+            (1234, (0x6080_0000, 0x6200_0000), agent.epoch_source)
+        ]
+
+    def test_startup_without_profiler_is_safe(self, tmp_path):
+        agent = make_agent(tmp_path)
+        assert agent.on_startup((0, 100)) == agent.costs.register

@@ -1,0 +1,105 @@
+"""Unit tests for workload definition and scheduling."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import SIM_HZ, Workload, by_name, paper_suite
+from tests.conftest import make_tiny_methods, make_tiny_workload
+
+
+class TestWorkloadValidation:
+    def test_requires_methods(self):
+        with pytest.raises(WorkloadError, match="no methods"):
+            Workload(name="x", base_time_s=1.0, methods=[])
+
+    def test_bad_survival_rate(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_workload(survival_rate=1.5)
+
+    def test_bad_burst(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_workload(burst=(10, 5))
+
+    def test_fractions_leave_app_time(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_workload(javalib_fraction=0.5, native_fraction=0.5)
+
+    def test_method_indices_assigned(self):
+        wl = make_tiny_workload()
+        assert [m.index for m in wl.methods] == list(range(len(wl.methods)))
+
+
+class TestBudget:
+    def test_budget_scales_with_base_time(self):
+        wl = make_tiny_workload(base_time_s=2.0)
+        assert wl.budget_cycles() == int(2.0 * SIM_HZ)
+        assert wl.budget_cycles(0.5) == int(1.0 * SIM_HZ)
+
+    def test_bad_time_scale(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_workload().budget_cycles(0)
+
+
+class TestSchedule:
+    def test_schedule_yields_valid_pairs(self):
+        wl = make_tiny_workload()
+        rng = Random(1)
+        sched = wl.schedule(rng)
+        for _ in range(500):
+            idx, burst = next(sched)
+            assert 0 <= idx < len(wl.methods)
+            assert wl.burst[0] <= burst <= wl.burst[1]
+
+    def test_schedule_deterministic_for_seeded_rng(self):
+        wl = make_tiny_workload()
+        a = [next(wl.schedule(Random(5))) for _ in range(1)]
+        s1 = wl.schedule(Random(5))
+        s2 = wl.schedule(Random(5))
+        assert [next(s1) for _ in range(300)] == [next(s2) for _ in range(300)]
+
+    def test_hot_methods_scheduled_more(self):
+        wl = make_tiny_workload(n=6)
+        counts = [0] * 6
+        sched = wl.schedule(Random(3))
+        for _ in range(4000):
+            idx, _ = next(sched)
+            counts[idx] += 1
+        # Method 0 has the largest weight.
+        assert counts[0] == max(counts)
+
+    def test_phases_shift_the_hot_set(self):
+        wl = make_tiny_workload(n=6, phases=2)
+        sched = wl.schedule(Random(3))
+        first = [next(sched)[0] for _ in range(400)]
+        second = [next(sched)[0] for _ in range(400)]
+        # Phase 1 prefers the first half of the population, phase 2 the
+        # second half.
+        assert sum(1 for i in first if i < 3) > sum(1 for i in second if i < 3)
+
+
+class TestRegistry:
+    def test_by_name_known(self):
+        wl = by_name("ps")
+        assert wl.name == "ps"
+
+    def test_by_name_unknown(self):
+        with pytest.raises(WorkloadError, match="unknown benchmark"):
+            by_name("quake3")
+
+    def test_paper_suite_order(self):
+        names = [wl.name for wl in paper_suite()]
+        assert names == [
+            "pseudojbb", "jvm98", "antlr", "bloat", "fop",
+            "hsqldb", "pmd", "xalan", "ps",
+        ]
+
+    def test_figure3_base_times(self):
+        """The Figure 3 values the OCR preserves unambiguously."""
+        expected = {
+            "pseudojbb": 31.0, "jvm98": 5.74, "antlr": 8.7, "bloat": 28.5,
+            "fop": 3.2, "hsqldb": 43.0, "pmd": 16.3,
+        }
+        for name, t in expected.items():
+            assert by_name(name).base_time_s == pytest.approx(t)

@@ -1,0 +1,115 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import SyntheticSpec, make_methods
+
+
+def spec(**kw):
+    defaults = dict(package="test.pkg", n_methods=30, seed=5)
+    defaults.update(kw)
+    return SyntheticSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_bad_n_methods(self):
+        with pytest.raises(WorkloadError):
+            spec(n_methods=0)
+
+    def test_bad_zipf(self):
+        with pytest.raises(WorkloadError):
+            spec(zipf_s=0)
+
+    def test_bad_bytecode_range(self):
+        with pytest.raises(WorkloadError):
+            spec(bytecode_range=(100, 50))
+
+
+class TestMakeMethods:
+    def test_population_size(self):
+        assert len(make_methods(spec())) == 30
+
+    def test_deterministic(self):
+        a = make_methods(spec())
+        b = make_methods(spec())
+        assert [m.full_name for m in a] == [m.full_name for m in b]
+        assert [m.bytecode_size for m in a] == [m.bytecode_size for m in b]
+        assert [m.weight for m in a] == [m.weight for m in b]
+
+    def test_names_unique_and_packaged(self):
+        methods = make_methods(spec())
+        names = [m.full_name for m in methods]
+        assert len(set(names)) == len(names)
+        assert all(n.startswith("test.pkg.") for n in names)
+
+    def test_pinned_names_first(self):
+        s = spec(pinned_names=("my.app.Main.run", "my.app.Main.helper"))
+        methods = make_methods(s)
+        assert methods[0].full_name == "my.app.Main.run"
+        assert methods[1].full_name == "my.app.Main.helper"
+
+    def test_bytecode_sizes_within_range(self):
+        s = spec(bytecode_range=(50, 500))
+        for m in make_methods(s):
+            assert 50 <= m.bytecode_size <= 500
+
+    def test_zipf_weights_skewed(self):
+        methods = make_methods(spec(n_methods=100, zipf_s=1.2))
+        weights = sorted((m.weight for m in methods), reverse=True)
+        assert weights[0] / weights[-1] > 50
+
+    def test_working_sets_disjoint(self):
+        methods = make_methods(spec())
+        spans = sorted(
+            (m.working_set.base, m.working_set.base + m.working_set.size)
+            for m in methods
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_data_bytes_budget_respected(self):
+        s = spec(data_bytes=8 * 1024 * 1024, n_methods=20)
+        total = sum(m.working_set.size for m in make_methods(s))
+        # Per-method floor of 4 KB can push slightly over; within 2x.
+        assert total <= 2 * s.data_bytes
+
+    def test_callees_valid_indices(self):
+        methods = make_methods(spec(fanout=3.0))
+        n = len(methods)
+        for i, m in enumerate(methods):
+            for c in m.callees:
+                assert 0 <= c < n and c != i
+
+
+class TestBenchmarkFactories:
+    def test_all_benchmarks_instantiate(self):
+        from repro.workloads import by_name
+
+        for name in (
+            "pseudojbb", "jvm98", "antlr", "bloat", "fop", "hsqldb",
+            "pmd", "xalan", "ps", "compress", "jess", "db", "javac",
+            "mpegaudio", "mtrt", "jack",
+        ):
+            wl = by_name(name)
+            assert wl.methods
+            assert wl.base_time_s > 0
+
+    def test_ps_has_figure1_frame(self):
+        from repro.workloads import by_name
+
+        wl = by_name("ps")
+        names = {m.full_name for m in wl.methods}
+        assert (
+            "edu.unm.cs.oal.dacapo.javaPostScript.red.scanner.Scanner.parseLine"
+            in names
+        )
+
+    def test_antlr_is_compile_heavy(self):
+        from repro.workloads import by_name
+
+        antlr, pseudojbb = by_name("antlr"), by_name("pseudojbb")
+        # Methods per second of runtime — antlr must dwarf pseudojbb.
+        antlr_density = len(antlr.methods) / antlr.base_time_s
+        jbb_density = len(pseudojbb.methods) / pseudojbb.base_time_s
+        assert antlr_density > 5 * jbb_density

@@ -1,0 +1,91 @@
+"""Unit tests for the hypervisor substrate."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.xen.hypervisor import (
+    XEN_BASE,
+    Domain,
+    Hypervisor,
+    VcpuScheduler,
+    build_xen_image,
+)
+
+
+class TestXenImage:
+    def test_core_symbols_present(self):
+        img = build_xen_image()
+        for name in ("csched_schedule", "vmx_vmexit_handler",
+                     "xenoprof_handle_nmi", "context_switch"):
+            img.find_symbol(name)
+
+
+class TestDomains:
+    def test_domain_ids_sequential(self):
+        hv = Hypervisor()
+        d0 = hv.create_domain("dom0")
+        d1 = hv.create_domain("guest1")
+        assert (d0.domain_id, d1.domain_id) == (0, 1)
+        assert hv.domain(1) is d1
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ConfigError):
+            Hypervisor().domain(5)
+
+    def test_domain_validation(self):
+        with pytest.raises(ConfigError):
+            Domain(domain_id=-1, name="x")
+        with pytest.raises(ConfigError):
+            Domain(domain_id=0, name="x", weight=0)
+
+
+class TestXenResolution:
+    def test_xen_pc_roundtrip(self):
+        hv = Hypervisor()
+        pc = hv.xen_pc("vmx_vmexit_handler")
+        assert hv.is_xen_address(pc)
+        image, sym = hv.resolve(pc)
+        assert image == "xen-syms"
+        assert sym == "vmx_vmexit_handler"
+
+    def test_guest_address_not_xen(self):
+        hv = Hypervisor()
+        assert not hv.is_xen_address(0xC010_0000)  # guest kernel space
+        with pytest.raises(ConfigError):
+            hv.resolve(0xC010_0000)
+
+    def test_xen_above_guest_kernels(self):
+        from repro.os.loader import Layout
+
+        assert XEN_BASE > Layout().kernel_base
+
+
+class TestVcpuScheduler:
+    def test_round_robin_equal_weights(self):
+        hv = Hypervisor()
+        a, b = hv.create_domain("a"), hv.create_domain("b")
+        sched = VcpuScheduler(hv)
+        picks = [sched.pick().name for _ in range(10)]
+        assert picks.count("a") == 5
+        assert picks.count("b") == 5
+
+    def test_weighted_sharing(self):
+        hv = Hypervisor()
+        heavy = hv.create_domain("heavy", weight=768)
+        light = hv.create_domain("light", weight=256)
+        sched = VcpuScheduler(hv)
+        picks = [sched.pick().name for _ in range(100)]
+        assert abs(picks.count("heavy") - 75) <= 5
+
+    def test_finished_domains_excluded(self):
+        hv = Hypervisor()
+        a, b = hv.create_domain("a"), hv.create_domain("b")
+        sched = VcpuScheduler(hv)
+        a.finished = True
+        assert all(sched.pick() is b for _ in range(5))
+        b.finished = True
+        assert sched.pick() is None
+
+    def test_bad_slice_rejected(self):
+        with pytest.raises(ConfigError):
+            VcpuScheduler(Hypervisor(), slice_cycles=0)

@@ -1,0 +1,81 @@
+"""Integration tests for the multi-stack XenoProf engine."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.xen import GuestSpec, MultiStackEngine
+from tests.conftest import make_tiny_workload
+
+
+@pytest.fixture(scope="module")
+def result(tmp_path_factory):
+    engine = MultiStackEngine(
+        [
+            GuestSpec(make_tiny_workload("guest-a", base_time_s=0.2)),
+            GuestSpec(
+                make_tiny_workload("guest-b", base_time_s=0.3), weight=512
+            ),
+        ],
+        period=30_000,
+        session_dir=tmp_path_factory.mktemp("xeno"),
+    )
+    return engine.run()
+
+
+class TestMultiStackRun:
+    def test_requires_guests(self):
+        with pytest.raises(ConfigError):
+            MultiStackEngine([])
+
+    def test_both_guests_complete(self, result):
+        for g in result.guests.values():
+            assert g.workload_cycles >= g.budget
+            assert g.domain.finished
+
+    def test_samples_tagged_per_domain(self, result):
+        assert set(result.buffer.per_domain) == {0, 1}
+        assert all(n > 0 for n in result.buffer.per_domain.values())
+
+    def test_world_switches_happened(self, result):
+        assert result.hypervisor.world_switches > 2
+
+    def test_weighted_domain_gets_more_cpu(self, result):
+        d0 = result.guests[0].domain
+        d1 = result.guests[1].domain
+        # guest-b has double weight AND a larger budget.
+        assert d1.cpu_cycles > d0.cpu_cycles
+
+
+class TestCrossStackReports:
+    def test_domain_reports_isolated(self, result):
+        r0 = result.domain_report(0)
+        r1 = result.domain_report(1)
+        # Both guests run the same tiny workload population; isolation shows
+        # in the totals matching the per-domain sample counts.
+        assert r0.totals["GLOBAL_POWER_EVENTS"] + r0.totals.get(
+            "BSQ_CACHE_REFERENCE", 0
+        ) == result.buffer.per_domain[0]
+        assert sum(r1.totals.values()) == result.buffer.per_domain[1]
+
+    def test_domain_jit_samples_resolve(self, result):
+        for did in (0, 1):
+            rep = result.domain_report(did)
+            jit_rows = [r for r in rep.rows if r.image == "JIT.App"]
+            assert jit_rows, f"domain {did} resolved no JIT methods"
+            assert not any(
+                r.symbol == "(unresolved jit)" and r.count("GLOBAL_POWER_EVENTS") > 2
+                for r in jit_rows
+            )
+
+    def test_unified_report_prefixes_domains(self, result):
+        rep = result.unified_report()
+        images = {r.image for r in rep.rows}
+        assert any(i.startswith("dom0:") for i in images)
+        assert any(i.startswith("dom1:") for i in images)
+
+    def test_epochs_flow_from_each_guest(self, result):
+        for s in result.buffer.samples:
+            assert s.raw.epoch >= 0
+
+    def test_xen_share_bounded(self, result):
+        assert 0.0 <= result.xen_share() < 0.2

@@ -1,0 +1,47 @@
+"""Property-based tests for the credit VCPU scheduler."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xen.hypervisor import Hypervisor, VcpuScheduler
+
+
+class TestCreditScheduling:
+    @given(
+        weights=st.lists(
+            st.sampled_from([128, 256, 512, 1024]), min_size=2, max_size=5
+        ),
+        n_picks=st.integers(min_value=200, max_value=600),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cpu_share_proportional_to_weight(self, weights, n_picks):
+        hv = Hypervisor()
+        for i, w in enumerate(weights):
+            hv.create_domain(f"d{i}", weight=w)
+        sched = VcpuScheduler(hv)
+        counts = [0] * len(weights)
+        for _ in range(n_picks):
+            counts[sched.pick().domain_id] += 1
+        total_w = sum(weights)
+        for i, w in enumerate(weights):
+            expected = n_picks * w / total_w
+            # Weighted round robin converges within a few slices.
+            assert abs(counts[i] - expected) <= len(weights) + 2
+
+    @given(
+        weights=st.lists(
+            st.sampled_from([256, 512]), min_size=2, max_size=4
+        ),
+        finish_idx=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_finished_domain_never_picked(self, weights, finish_idx):
+        hv = Hypervisor()
+        for i, w in enumerate(weights):
+            hv.create_domain(f"d{i}", weight=w)
+        finish_idx %= len(weights)
+        hv.domain(finish_idx).finished = True
+        sched = VcpuScheduler(hv)
+        for _ in range(50):
+            picked = sched.pick()
+            assert picked is not None
+            assert picked.domain_id != finish_idx
