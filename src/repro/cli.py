@@ -11,11 +11,13 @@ Subcommands::
     viprof diff ps --period 45000 90000  # profile diff across two configs
     viprof pgo ps                        # profile-guided optimization demo
     viprof xen fop ps                    # multi-stack XenoProf demo
+    viprof lint SESSION_DIR              # static artifact integrity check
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.overhead import decompose_overhead
@@ -168,6 +170,12 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.statcheck import analyzer
+
+    return analyzer.run(args)
+
+
 def _cmd_xen(args: argparse.Namespace) -> int:
     from repro.xen import GuestSpec, MultiStackEngine
 
@@ -236,6 +244,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rows", type=int, default=14)
     _add_run_args(p)
 
+    p = sub.add_parser(
+        "lint", help="statically verify a session's profile artifacts"
+    )
+    from repro.statcheck import analyzer as _lint_analyzer
+
+    _lint_analyzer.configure_parser(p)
+
     p = sub.add_parser("timeline", help="phase-behaviour timeline")
     p.add_argument("benchmark")
     p.add_argument("--window", type=int, default=2_000_000,
@@ -256,8 +271,17 @@ def main(argv: list[str] | None = None) -> int:
         "pgo": _cmd_pgo,
         "xen": _cmd_xen,
         "timeline": _cmd_timeline,
+        "lint": _cmd_lint,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # `viprof ... | head` closed the pipe: exit quietly like any
+        # Unix tool.  Point stdout at devnull so the interpreter's
+        # final flush does not raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

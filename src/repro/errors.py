@@ -22,6 +22,7 @@ __all__ = [
     "SampleFormatError",
     "CodeMapError",
     "WorkloadError",
+    "StatCheckError",
 ]
 
 
@@ -79,3 +80,9 @@ class CodeMapError(ProfilerError):
 
 class WorkloadError(ReproError):
     """Unknown benchmark name or invalid workload specification."""
+
+
+class StatCheckError(ReproError):
+    """Static artifact/source analysis could not run (bad session dir,
+    unreadable artifact, unknown rule id, ...).  Findings are *results*,
+    not errors; this is raised only when the analyzer itself fails."""

@@ -1,0 +1,131 @@
+"""Shared half-open integer interval index.
+
+Several subsystems need the same primitive — "which record covers this
+address?" — over sets of ``[start, end)`` ranges: per-epoch JIT code maps
+(:mod:`repro.viprof.codemap`), the boot-image map, VMA lookups, and the
+static artifact analyzer (:mod:`repro.statcheck`), which additionally must
+*detect* overlaps inside artifacts it cannot trust to be well-formed.
+
+:class:`IntervalIndex` therefore makes no well-formedness assumption: it
+accepts overlapping input, answers stabbing queries in ``O(log n + k)``
+via a sorted-start array plus a prefix-maximum of ends (a flattened static
+interval tree), and reports every overlapping pair on demand so callers
+can either reject bad data up front (``CodeMap``) or turn each pair into a
+lint finding (``statcheck``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Generic, Iterable, Iterator, TypeVar
+
+from repro.errors import ConfigError
+
+__all__ = ["Interval", "IntervalIndex"]
+
+P = TypeVar("P")
+
+
+@dataclass(frozen=True, slots=True)
+class Interval(Generic[P]):
+    """A half-open range ``[start, end)`` carrying an arbitrary payload."""
+
+    start: int
+    end: int
+    payload: P
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigError(
+                f"empty interval [{self.start:#x}, {self.end:#x})"
+            )
+
+    def contains(self, point: int) -> bool:
+        return self.start <= point < self.end
+
+    def overlaps(self, other: "Interval[P]") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+class IntervalIndex(Generic[P]):
+    """Static index over intervals; tolerant of overlapping input.
+
+    Lookup strategy: intervals are kept sorted by ``start``.  For a point
+    query we bisect to the rightmost interval starting at or before the
+    point, then walk left while the *prefix maximum end* promises that an
+    earlier interval could still reach the point.  For non-overlapping
+    data this degenerates to the classic single-probe binary search.
+    """
+
+    def __init__(self, intervals: Iterable[Interval[P]]) -> None:
+        self._intervals = sorted(
+            intervals, key=lambda iv: (iv.start, iv.end)
+        )
+        self._starts = [iv.start for iv in self._intervals]
+        self._prefix_max_end: list[int] = []
+        running = 0
+        for iv in self._intervals:
+            running = max(running, iv.end)
+            self._prefix_max_end.append(running)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval[P]]:
+        return iter(self._intervals)
+
+    @property
+    def intervals(self) -> tuple[Interval[P], ...]:
+        return tuple(self._intervals)
+
+    # ------------------------------------------------------------------
+    # Stabbing queries
+    # ------------------------------------------------------------------
+
+    def stab(self, point: int) -> tuple[Interval[P], ...]:
+        """Every interval covering ``point``, in ascending start order."""
+        hits: list[Interval[P]] = []
+        i = bisect.bisect_right(self._starts, point) - 1
+        while i >= 0 and self._prefix_max_end[i] > point:
+            if self._intervals[i].contains(point):
+                hits.append(self._intervals[i])
+            i -= 1
+        hits.reverse()
+        return tuple(hits)
+
+    def first_covering(self, point: int) -> Interval[P] | None:
+        """The covering interval with the greatest start, or None.
+
+        For non-overlapping data (code maps, VMAs) this is *the* covering
+        interval, found with one bisect probe.
+        """
+        i = bisect.bisect_right(self._starts, point) - 1
+        while i >= 0 and self._prefix_max_end[i] > point:
+            if self._intervals[i].contains(point):
+                return self._intervals[i]
+            i -= 1
+        return None
+
+    # ------------------------------------------------------------------
+    # Overlap detection
+    # ------------------------------------------------------------------
+
+    def overlapping_pairs(self) -> list[tuple[Interval[P], Interval[P]]]:
+        """Every pair of overlapping intervals (sweep over sorted starts)."""
+        pairs: list[tuple[Interval[P], Interval[P]]] = []
+        active: list[Interval[P]] = []
+        for iv in self._intervals:
+            active = [a for a in active if a.end > iv.start]
+            for a in active:
+                pairs.append((a, iv))
+            active.append(iv)
+        return pairs
+
+    def is_disjoint(self) -> bool:
+        prev_end: int | None = None
+        for iv in self._intervals:
+            if prev_end is not None and iv.start < prev_end:
+                return False
+            prev_end = iv.end if prev_end is None else max(prev_end, iv.end)
+        return True

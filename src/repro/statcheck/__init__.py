@@ -1,0 +1,51 @@
+"""Static integrity analysis for VIProf artifacts and sources.
+
+Two front ends over one findings model:
+
+* **Artifact analyzer** (``viprof lint <session-dir>``) — verifies a
+  session's epoch code maps, sample files, and metadata against the
+  paper's epoch semantics without running a simulation.  See
+  :mod:`repro.statcheck.checks` for the rule catalogue.
+* **Source self-lint** (``python -m repro.statcheck.selflint src/``) —
+  an AST pass enforcing repo invariants (int-typed addresses, the
+  ``repro.errors`` hierarchy, no naked excepts, annotated public API).
+
+Both are CI gates; ``docs/static_analysis.md`` documents every rule and
+how to add one.
+"""
+
+from typing import Any
+
+from repro.statcheck.artifacts import SessionArtifacts, load_session
+from repro.statcheck.findings import Finding, FindingReport, Severity
+from repro.statcheck.rules import Rule, all_rules, get_rule, rule, run_rules
+
+
+def __getattr__(name: str) -> Any:
+    # The two front-end entry points are loaded lazily so that
+    # ``python -m repro.statcheck.selflint`` / ``.analyzer`` don't import
+    # their own module a second time through the package (runpy warning).
+    if name == "lint_session":
+        from repro.statcheck.analyzer import lint_session
+
+        return lint_session
+    if name == "lint_tree":
+        from repro.statcheck.selflint import lint_tree
+
+        return lint_tree
+    raise AttributeError(name)
+
+__all__ = [
+    "Finding",
+    "FindingReport",
+    "Severity",
+    "Rule",
+    "rule",
+    "all_rules",
+    "get_rule",
+    "run_rules",
+    "SessionArtifacts",
+    "load_session",
+    "lint_session",
+    "lint_tree",
+]

@@ -1,0 +1,105 @@
+"""Artifact-analyzer front end (drives ``viprof lint``).
+
+Loads a session directory's artifacts, runs the registered rules, and
+renders the findings.  Importable API (:func:`lint_session`) for tests
+and tooling; :func:`main` backs both the ``viprof lint`` subcommand and
+``python -m repro.statcheck.analyzer``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import StatCheckError
+from repro.statcheck.artifacts import load_session
+from repro.statcheck.findings import FindingReport, Severity
+from repro.statcheck.rules import all_rules, run_rules
+
+__all__ = ["lint_session", "main"]
+
+
+def lint_session(
+    session_dir: Path | str,
+    rule_ids: Iterable[str] | None = None,
+) -> FindingReport:
+    """Statically verify one session directory; returns all findings."""
+    return run_rules(load_session(session_dir), rule_ids=rule_ids)
+
+
+def _format_rule_table() -> str:
+    lines = [f"{'id':<7}{'name':<22}{'severity':<9} description"]
+    for r in all_rules():
+        lines.append(
+            f"{r.rule_id:<7}{r.name:<22}{r.severity.value:<9} "
+            f"{r.description}"
+        )
+    return "\n".join(lines)
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options (shared by ``viprof lint`` and ``-m``)."""
+    parser.add_argument(
+        "session_dir", nargs="?", default=None,
+        help="session directory (live or archived)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="run only these comma-separated rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=[s.value for s in Severity], default="error",
+        help="lowest severity that makes the exit code nonzero",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(_format_rule_table())
+        return 0
+    if args.session_dir is None:
+        print(
+            "viprof lint: session_dir is required unless --list-rules",
+            file=sys.stderr,
+        )
+        return 2
+    rule_ids = None
+    if args.rules is not None:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        if not rule_ids:
+            print(
+                "viprof lint: --rules given but no rule ids named",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        report = lint_session(args.session_dir, rule_ids=rule_ids)
+    except StatCheckError as e:
+        print(f"viprof lint: {e}", file=sys.stderr)
+        return 2
+    print(report.format_json() if args.json else report.format_text())
+    return report.exit_code(fail_on=Severity(args.fail_on))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="viprof lint",
+        description="statically verify a VIProf session's profile "
+        "artifacts (code maps, sample files, metadata)",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

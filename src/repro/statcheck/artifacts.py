@@ -1,0 +1,217 @@
+"""Tolerant loading of a session directory's profile artifacts.
+
+The analyzer must be able to *look at* corrupt artifacts — that is its
+whole point — so this loader deliberately bypasses the strict validation
+the runtime classes perform (``CodeMap`` rejects overlapping records at
+construction; here an overlap must surface as a finding, not an
+exception).  Parse failures that make an artifact unreadable are demoted
+to ``VP100`` findings so one rotten file never hides the findings in the
+rest of the session.
+
+Understood layouts (live session dirs and ``SessionStore`` archives)::
+
+    <session>/jit-maps/jit-map.NNNNN    per-epoch partial code maps
+    <session>/samples/<EVENT>.samples   packed sample files
+    <session>/meta.json                 archive metadata (optional)
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import CodeMapError, SampleFormatError, StatCheckError
+from repro.jvm.bootimage import RvmMap, build_boot_image
+from repro.profiling.model import RawSample
+from repro.profiling.samplefile import SampleFileReader
+from repro.statcheck.findings import Finding, FindingReport, Severity
+from repro.viprof.codemap import CodeMapRecord
+from repro.viprof.runtime_profiler import VmRegistration
+
+__all__ = [
+    "RULE_MALFORMED",
+    "EpochMapArtifact",
+    "SampleArtifact",
+    "SessionArtifacts",
+    "load_session",
+]
+
+#: Rule id for artifacts that could not be parsed at all.
+RULE_MALFORMED = "VP100"
+
+MAP_DIR_NAME = "jit-maps"
+SAMPLE_DIR_NAME = "samples"
+META_NAME = "meta.json"
+
+_MAP_FILE_RE = re.compile(r"^jit-map\.(\d{5})$")
+_MAP_HEADER_RE = re.compile(r"^# viprof code map epoch (\d+)$")
+
+
+@dataclass(frozen=True, slots=True)
+class EpochMapArtifact:
+    """One epoch's code-map file, loaded without well-formedness checks."""
+
+    epoch: int
+    path: Path
+    records: tuple[CodeMapRecord, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SampleArtifact:
+    """One packed sample file, fully decoded."""
+
+    path: Path
+    event_name: str
+    period: int
+    samples: tuple[RawSample, ...]
+
+
+@dataclass
+class SessionArtifacts:
+    """Everything the artifact rules inspect, plus load-time findings."""
+
+    session_dir: Path
+    maps: dict[int, EpochMapArtifact] = field(default_factory=dict)
+    sample_files: tuple[SampleArtifact, ...] = ()
+    meta: dict | None = None
+    registration: VmRegistration | None = None
+    boot_map: RvmMap | None = None
+    load_findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> tuple[int, ...]:
+        return tuple(sorted(self.maps))
+
+    def map_label(self, epoch: int) -> str:
+        """Artifact label for findings against one epoch's map."""
+        art = self.maps.get(epoch)
+        return str(art.path) if art is not None else f"epoch-{epoch}"
+
+
+def _load_map_file(
+    path: Path, report: FindingReport
+) -> EpochMapArtifact | None:
+    """Parse one map file leniently; bad lines become VP100 findings."""
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as e:
+        report.add(
+            Severity.ERROR, RULE_MALFORMED, str(path), "-",
+            f"unreadable map file: {e}",
+        )
+        return None
+    if not lines or _MAP_HEADER_RE.match(lines[0]) is None:
+        report.add(
+            Severity.ERROR, RULE_MALFORMED, str(path), "line 1",
+            f"bad or missing map header: {lines[0]!r}" if lines
+            else "empty map file",
+        )
+        return None
+    epoch = int(_MAP_HEADER_RE.match(lines[0]).group(1))
+    m = _MAP_FILE_RE.match(path.name)
+    if m is not None and int(m.group(1)) != epoch:
+        report.add(
+            Severity.ERROR, RULE_MALFORMED, str(path), "line 1",
+            f"filename epoch {int(m.group(1))} != header epoch {epoch}",
+        )
+    records: list[CodeMapRecord] = []
+    for lineno, ln in enumerate(lines[1:], start=2):
+        if not ln.strip():
+            continue
+        try:
+            records.append(CodeMapRecord.from_line(ln))
+        except CodeMapError as e:
+            report.add(
+                Severity.ERROR, RULE_MALFORMED, str(path),
+                f"line {lineno}", str(e),
+            )
+    return EpochMapArtifact(epoch=epoch, path=path, records=tuple(records))
+
+
+def load_session(session_dir: Path | str) -> SessionArtifacts:
+    """Load every artifact the rules need; never raises on *corrupt* data.
+
+    Raises:
+        StatCheckError: if ``session_dir`` is not a session directory at
+            all (missing, or contains none of the expected artifacts).
+    """
+    session_dir = Path(session_dir)
+    if not session_dir.is_dir():
+        raise StatCheckError(f"{session_dir}: not a directory")
+    map_dir = session_dir / MAP_DIR_NAME
+    sample_dir = session_dir / SAMPLE_DIR_NAME
+    meta_path = session_dir / META_NAME
+    if not map_dir.is_dir() and not sample_dir.is_dir() \
+            and not meta_path.is_file():
+        raise StatCheckError(
+            f"{session_dir}: no {MAP_DIR_NAME}/, {SAMPLE_DIR_NAME}/ or "
+            f"{META_NAME} — not a VIProf session directory"
+        )
+
+    report = FindingReport()
+    arts = SessionArtifacts(session_dir=session_dir)
+
+    if map_dir.is_dir():
+        for path in sorted(map_dir.iterdir()):
+            if _MAP_FILE_RE.match(path.name) is None:
+                continue
+            art = _load_map_file(path, report)
+            if art is None:
+                continue
+            if art.epoch in arts.maps:
+                report.add(
+                    Severity.ERROR, RULE_MALFORMED, str(path), "line 1",
+                    f"duplicate map for epoch {art.epoch} "
+                    f"(first seen in {arts.maps[art.epoch].path.name})",
+                )
+                continue
+            arts.maps[art.epoch] = art
+
+    if sample_dir.is_dir():
+        sample_files: list[SampleArtifact] = []
+        for path in sorted(sample_dir.glob("*.samples")):
+            try:
+                reader = SampleFileReader(path)
+                sample_files.append(
+                    SampleArtifact(
+                        path=path,
+                        event_name=reader.event_name,
+                        period=reader.period,
+                        samples=tuple(reader),
+                    )
+                )
+            except SampleFormatError as e:
+                report.add(
+                    Severity.ERROR, RULE_MALFORMED, str(path), "-", str(e)
+                )
+        arts.sample_files = tuple(sample_files)
+
+    if meta_path.is_file():
+        try:
+            arts.meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as e:
+            report.add(
+                Severity.ERROR, RULE_MALFORMED, str(meta_path), "-",
+                f"unreadable metadata: {e}",
+            )
+    if arts.meta is not None:
+        reg = arts.meta.get("registration")
+        if isinstance(reg, dict):
+            try:
+                arts.registration = VmRegistration(
+                    task_id=int(reg["task_id"]),
+                    heap_low=int(reg["heap_low"]),
+                    heap_high=int(reg["heap_high"]),
+                )
+            except (KeyError, TypeError, ValueError):
+                report.add(
+                    Severity.ERROR, RULE_MALFORMED, str(meta_path),
+                    "registration",
+                    f"bad VM registration record: {reg!r}",
+                )
+
+    arts.boot_map = build_boot_image().rvm_map
+    arts.load_findings = list(report)
+    return arts

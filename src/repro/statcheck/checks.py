@@ -1,0 +1,261 @@
+"""Built-in artifact rules: the static integrity model of a session.
+
+Each rule encodes one invariant the paper's backward epoch-walk
+attribution (§3.2) silently depends on:
+
+VP101  map-overlap            Within one epoch, the bump allocator never
+                              reuses space, so records must be disjoint;
+                              an overlap makes attribution ambiguous.
+VP102  epoch-gap              Maps are written at every epoch close; a
+                              gap means an epoch's compilations are lost
+                              and its samples mis-walk to older maps.
+VP103  orphan-sample          Every heap sample must resolve in *some*
+                              map when walking backwards from its epoch;
+                              an orphan is an attribution the paper's
+                              algorithm cannot make.
+VP104  signature-collision    A JIT signature that also names a
+                              boot-image method makes JIT.App vs RVM.map
+                              rows indistinguishable in merged reports.
+VP105  stale-moved-flag       A record written because the previous GC
+                              *moved* the body implies the body existed
+                              — its signature must appear in a strictly
+                              earlier map.
+VP106  epoch-tag              Sample epoch tags come from a monotonic GC
+                              counter: they must be >= -1, must not
+                              regress as time advances, and should not
+                              exceed the newest map's epoch (a missing
+                              final flush).
+
+Rules operate on :class:`~repro.statcheck.artifacts.SessionArtifacts`
+(raw records, no runtime validation) so that corrupt data reaches them
+instead of raising on load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.os.intervals import Interval, IntervalIndex
+from repro.statcheck.artifacts import SessionArtifacts
+from repro.statcheck.findings import Finding, Severity
+from repro.statcheck.rules import rule
+from repro.viprof.codemap import CodeMapRecord
+
+__all__ = [
+    "check_map_overlap",
+    "check_epoch_gap",
+    "check_orphan_samples",
+    "check_signature_collision",
+    "check_stale_moved_flag",
+    "check_epoch_tags",
+]
+
+
+def _epoch_indexes(
+    arts: SessionArtifacts,
+) -> dict[int, IntervalIndex[CodeMapRecord]]:
+    """Interval index per epoch map, tolerant of overlapping records."""
+    return {
+        epoch: IntervalIndex(
+            Interval(r.address, r.end, r) for r in art.records
+        )
+        for epoch, art in arts.maps.items()
+    }
+
+
+@rule(
+    "VP101", "map-overlap", Severity.ERROR,
+    "records within one epoch's map must cover disjoint address ranges",
+)
+def check_map_overlap(arts: SessionArtifacts) -> Iterator[Finding]:
+    for epoch, index in sorted(_epoch_indexes(arts).items()):
+        for a, b in index.overlapping_pairs():
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP101",
+                artifact=arts.map_label(epoch),
+                location=f"epoch {epoch}",
+                message=(
+                    f"records {a.payload.name!r} "
+                    f"[{a.start:#x},{a.end:#x}) and {b.payload.name!r} "
+                    f"[{b.start:#x},{b.end:#x}) overlap"
+                ),
+            )
+
+
+@rule(
+    "VP102", "epoch-gap", Severity.WARNING,
+    "epoch chain must be contiguous: a map is written at every GC",
+)
+def check_epoch_gap(arts: SessionArtifacts) -> Iterator[Finding]:
+    epochs = arts.epochs
+    for prev, cur in zip(epochs, epochs[1:]):
+        if cur != prev + 1:
+            missing = cur - prev - 1
+            yield Finding(
+                severity=Severity.WARNING,
+                rule_id="VP102",
+                artifact=str(arts.session_dir),
+                location=f"epochs {prev}..{cur}",
+                message=(
+                    f"epoch chain jumps from {prev} to {cur}: "
+                    f"{missing} map(s) missing — compilations from the "
+                    "missing epoch(s) are unattributable"
+                ),
+            )
+
+
+@rule(
+    "VP103", "orphan-sample", Severity.ERROR,
+    "every VM-heap sample must resolve in some map via the backward walk",
+)
+def check_orphan_samples(arts: SessionArtifacts) -> Iterator[Finding]:
+    reg = arts.registration
+    if reg is None:
+        if arts.sample_files and arts.maps:
+            yield Finding(
+                severity=Severity.INFO,
+                rule_id="VP103",
+                artifact=str(arts.session_dir),
+                location="meta.json",
+                message=(
+                    "no VM heap registration in session metadata; "
+                    "orphan-sample check skipped"
+                ),
+            )
+        return
+    if not arts.maps:
+        return
+    indexes = _epoch_indexes(arts)
+    epochs_desc = sorted(indexes, reverse=True)
+    max_epoch = epochs_desc[0]
+    for sf in arts.sample_files:
+        for i, s in enumerate(sf.samples):
+            if s.kernel_mode or s.task_id != reg.task_id:
+                continue
+            if not reg.covers(s.pc):
+                continue
+            top = max_epoch if s.epoch < 0 else min(s.epoch, max_epoch)
+            hit = None
+            for e in epochs_desc:
+                if e > top:
+                    continue
+                hit = indexes[e].first_covering(s.pc)
+                if hit is not None:
+                    break
+            if hit is None:
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP103",
+                    artifact=str(sf.path),
+                    location=f"sample {i}",
+                    message=(
+                        f"heap sample pc={s.pc:#x} (epoch {s.epoch}) "
+                        "resolves in no code map via the backward walk"
+                    ),
+                )
+
+
+@rule(
+    "VP104", "signature-collision", Severity.ERROR,
+    "JIT map signatures must not collide with boot-image (RVM.map) symbols",
+)
+def check_signature_collision(arts: SessionArtifacts) -> Iterator[Finding]:
+    if arts.boot_map is None:
+        return
+    boot_names = {e.name for e in arts.boot_map.entries}
+    for epoch in arts.epochs:
+        for r in arts.maps[epoch].records:
+            if r.name in boot_names:
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP104",
+                    artifact=arts.map_label(epoch),
+                    location=f"epoch {epoch}",
+                    message=(
+                        f"JIT record {r.name!r} at {r.address:#x} collides "
+                        "with a boot-image symbol: JIT.App and RVM.map "
+                        "attributions become indistinguishable"
+                    ),
+                )
+
+
+@rule(
+    "VP105", "stale-moved-flag", Severity.ERROR,
+    "a moved-flagged record's signature must appear in an earlier epoch",
+)
+def check_stale_moved_flag(arts: SessionArtifacts) -> Iterator[Finding]:
+    seen: set[str] = set()
+    for epoch in arts.epochs:
+        art = arts.maps[epoch]
+        for r in art.records:
+            if r.moved and r.name not in seen:
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP105",
+                    artifact=arts.map_label(epoch),
+                    location=f"epoch {epoch}",
+                    message=(
+                        f"record {r.name!r} at {r.address:#x} is flagged "
+                        "as GC-moved but its signature appears in no "
+                        "earlier epoch map (stale moved-flag)"
+                    ),
+                )
+        seen.update(r.name for r in art.records)
+
+
+@rule(
+    "VP106", "epoch-tag", Severity.ERROR,
+    "sample epoch tags must be valid, monotonic in time, and within the "
+    "session's epoch range",
+)
+def check_epoch_tags(arts: SessionArtifacts) -> Iterator[Finding]:
+    max_epoch = max(arts.epochs) if arts.maps else None
+    for sf in arts.sample_files:
+        prev_epoch: int | None = None
+        prev_cycle = 0
+        beyond = 0
+        for i, s in enumerate(sf.samples):
+            if s.epoch < -1:
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP106",
+                    artifact=str(sf.path),
+                    location=f"sample {i}",
+                    message=f"invalid epoch tag {s.epoch}",
+                )
+                continue
+            if s.epoch < 0:
+                continue  # stock OProfile sample: no epoch concept
+            if (
+                prev_epoch is not None
+                and s.cycle >= prev_cycle
+                and s.epoch < prev_epoch
+            ):
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP106",
+                    artifact=str(sf.path),
+                    location=f"sample {i}",
+                    message=(
+                        f"epoch tag regresses from {prev_epoch} to "
+                        f"{s.epoch} while time advances (cycle "
+                        f"{prev_cycle} -> {s.cycle}): GC epochs are "
+                        "monotonic"
+                    ),
+                )
+            prev_epoch, prev_cycle = s.epoch, s.cycle
+            if max_epoch is not None and s.epoch > max_epoch:
+                beyond += 1
+        if beyond:
+            yield Finding(
+                severity=Severity.WARNING,
+                rule_id="VP106",
+                artifact=str(sf.path),
+                location="-",
+                message=(
+                    f"{beyond} sample(s) tagged with epochs beyond the "
+                    f"newest map (epoch {max_epoch}): final map flush "
+                    "may be missing"
+                ),
+            )

@@ -1,0 +1,153 @@
+"""Structured findings emitted by the static analyzers.
+
+Both front ends — the artifact analyzer (``viprof lint``) and the source
+self-lint (``python -m repro.statcheck.selflint``) — report through the
+same types, so CI, tests, and humans consume one format.  A finding
+carries a severity, a stable rule id, the artifact it was found in (a
+file path, or ``<session>`` for cross-artifact rules), a free-form
+location (epoch, line, record, ...), and a message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+__all__ = ["Severity", "Finding", "FindingReport"]
+
+
+class Severity(Enum):
+    """How bad a finding is; ordering is by badness."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation in one place."""
+
+    severity: Severity
+    rule_id: str
+    artifact: str
+    location: str
+    message: str
+
+    def format_line(self) -> str:
+        return (
+            f"{self.severity.value.upper():<7} {self.rule_id:<6} "
+            f"{self.artifact}:{self.location}: {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "severity": self.severity.value,
+            "rule_id": self.rule_id,
+            "artifact": self.artifact,
+            "location": self.location,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FindingReport:
+    """An ordered collection of findings plus formatting/exit-code logic."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(
+        self,
+        severity: Severity,
+        rule_id: str,
+        artifact: str,
+        location: str,
+        message: str,
+    ) -> Finding:
+        f = Finding(
+            severity=severity,
+            rule_id=rule_id,
+            artifact=artifact,
+            location=location,
+            message=message,
+        )
+        self.findings.append(f)
+        return f
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    # ------------------------------------------------------------------
+
+    def by_rule(self, rule_id: str) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.rule_id == rule_id)
+
+    @property
+    def rule_ids(self) -> tuple[str, ...]:
+        return tuple(sorted({f.rule_id for f in self.findings}))
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity is severity)
+
+    @property
+    def worst(self) -> Severity | None:
+        if not self.findings:
+            return None
+        return max((f.severity for f in self.findings), key=lambda s: s.rank)
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """0 when no finding reaches ``fail_on`` severity, else 1."""
+        worst = self.worst
+        return 1 if worst is not None and fail_on <= worst else 0
+
+    # ------------------------------------------------------------------
+
+    def sorted(self) -> list[Finding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (-f.severity.rank, f.rule_id, f.artifact, f.location),
+        )
+
+    def format_text(self) -> str:
+        if not self.findings:
+            return "clean: no findings"
+        lines = [f.format_line() for f in self.sorted()]
+        lines.append(
+            f"{self.count(Severity.ERROR)} error(s), "
+            f"{self.count(Severity.WARNING)} warning(s), "
+            f"{self.count(Severity.INFO)} info"
+        )
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in self.sorted()],
+                "counts": {
+                    s.value: self.count(s) for s in Severity
+                },
+            },
+            indent=2,
+        )

@@ -1,0 +1,255 @@
+"""Deterministic lint-fixture sessions (clean + seeded corruptions).
+
+Tests and CI need sessions whose ground truth is known *by construction*:
+one clean session the analyzer must pass, and five sessions each seeded
+with exactly one corruption the analyzer must catch under the right rule
+id.  Building them here — instead of checking in opaque artifacts or
+running the whole simulator — keeps the fixtures readable, regenerable,
+and independent of engine behaviour.
+
+Usage::
+
+    python -m repro.statcheck.fixtures DEST      # write all six sessions
+    python -m repro.statcheck.fixtures --selftest  # generate + verify
+
+The session shape mirrors a real (tiny) run: three epochs of partial
+code maps with a compile, two GC moves, address reuse, and a sample file
+whose heap samples all resolve via the paper's backward walk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.errors import StatCheckError
+from repro.profiling.model import RawSample
+from repro.profiling.samplefile import SampleFileWriter
+from repro.statcheck.findings import Severity
+from repro.viprof.codemap import CodeMapRecord, CodeMapWriter
+
+__all__ = [
+    "CORRUPTIONS",
+    "EXPECTED_RULE",
+    "write_fixture_session",
+    "write_all_fixtures",
+    "main",
+]
+
+#: Corruption names, each tripping exactly one rule.
+CORRUPTIONS = (
+    "overlap",
+    "epoch-gap",
+    "orphan",
+    "signature-collision",
+    "stale-moved",
+)
+
+#: Which rule id each corruption must be reported under.
+EXPECTED_RULE = {
+    "overlap": "VP101",
+    "epoch-gap": "VP102",
+    "orphan": "VP103",
+    "signature-collision": "VP104",
+    "stale-moved": "VP105",
+}
+
+_TASK_ID = 42
+_HEAP_LOW = 0x6080_0000
+_HEAP_HIGH = 0x6200_0000
+_EVENT = "GLOBAL_POWER_EVENTS"
+_PERIOD = 90_000
+
+#: A boot-image symbol (see repro.jvm.bootimage) used to seed the
+#: signature-collision corruption.
+_BOOT_SYMBOL = "org.mmtk.plan.CopySpace.traceObject"
+
+
+def _rec(
+    addr: int, size: int, name: str, tier: str = "base", moved: bool = False
+) -> CodeMapRecord:
+    return CodeMapRecord(
+        address=addr, size=size, tier=tier, name=name, moved=moved
+    )
+
+
+def write_fixture_session(
+    dest: Path | str, corruption: str | None = None
+) -> Path:
+    """Write one fixture session into ``dest`` (created, must not exist).
+
+    ``corruption=None`` writes the clean session; otherwise one of
+    :data:`CORRUPTIONS` is seeded on top of the clean shape.
+    """
+    if corruption is not None and corruption not in CORRUPTIONS:
+        raise StatCheckError(
+            f"unknown corruption {corruption!r} "
+            f"(known: {', '.join(CORRUPTIONS)})"
+        )
+    dest = Path(dest)
+    if dest.exists():
+        raise StatCheckError(f"{dest}: already exists")
+    dest.mkdir(parents=True)
+
+    # --- epoch code maps ---------------------------------------------
+    # Epoch 0: A and B compiled.  The GC closing epoch 0 moves A.
+    # Epoch 1: A's post-move home (moved flag) + C compiled.  The GC
+    #          closing epoch 1 moves B.
+    # Epoch 2: B's post-move home (moved flag) + D compiled.
+    epoch0 = [
+        _rec(0x6080_1000, 0x200, "fixture.app.Alpha.run"),
+        _rec(0x6080_2000, 0x300, "fixture.app.Beta.step"),
+    ]
+    epoch1 = [
+        _rec(0x6081_0000, 0x200, "fixture.app.Alpha.run", moved=True),
+        _rec(0x6080_4000, 0x100, "fixture.app.Gamma.scan", tier="O1"),
+    ]
+    epoch2 = [
+        _rec(0x6081_4000, 0x300, "fixture.app.Beta.step", moved=True),
+        _rec(0x6080_6000, 0x180, "fixture.app.Delta.emit", tier="O1"),
+    ]
+
+    if corruption == "overlap":
+        epoch1.append(
+            _rec(0x6081_0080, 0x100, "fixture.app.Evil.clobber")
+        )
+    if corruption == "signature-collision":
+        epoch2 = [
+            _rec(0x6081_4000, 0x300, "fixture.app.Beta.step", moved=True),
+            _rec(0x6080_6000, 0x180, _BOOT_SYMBOL, tier="O1"),
+        ]
+    if corruption == "stale-moved":
+        epoch2.append(
+            _rec(0x6081_8000, 0x100, "fixture.app.Ghost.phantom",
+                 moved=True)
+        )
+
+    last_epoch = 3 if corruption == "epoch-gap" else 2
+    writer = CodeMapWriter(dest / "jit-maps")
+    writer.write(0, epoch0)
+    writer.write(1, epoch1)
+    writer.write(last_epoch, epoch2)
+
+    # --- samples ------------------------------------------------------
+    def s(pc: int, cycle: int, epoch: int, kernel: bool = False) -> RawSample:
+        return RawSample(
+            pc=pc, event_name=_EVENT, task_id=_TASK_ID,
+            kernel_mode=kernel, cycle=cycle, epoch=epoch,
+        )
+
+    samples = [
+        s(0x6080_1010, 1_000, 0),            # A, own epoch
+        s(0x6080_2040, 2_000, 0),            # B, own epoch
+        s(0x6081_0010, 3_000, 1),            # A post-move, own epoch
+        s(0x6080_2040, 3_500, 1),            # B, one epoch back
+        s(0xC000_1000, 4_000, 1, kernel=True),
+        s(0x6080_6010, 5_000, last_epoch),   # D, own epoch
+        s(0x6081_4020, 5_500, last_epoch),   # B post-move, own epoch
+    ]
+    if corruption == "orphan":
+        samples.append(s(0x61F0_0000, 6_000, 2))  # mapped in no epoch
+
+    sample_dir = dest / "samples"
+    sample_dir.mkdir()
+    with SampleFileWriter(
+        sample_dir / f"{_EVENT}.samples", _EVENT, _PERIOD
+    ) as w:
+        for sample in samples:
+            w.write(sample)
+
+    # --- metadata -----------------------------------------------------
+    meta = {
+        "benchmark": "fixture",
+        "mode": "viprof",
+        "period": _PERIOD,
+        "seed": 7,
+        "time_scale": 0.1,
+        "wall_cycles": 10_000,
+        "registration": {
+            "task_id": _TASK_ID,
+            "heap_low": _HEAP_LOW,
+            "heap_high": _HEAP_HIGH,
+        },
+    }
+    (dest / "meta.json").write_text(json.dumps(meta, indent=2))
+    return dest
+
+
+def write_all_fixtures(dest: Path | str) -> dict[str, Path]:
+    """Write ``clean/`` plus one directory per corruption under ``dest``."""
+    dest = Path(dest)
+    out = {"clean": write_fixture_session(dest / "clean")}
+    for c in CORRUPTIONS:
+        out[c] = write_fixture_session(dest / c, corruption=c)
+    return out
+
+
+def selftest() -> int:
+    """Generate every fixture and verify the analyzer's verdicts."""
+    from repro.statcheck.analyzer import lint_session
+
+    tmp = Path(tempfile.mkdtemp(prefix="viprof-lint-fixtures-"))
+    failures: list[str] = []
+    try:
+        sessions = write_all_fixtures(tmp)
+        clean = lint_session(sessions["clean"])
+        if clean.exit_code() != 0 or len(clean) != 0:
+            failures.append(
+                f"clean session not clean:\n{clean.format_text()}"
+            )
+        for c in CORRUPTIONS:
+            expected = EXPECTED_RULE[c]
+            report = lint_session(sessions[c])
+            if not report.by_rule(expected):
+                failures.append(
+                    f"{c}: rule {expected} not triggered:\n"
+                    f"{report.format_text()}"
+                )
+            unexpected = [r for r in report.rule_ids if r != expected]
+            if unexpected:
+                failures.append(
+                    f"{c}: unexpected rules {unexpected}:\n"
+                    f"{report.format_text()}"
+                )
+            if report.exit_code(fail_on=Severity.WARNING) == 0:
+                failures.append(f"{c}: analyzer exit code was 0")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    if failures:
+        print("\n\n".join(failures), file=sys.stderr)
+        return 1
+    print(f"fixture selftest ok: clean + {len(CORRUPTIONS)} corruptions "
+          "verified")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statcheck.fixtures",
+        description="generate (or verify) lint fixture sessions",
+    )
+    parser.add_argument(
+        "dest", nargs="?", default=None,
+        help="directory to write the fixture sessions into",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="generate into a temp dir, lint, verify verdicts, clean up",
+    )
+    args = parser.parse_args(argv)
+    if args.selftest:
+        return selftest()
+    if args.dest is None:
+        parser.error("dest is required unless --selftest")
+    sessions = write_all_fixtures(args.dest)
+    for name, path in sessions.items():
+        print(f"{name:<22} {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

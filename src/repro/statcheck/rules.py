@@ -1,0 +1,127 @@
+"""The pluggable rule engine behind ``viprof lint``.
+
+A rule is a function from loaded :class:`~repro.statcheck.artifacts.
+SessionArtifacts` to an iterable of findings, registered under a stable
+id with the :func:`rule` decorator::
+
+    @rule("VP109", "my-invariant", Severity.ERROR,
+          "one-line description for docs and --list-rules")
+    def check_my_invariant(arts: SessionArtifacts) -> Iterator[Finding]:
+        ...
+        yield Finding(...)
+
+Registration makes the rule discoverable (``viprof lint --list-rules``),
+selectable (``--rules VP109``), and documented.  The engine caps how many
+findings any single rule may emit so a systemically corrupt artifact
+(e.g. ten thousand orphan samples) cannot drown out the other rules'
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import StatCheckError
+from repro.statcheck.artifacts import SessionArtifacts
+from repro.statcheck.findings import Finding, FindingReport, Severity
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule", "run_rules"]
+
+RuleFn = Callable[[SessionArtifacts], Iterable[Finding]]
+
+#: Per-rule finding cap (excess is summarized in one INFO finding).
+MAX_FINDINGS_PER_RULE = 50
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One registered artifact check."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    fn: RuleFn
+
+    def run(self, arts: SessionArtifacts) -> Iterator[Finding]:
+        return iter(self.fn(arts))
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str, name: str, severity: Severity, description: str
+) -> Callable[[RuleFn], RuleFn]:
+    """Register an artifact rule under a stable id (decorator)."""
+
+    def deco(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise StatCheckError(f"duplicate rule id {rule_id}")
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            description=description,
+            fn=fn,
+        )
+        return fn
+
+    return deco
+
+
+def all_rules() -> tuple[Rule, ...]:
+    _ensure_builtin_rules()
+    return tuple(_REGISTRY[k] for k in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise StatCheckError(
+            f"unknown rule id {rule_id!r} (known: {known})"
+        ) from None
+
+
+def _ensure_builtin_rules() -> None:
+    # The built-in checks register themselves on import; importing here
+    # (not at module top) avoids a cycle, since checks import this module.
+    from repro.statcheck import checks  # noqa: F401
+
+
+def run_rules(
+    arts: SessionArtifacts,
+    rule_ids: Iterable[str] | None = None,
+    max_findings_per_rule: int = MAX_FINDINGS_PER_RULE,
+) -> FindingReport:
+    """Run the selected (default: all) rules over loaded artifacts.
+
+    Load-time findings (unparseable artifacts, rule id ``VP100``) are
+    always included — corrupt input must never pass silently.
+    """
+    _ensure_builtin_rules()
+    selected = (
+        all_rules()
+        if rule_ids is None
+        else tuple(get_rule(r) for r in rule_ids)
+    )
+    report = FindingReport()
+    report.extend(arts.load_findings)
+    for r in selected:
+        emitted = 0
+        for f in r.run(arts):
+            if emitted < max_findings_per_rule:
+                report.findings.append(f)
+            emitted += 1
+        if emitted > max_findings_per_rule:
+            report.add(
+                Severity.INFO, r.rule_id, str(arts.session_dir), "-",
+                f"{emitted - max_findings_per_rule} further "
+                f"{r.name} finding(s) suppressed "
+                f"(cap {max_findings_per_rule})",
+            )
+    return report

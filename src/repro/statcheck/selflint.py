@@ -1,0 +1,271 @@
+"""Repo-invariant source lint (``python -m repro.statcheck.selflint``).
+
+An ``ast``-based pass over our own sources enforcing invariants that
+general-purpose linters cannot know:
+
+SL201  int-address          Addresses, PCs, offsets, sizes, epochs and
+                            cycle counts are exact machine quantities —
+                            annotating or defaulting one as ``float``
+                            invites rounding a PC.
+SL202  errors-hierarchy     Every exception raised inside ``repro.*``
+                            derives from :mod:`repro.errors`, so callers
+                            can catch ``ReproError`` at API boundaries.
+SL203  no-naked-except      ``except:`` swallows ``KeyboardInterrupt``
+                            and hides simulator bugs.
+SL204  public-annotations   Public functions in ``repro/viprof/`` and
+                            ``repro/profiling/`` are the paper-facing
+                            API; they carry full type annotations.
+
+Findings reuse :mod:`repro.statcheck.findings`; exit code 1 when any
+ERROR-severity finding exists, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator
+
+import repro.errors as _errors
+from repro.errors import StatCheckError
+from repro.statcheck.findings import Finding, FindingReport, Severity
+
+__all__ = ["lint_source", "lint_tree", "main"]
+
+#: Identifier segments that denote exact machine quantities (SL201).
+_INT_SEGMENTS = {
+    "addr", "address", "pc", "offset", "size", "start", "end",
+    "epoch", "cycle", "cycles",
+}
+
+#: Exception names that may be raised without deriving from repro.errors:
+#: Python protocol obligations (``__getattr__`` must raise AttributeError,
+#: iterators StopIteration, ...) and control-flow exceptions that callers
+#: are never expected to catch as repro failures.
+_ALLOWED_RAISES = set(_errors.__all__) | {
+    "NotImplementedError",
+    "StopIteration",
+    "StopAsyncIteration",
+    "AttributeError",
+    "SystemExit",
+    "KeyboardInterrupt",
+    "AssertionError",
+}
+
+#: Path fragments whose public functions must be fully annotated (SL204).
+_ANNOTATION_SCOPE = ("viprof", "profiling")
+
+
+def _is_int_quantity_name(name: str) -> bool:
+    return any(seg in _INT_SEGMENTS for seg in name.lower().split("_"))
+
+
+def _is_float_annotation(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Name) and node.id == "float"
+
+
+class _SelfLint(ast.NodeVisitor):
+    """One file's worth of lint passes, sharing a single AST walk."""
+
+    def __init__(self, path: Path, rel: str, check_annotations: bool):
+        self.path = path
+        self.rel = rel
+        self.check_annotations = check_annotations
+        self.findings: list[Finding] = []
+        self._depth = 0  # nesting depth of function definitions
+
+    def _add(
+        self, severity: Severity, rule_id: str, lineno: int, msg: str
+    ) -> None:
+        self.findings.append(
+            Finding(
+                severity=severity,
+                rule_id=rule_id,
+                artifact=self.rel,
+                location=f"line {lineno}",
+                message=msg,
+            )
+        )
+
+    # -- SL201: float-typed machine quantities -------------------------
+
+    def _check_int_quantity(
+        self, name: str, annotation: ast.expr | None,
+        default: ast.expr | None, lineno: int,
+    ) -> None:
+        if not _is_int_quantity_name(name):
+            return
+        if _is_float_annotation(annotation):
+            self._add(
+                Severity.ERROR, "SL201", lineno,
+                f"{name!r} is annotated 'float': addresses/sizes/epochs "
+                "must be exact ints",
+            )
+        if (
+            isinstance(default, ast.Constant)
+            and isinstance(default.value, float)
+        ):
+            self._add(
+                Severity.ERROR, "SL201", lineno,
+                f"{name!r} defaults to a float literal: "
+                "addresses/sizes/epochs must be exact ints",
+            )
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._check_int_quantity(
+                node.target.id, node.annotation, node.value, node.lineno
+            )
+        self.generic_visit(node)
+
+    # -- SL202: raise discipline ---------------------------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        name: str | None = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            # `raise CamelCase` is a class re-raise; `raise err` is a
+            # caught-instance re-raise, which we cannot (and need not)
+            # resolve statically.
+            name = exc.id if exc.id[:1].isupper() else None
+        if name is not None and name not in _ALLOWED_RAISES:
+            self._add(
+                Severity.ERROR, "SL202", node.lineno,
+                f"raises {name}: exceptions raised in repro.* must "
+                "derive from the repro.errors hierarchy",
+            )
+        self.generic_visit(node)
+
+    # -- SL203: naked except -------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._add(
+                Severity.ERROR, "SL203", node.lineno,
+                "naked 'except:' — name the exception(s), or catch "
+                "ReproError at an API boundary",
+            )
+        self.generic_visit(node)
+
+    # -- SL204 + function-argument SL201 -------------------------------
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        a = node.args
+        params = [*a.posonlyargs, *a.args, *a.kwonlyargs]
+        defaults: dict[str, ast.expr] = {}
+        pos = [*a.posonlyargs, *a.args]
+        for arg, d in zip(reversed(pos), reversed(a.defaults)):
+            defaults[arg.arg] = d
+        for arg, d in zip(a.kwonlyargs, a.kw_defaults):
+            if d is not None:
+                defaults[arg.arg] = d
+        for arg in params:
+            self._check_int_quantity(
+                arg.arg, arg.annotation, defaults.get(arg.arg), arg.lineno
+            )
+
+        public = not node.name.startswith("_")
+        top_level = self._depth == 0
+        if self.check_annotations and public and top_level:
+            unannotated = [
+                arg.arg
+                for i, arg in enumerate(params)
+                if arg.annotation is None
+                and not (i == 0 and arg.arg in ("self", "cls"))
+            ]
+            if unannotated:
+                self._add(
+                    Severity.ERROR, "SL204", node.lineno,
+                    f"public function {node.name!r} has unannotated "
+                    f"parameter(s): {', '.join(unannotated)}",
+                )
+            if node.returns is None:
+                self._add(
+                    Severity.ERROR, "SL204", node.lineno,
+                    f"public function {node.name!r} has no return "
+                    "annotation",
+                )
+
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        # Methods of a top-level class count as top-level API; functions
+        # nested inside functions never do.
+        self.generic_visit(node)
+
+
+def lint_source(path: Path, root: Path | None = None) -> list[Finding]:
+    """Lint one Python source file; returns its findings."""
+    rel = str(path.relative_to(root)) if root is not None else str(path)
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except (OSError, SyntaxError) as e:
+        raise StatCheckError(f"{path}: cannot lint: {e}") from None
+    posix = path.as_posix()
+    check_annotations = any(
+        f"/{frag}/" in posix for frag in _ANNOTATION_SCOPE
+    )
+    linter = _SelfLint(path, rel, check_annotations)
+    linter.visit(tree)
+    return linter.findings
+
+
+def _iter_sources(root: Path) -> Iterator[Path]:
+    if root.is_file():
+        yield root
+        return
+    yield from sorted(root.rglob("*.py"))
+
+
+def lint_tree(roots: list[Path | str]) -> FindingReport:
+    """Lint every ``.py`` file under the given roots."""
+    report = FindingReport()
+    for root in roots:
+        root = Path(root)
+        if not root.exists():
+            raise StatCheckError(f"{root}: no such file or directory")
+        base = root if root.is_dir() else root.parent
+        for path in _iter_sources(root):
+            report.extend(lint_source(path, root=base))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.statcheck.selflint",
+        description="custom AST lint enforcing repo invariants",
+    )
+    parser.add_argument(
+        "roots", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        report = lint_tree(args.roots)
+    except StatCheckError as e:
+        print(f"selflint: {e}", file=sys.stderr)
+        return 2
+    print(report.format_json() if args.json else report.format_text())
+    return report.exit_code(fail_on=Severity.ERROR)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

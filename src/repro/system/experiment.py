@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigError
 from repro.system.api import base_run, oprofile_profile, viprof_profile
 from repro.system.engine import RunResult
 from repro.workloads.base import Workload, by_name, paper_suite
@@ -56,7 +57,9 @@ class OverheadMatrix:
                 and c.period == period
             ):
                 return c
-        raise KeyError((benchmark, profiler, period))
+        raise ConfigError(
+            f"no overhead cell for ({benchmark!r}, {profiler!r}, {period})"
+        )
 
     def slowdowns(self, profiler: str, period: int) -> dict[str, float]:
         return {
@@ -89,7 +92,7 @@ class OverheadMatrix:
             for i, (prof, period, _) in enumerate(configs):
                 try:
                     s = self.cell(name, prof, period).slowdown
-                except KeyError:
+                except ConfigError:
                     row.append(f"{'-':>13}")
                     continue
                 sums[i] += s

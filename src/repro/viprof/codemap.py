@@ -17,19 +17,27 @@ matching the flavour of Jikes RVM's own map artifacts::
 
     # viprof code map epoch 7
     0x60812340 0x00000420 O1 org.example.app.Scanner.parseLine
+
+Records written for a body *flagged as moved* by the previous collection
+carry a ``/M`` marker on the tier field (``O1/M``); the marker lets the
+static artifact analyzer (:mod:`repro.statcheck`) verify move provenance
+without replaying the run.  Readers without the marker see a plain tier.
 """
 
 from __future__ import annotations
 
-import bisect
 import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
 from repro.errors import CodeMapError
+from repro.os.intervals import Interval, IntervalIndex
 
 __all__ = ["CodeMapRecord", "CodeMapWriter", "CodeMap", "CodeMapIndex"]
+
+#: Tier-field suffix marking a record logged because the previous GC moved it.
+MOVED_MARKER = "/M"
 
 _FILE_RE = re.compile(r"^jit-map\.(\d{5})$")
 _HEADER_RE = re.compile(r"^# viprof code map epoch (\d+)$")
@@ -40,12 +48,18 @@ _LINE_RE = re.compile(
 
 @dataclass(frozen=True, slots=True, order=True)
 class CodeMapRecord:
-    """One mapped method body: image-absolute address range plus identity."""
+    """One mapped method body: image-absolute address range plus identity.
+
+    ``moved`` is True for records written because the previous collection
+    relocated the body (the agent's flag-and-defer path), False for records
+    written because the body was compiled during the epoch.
+    """
 
     address: int
     size: int
     tier: str
     name: str
+    moved: bool = False
 
     def __post_init__(self) -> None:
         if self.address <= 0:
@@ -61,18 +75,24 @@ class CodeMapRecord:
         return self.address <= addr < self.end
 
     def to_line(self) -> str:
-        return f"{self.address:#010x} {self.size:#010x} {self.tier} {self.name}"
+        tier = self.tier + MOVED_MARKER if self.moved else self.tier
+        return f"{self.address:#010x} {self.size:#010x} {tier} {self.name}"
 
     @classmethod
     def from_line(cls, line: str) -> "CodeMapRecord":
         m = _LINE_RE.match(line)
         if m is None:
             raise CodeMapError(f"malformed code-map line: {line!r}")
+        tier = m.group(3)
+        moved = tier.endswith(MOVED_MARKER)
+        if moved:
+            tier = tier[: -len(MOVED_MARKER)]
         return cls(
             address=int(m.group(1), 16),
             size=int(m.group(2), 16),
-            tier=m.group(3),
+            tier=tier,
             name=m.group(4),
+            moved=moved,
         )
 
 
@@ -97,9 +117,12 @@ class CodeMapWriter:
                 (epochs close exactly once).
         """
         if epoch < 0:
-            raise CodeMapError(f"negative epoch {epoch}")
+            raise CodeMapError(f"{self.map_dir}: negative epoch {epoch}")
         if epoch in self._epochs_seen:
-            raise CodeMapError(f"map for epoch {epoch} already written")
+            raise CodeMapError(
+                f"{self.path_for(epoch)}: map for epoch {epoch} "
+                "already written"
+            )
         self._epochs_seen.add(epoch)
         path = self.path_for(epoch)
         recs = sorted(records)
@@ -120,17 +143,29 @@ class CodeMap:
     ``tests/viprof/test_codemap_properties.py``).
     """
 
-    def __init__(self, epoch: int, records: list[CodeMapRecord]):
+    def __init__(
+        self,
+        epoch: int,
+        records: list[CodeMapRecord],
+        source: Path | None = None,
+    ):
         self.epoch = epoch
+        self.source = source
         self._records = sorted(records)
-        self._addrs = [r.address for r in self._records]
-        prev: CodeMapRecord | None = None
-        for r in self._records:
-            if prev is not None and r.address < prev.end:
-                raise CodeMapError(
-                    f"epoch {epoch}: records {prev.name!r} and {r.name!r} overlap"
-                )
-            prev = r
+        self._index: IntervalIndex[CodeMapRecord] = IntervalIndex(
+            Interval(r.address, r.end, r) for r in self._records
+        )
+        bad = self._index.overlapping_pairs()
+        if bad:
+            a, b = bad[0]
+            raise CodeMapError(
+                f"{self._where()}records {a.payload.name!r} and "
+                f"{b.payload.name!r} overlap"
+            )
+
+    def _where(self) -> str:
+        prefix = f"{self.source}: " if self.source is not None else ""
+        return f"{prefix}epoch {self.epoch}: "
 
     def __len__(self) -> int:
         return len(self._records)
@@ -140,11 +175,8 @@ class CodeMap:
         return tuple(self._records)
 
     def lookup(self, addr: int) -> CodeMapRecord | None:
-        i = bisect.bisect_right(self._addrs, addr) - 1
-        if i < 0:
-            return None
-        r = self._records[i]
-        return r if r.contains(addr) else None
+        iv = self._index.first_covering(addr)
+        return iv.payload if iv is not None else None
 
     @classmethod
     def load(cls, path: Path) -> "CodeMap":
@@ -155,8 +187,17 @@ class CodeMap:
         if m is None:
             raise CodeMapError(f"{path}: bad header {lines[0]!r}")
         epoch = int(m.group(1))
-        records = [CodeMapRecord.from_line(ln) for ln in lines[1:] if ln.strip()]
-        return cls(epoch, records)
+        records = []
+        for lineno, ln in enumerate(lines[1:], start=2):
+            if not ln.strip():
+                continue
+            try:
+                records.append(CodeMapRecord.from_line(ln))
+            except CodeMapError as e:
+                raise CodeMapError(
+                    f"{path}: epoch {epoch}: line {lineno}: {e}"
+                ) from None
+        return cls(epoch, records, source=path)
 
 
 class CodeMapIndex:

@@ -20,6 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.profiling.annotate import SymbolAnnotation
 
 from repro.jvm.bootimage import BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL, RvmMap
 from repro.jvm.machine import JIT_APP_IMAGE_LABEL
@@ -130,7 +134,9 @@ class ViprofReport(OpReport):
 
     # ------------------------------------------------------------------
 
-    def annotate_jit(self, method_name: str, bucket_bytes: int = 16):
+    def annotate_jit(
+        self, method_name: str, bucket_bytes: int = 16
+    ) -> "SymbolAnnotation":
         """Annotate a JIT method at (approximate) bytecode granularity.
 
         The code maps record each body's compiler tier; the tier's

@@ -182,6 +182,7 @@ class ViprofVmAgent(VmHooks):
                 size=body.size,
                 tier=body.tier.label,
                 name=body.method.full_name,
+                moved=True,
             )
             records[(rec.address, rec.name)] = rec
         recs = list(records.values())

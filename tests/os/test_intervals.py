@@ -1,0 +1,144 @@
+"""Unit + randomized tests for the shared interval index."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.os.intervals import Interval, IntervalIndex
+
+
+def iv(start, end, payload=None):
+    return Interval(start, end, payload)
+
+
+class TestInterval:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Interval(10, 10, None)
+        with pytest.raises(ConfigError):
+            Interval(10, 5, None)
+
+    def test_contains_half_open(self):
+        r = iv(0x100, 0x200)
+        assert r.contains(0x100)
+        assert r.contains(0x1FF)
+        assert not r.contains(0x200)
+        assert not r.contains(0xFF)
+
+    def test_overlaps(self):
+        assert iv(0, 10).overlaps(iv(9, 20))
+        assert not iv(0, 10).overlaps(iv(10, 20))  # half-open: touching ok
+        assert iv(5, 6).overlaps(iv(0, 100))
+
+
+class TestStab:
+    def test_disjoint_lookup(self):
+        idx = IntervalIndex(
+            [iv(0x1000, 0x1100, "a"), iv(0x2000, 0x2200, "b")]
+        )
+        assert idx.first_covering(0x1000).payload == "a"
+        assert idx.first_covering(0x10FF).payload == "a"
+        assert idx.first_covering(0x1100) is None
+        assert idx.first_covering(0x2100).payload == "b"
+        assert idx.first_covering(0) is None
+        assert idx.first_covering(0x9999_9999) is None
+
+    def test_stab_returns_all_covering(self):
+        idx = IntervalIndex(
+            [iv(0, 100, "wide"), iv(10, 20, "inner"), iv(50, 60, "other")]
+        )
+        assert [i.payload for i in idx.stab(15)] == ["wide", "inner"]
+        assert [i.payload for i in idx.stab(55)] == ["wide", "other"]
+        assert [i.payload for i in idx.stab(99)] == ["wide"]
+        assert idx.stab(100) == ()
+
+    def test_first_covering_prefers_greatest_start(self):
+        idx = IntervalIndex([iv(0, 100, "wide"), iv(10, 20, "inner")])
+        assert idx.first_covering(15).payload == "inner"
+        assert idx.first_covering(30).payload == "wide"
+
+    def test_nested_long_interval_found(self):
+        # The long interval starts far left of the stab point; the
+        # prefix-max-end walk must keep looking past nearer misses.
+        idx = IntervalIndex(
+            [iv(0, 1000, "long"), iv(100, 110, "x"), iv(200, 210, "y")]
+        )
+        assert idx.first_covering(500).payload == "long"
+
+    def test_empty_index(self):
+        idx = IntervalIndex([])
+        assert idx.first_covering(0) is None
+        assert idx.stab(0) == ()
+        assert idx.is_disjoint()
+        assert idx.overlapping_pairs() == []
+
+
+class TestOverlapDetection:
+    def test_disjoint(self):
+        idx = IntervalIndex([iv(0, 10), iv(10, 20), iv(30, 40)])
+        assert idx.is_disjoint()
+        assert idx.overlapping_pairs() == []
+
+    def test_single_overlap(self):
+        idx = IntervalIndex([iv(0, 10, "a"), iv(5, 15, "b")])
+        assert not idx.is_disjoint()
+        pairs = idx.overlapping_pairs()
+        assert len(pairs) == 1
+        assert {pairs[0][0].payload, pairs[0][1].payload} == {"a", "b"}
+
+    def test_all_pairs_reported(self):
+        idx = IntervalIndex([iv(0, 100, "a"), iv(10, 20, "b"), iv(15, 30, "c")])
+        got = {
+            frozenset((a.payload, b.payload))
+            for a, b in idx.overlapping_pairs()
+        }
+        assert got == {
+            frozenset(("a", "b")),
+            frozenset(("a", "c")),
+            frozenset(("b", "c")),
+        }
+
+
+class TestRandomizedAgainstBruteForce:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    def test_stab_matches_linear_scan(self, seed):
+        rng = random.Random(seed)
+        intervals = []
+        for i in range(120):
+            start = rng.randrange(0, 5000)
+            size = rng.randrange(1, 200)
+            intervals.append(iv(start, start + size, i))
+        idx = IntervalIndex(intervals)
+        for _ in range(300):
+            point = rng.randrange(-10, 5300)
+            expect = sorted(
+                (i for i in intervals if i.contains(point)),
+                key=lambda i: (i.start, i.end),
+            )
+            assert list(idx.stab(point)) == expect
+            first = idx.first_covering(point)
+            if expect:
+                assert first == expect[-1]
+            else:
+                assert first is None
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_overlap_pairs_match_quadratic_check(self, seed):
+        rng = random.Random(seed)
+        intervals = []
+        for i in range(60):
+            start = rng.randrange(0, 2000)
+            intervals.append(iv(start, start + rng.randrange(1, 100), i))
+        idx = IntervalIndex(intervals)
+        expect = set()
+        for i, a in enumerate(intervals):
+            for b in intervals[i + 1:]:
+                if a.overlaps(b):
+                    expect.add(frozenset((a.payload, b.payload)))
+        got = {
+            frozenset((a.payload, b.payload))
+            for a, b in idx.overlapping_pairs()
+        }
+        assert got == expect
+        assert idx.is_disjoint() == (not expect)

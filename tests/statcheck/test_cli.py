@@ -1,0 +1,104 @@
+"""CLI-level tests: ``viprof lint``, ``-m`` front ends, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main as viprof_main
+from repro.statcheck.analyzer import main as analyzer_main
+from repro.statcheck.fixtures import main as fixtures_main
+from repro.statcheck.fixtures import write_fixture_session
+from repro.statcheck.selflint import main as selflint_main
+
+
+@pytest.fixture
+def clean_session(tmp_path):
+    return write_fixture_session(tmp_path / "clean")
+
+
+@pytest.fixture
+def orphan_session(tmp_path):
+    return write_fixture_session(tmp_path / "orphan", "orphan")
+
+
+class TestViprofLint:
+    def test_clean_exits_zero(self, clean_session, capsys):
+        rc = viprof_main(["lint", str(clean_session)])
+        assert rc == 0
+        assert "clean: no findings" in capsys.readouterr().out
+
+    def test_corrupt_exits_nonzero_with_rule_id(self, orphan_session, capsys):
+        rc = viprof_main(["lint", str(orphan_session)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "VP103" in out and "resolves in no code map" in out
+
+    def test_json_output(self, orphan_session, capsys):
+        rc = viprof_main(["lint", "--json", str(orphan_session)])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"]["error"] == 1
+        assert data["findings"][0]["rule_id"] == "VP103"
+
+    def test_rule_selection(self, orphan_session, capsys):
+        rc = viprof_main(
+            ["lint", "--rules", "VP101,VP102", str(orphan_session)]
+        )
+        assert rc == 0  # the orphan rule was not selected
+
+    def test_empty_rules_is_usage_error(self, orphan_session, capsys):
+        # "--rules ''" must not silently run zero rules and pass.
+        rc = viprof_main(["lint", "--rules", "", str(orphan_session)])
+        assert rc == 2
+        assert "no rule ids" in capsys.readouterr().err
+
+    def test_fail_on_warning(self, tmp_path, capsys):
+        sess = write_fixture_session(tmp_path / "gap", "epoch-gap")
+        assert viprof_main(["lint", str(sess)]) == 0  # warnings only
+        assert viprof_main(
+            ["lint", "--fail-on", "warning", str(sess)]
+        ) == 1
+
+    def test_list_rules(self, capsys):
+        rc = viprof_main(["lint", "--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for rid in ("VP101", "VP102", "VP103", "VP104", "VP105", "VP106"):
+            assert rid in out
+
+    def test_bad_session_dir_exits_two(self, tmp_path, capsys):
+        rc = viprof_main(["lint", str(tmp_path / "ghost")])
+        assert rc == 2
+        assert "viprof lint:" in capsys.readouterr().err
+
+    def test_missing_session_dir_exits_two(self, capsys):
+        assert viprof_main(["lint"]) == 2
+
+
+class TestModuleFrontEnds:
+    def test_analyzer_main(self, clean_session):
+        assert analyzer_main([str(clean_session)]) == 0
+
+    def test_selflint_main_on_clean_snippet(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x: int = 1\n")
+        assert selflint_main([str(tmp_path)]) == 0
+
+    def test_selflint_main_json(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "def f() -> None:\n    raise OSError('x')\n"
+        )
+        assert selflint_main(["--json", str(tmp_path)]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["findings"][0]["rule_id"] == "SL202"
+
+    def test_selflint_main_bad_root(self, tmp_path, capsys):
+        assert selflint_main([str(tmp_path / "ghost")]) == 2
+
+    def test_fixtures_main_generates(self, tmp_path, capsys):
+        assert fixtures_main([str(tmp_path / "fx")]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "stale-moved" in out
+
+    def test_fixtures_selftest(self, capsys):
+        assert fixtures_main(["--selftest"]) == 0
+        assert "selftest ok" in capsys.readouterr().out

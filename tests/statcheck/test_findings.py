@@ -1,0 +1,69 @@
+"""Unit tests for the findings model shared by both lint front ends."""
+
+import json
+
+from repro.statcheck.findings import Finding, FindingReport, Severity
+
+
+def f(sev=Severity.ERROR, rule="VP101", artifact="a", loc="x", msg="m"):
+    return Finding(
+        severity=sev, rule_id=rule, artifact=artifact, location=loc,
+        message=msg,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.WARNING <= Severity.WARNING
+        assert max(
+            [Severity.INFO, Severity.ERROR, Severity.WARNING],
+            key=lambda s: s.rank,
+        ) is Severity.ERROR
+
+
+class TestFindingReport:
+    def test_empty_report(self):
+        r = FindingReport()
+        assert len(r) == 0
+        assert r.worst is None
+        assert r.exit_code() == 0
+        assert r.format_text() == "clean: no findings"
+
+    def test_add_and_counts(self):
+        r = FindingReport()
+        r.add(Severity.ERROR, "VP101", "m.txt", "epoch 1", "boom")
+        r.add(Severity.WARNING, "VP102", "s", "-", "meh")
+        r.add(Severity.WARNING, "VP102", "s", "-", "meh2")
+        assert r.count(Severity.ERROR) == 1
+        assert r.count(Severity.WARNING) == 2
+        assert r.worst is Severity.ERROR
+        assert r.rule_ids == ("VP101", "VP102")
+        assert len(r.by_rule("VP102")) == 2
+
+    def test_exit_code_thresholds(self):
+        r = FindingReport()
+        r.add(Severity.WARNING, "VP102", "s", "-", "meh")
+        assert r.exit_code(fail_on=Severity.ERROR) == 0
+        assert r.exit_code(fail_on=Severity.WARNING) == 1
+        assert r.exit_code(fail_on=Severity.INFO) == 1
+
+    def test_text_sorted_most_severe_first(self):
+        r = FindingReport()
+        r.add(Severity.INFO, "VP103", "s", "-", "fyi")
+        r.add(Severity.ERROR, "VP101", "m", "epoch 0", "bad")
+        lines = r.format_text().splitlines()
+        assert lines[0].startswith("ERROR")
+        assert "1 error(s), 0 warning(s), 1 info" in lines[-1]
+
+    def test_json_roundtrips(self):
+        r = FindingReport()
+        r.add(Severity.ERROR, "VP104", "map", "epoch 2", "collision")
+        data = json.loads(r.format_json())
+        assert data["counts"]["error"] == 1
+        assert data["findings"][0]["rule_id"] == "VP104"
+        assert data["findings"][0]["location"] == "epoch 2"
+
+    def test_format_line(self):
+        line = f().format_line()
+        assert "ERROR" in line and "VP101" in line and "a:x: m" in line

@@ -1,0 +1,177 @@
+"""Source self-lint tests: each rule on crafted sources + the real tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StatCheckError
+from repro.statcheck.findings import Severity
+from repro.statcheck.selflint import lint_source, lint_tree
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def lint_text(tmp_path, text, name="mod.py", subdir=""):
+    d = tmp_path / subdir if subdir else tmp_path
+    d.mkdir(parents=True, exist_ok=True)
+    p = d / name
+    p.write_text(text)
+    return lint_source(p, root=tmp_path)
+
+
+def rules_of(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestSL201IntAddresses:
+    def test_float_annotated_param_flagged(self, tmp_path):
+        fs = lint_text(tmp_path, "def f(addr: float) -> None: ...\n")
+        assert rules_of(fs) == ["SL201"]
+
+    def test_float_annotated_assignment_flagged(self, tmp_path):
+        fs = lint_text(tmp_path, "start_address: float = 0\n")
+        assert rules_of(fs) == ["SL201"]
+
+    def test_float_default_flagged(self, tmp_path):
+        fs = lint_text(tmp_path, "def f(map_size=4.0) -> None: ...\n")
+        assert rules_of(fs) == ["SL201"]
+
+    def test_kwonly_float_default_flagged(self, tmp_path):
+        fs = lint_text(tmp_path, "def f(*, pc=1.5) -> None: ...\n")
+        assert rules_of(fs) == ["SL201"]
+
+    def test_int_quantities_pass(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(addr: int, size: int = 4, scale: float = 1.0) -> int:\n"
+            "    return addr + size\n",
+        )
+        assert fs == []
+
+    def test_non_quantity_float_ok(self, tmp_path):
+        fs = lint_text(tmp_path, "time_scale: float = 0.25\n")
+        assert fs == []
+
+
+class TestSL202RaiseDiscipline:
+    def test_builtin_raise_flagged(self, tmp_path):
+        fs = lint_text(
+            tmp_path, "def f() -> None:\n    raise ValueError('x')\n"
+        )
+        assert rules_of(fs) == ["SL202"]
+
+    def test_repro_error_ok(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "from repro.errors import ConfigError\n"
+            "def f() -> None:\n    raise ConfigError('x')\n",
+        )
+        assert fs == []
+
+    def test_bare_reraise_ok(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f() -> None:\n"
+            "    try:\n        pass\n"
+            "    except ValueError:\n        raise\n",
+        )
+        assert fs == []
+
+    def test_variable_reraise_ok(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(e: Exception) -> None:\n    raise e\n",
+        )
+        assert fs == []
+
+    def test_not_implemented_ok(self, tmp_path):
+        fs = lint_text(
+            tmp_path, "def f() -> None:\n    raise NotImplementedError\n"
+        )
+        assert fs == []
+
+    def test_raise_class_without_call_flagged(self, tmp_path):
+        fs = lint_text(tmp_path, "def f() -> None:\n    raise TypeError\n")
+        assert rules_of(fs) == ["SL202"]
+
+
+class TestSL203NakedExcept:
+    def test_naked_except_flagged(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f() -> None:\n"
+            "    try:\n        pass\n"
+            "    except:\n        pass\n",
+        )
+        assert rules_of(fs) == ["SL203"]
+
+    def test_typed_except_ok(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f() -> None:\n"
+            "    try:\n        pass\n"
+            "    except Exception:\n        pass\n",
+        )
+        assert fs == []
+
+
+class TestSL204PublicAnnotations:
+    SRC = (
+        "def public(x, y=1):\n    return x\n"
+        "def _private(x):\n    return x\n"
+    )
+
+    def test_scope_limited_to_viprof_and_profiling(self, tmp_path):
+        # Outside the scoped dirs: no SL204.
+        assert lint_text(tmp_path, self.SRC, subdir="repro/analysis") == []
+        fs = lint_text(tmp_path, self.SRC, subdir="repro/viprof")
+        assert rules_of(fs) == ["SL204"]
+        fs = lint_text(tmp_path, self.SRC, subdir="repro/profiling")
+        assert rules_of(fs) == ["SL204"]
+
+    def test_private_and_nested_skipped(self, tmp_path):
+        src = (
+            "def public(x: int) -> int:\n"
+            "    def inner(y):\n        return y\n"
+            "    return inner(x)\n"
+        )
+        assert lint_text(tmp_path, src, subdir="repro/viprof") == []
+
+    def test_method_annotations_required(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def public(self, x):\n        return x\n"
+        )
+        fs = lint_text(tmp_path, src, subdir="repro/viprof")
+        assert rules_of(fs) == ["SL204"]
+        assert any("unannotated" in f.message for f in fs)
+        assert any("return" in f.message for f in fs)
+
+    def test_self_needs_no_annotation(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def public(self, x: int) -> int:\n        return x\n"
+        )
+        assert lint_text(tmp_path, src, subdir="repro/viprof") == []
+
+
+class TestTreeLint:
+    def test_syntax_error_raises_statcheck_error(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def f(:\n")
+        with pytest.raises(StatCheckError, match="cannot lint"):
+            lint_tree([tmp_path])
+
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(StatCheckError, match="no such file"):
+            lint_tree([tmp_path / "ghost"])
+
+    def test_single_file_root(self, tmp_path):
+        p = tmp_path / "one.py"
+        p.write_text("def f() -> None:\n    raise OSError('x')\n")
+        report = lint_tree([p])
+        assert report.count(Severity.ERROR) == 1
+
+    def test_repo_src_is_clean(self):
+        """The enforced invariant: our own tree passes its own lint."""
+        report = lint_tree([REPO_SRC])
+        assert report.count(Severity.ERROR) == 0, report.format_text()

@@ -3,6 +3,7 @@ the full runs are exercised by tests/integration and benchmarks)."""
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.system.experiment import OverheadCell, OverheadMatrix
 
 
@@ -32,7 +33,7 @@ def matrix():
 class TestOverheadMatrix:
     def test_cell_lookup(self, matrix):
         assert matrix.cell("antlr", "viprof", 90_000).slowdown == 1.10
-        with pytest.raises(KeyError):
+        with pytest.raises(ConfigError):
             matrix.cell("antlr", "viprof", 1)
 
     def test_slowdowns_selector(self, matrix):

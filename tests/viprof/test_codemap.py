@@ -45,6 +45,20 @@ class TestCodeMapRecord:
         with pytest.raises(CodeMapError, match="malformed"):
             CodeMapRecord.from_line("not a map line")
 
+    def test_moved_flag_roundtrips(self):
+        r = CodeMapRecord(
+            address=0x6081_0000, size=0x420, tier="O1",
+            name="org.example.app.Scanner.parseLine", moved=True,
+        )
+        assert "/M" in r.to_line()
+        assert CodeMapRecord.from_line(r.to_line()) == r
+
+    def test_unmoved_record_keeps_legacy_format(self):
+        r = CodeMapRecord(address=0x1000, size=0x10, tier="O0", name="m")
+        assert "/M" not in r.to_line()
+        legacy = CodeMapRecord.from_line(r.to_line())
+        assert legacy.moved is False
+
 
 class TestCodeMapWriterAndLoad:
     def test_write_and_load(self, tmp_path):
