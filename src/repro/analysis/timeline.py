@@ -14,6 +14,7 @@ VIProf timelines can tell *which Java method* a new phase is about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import ConfigError
 from repro.profiling.model import ResolvedSample
@@ -90,11 +91,15 @@ class Timeline:
 
 
 def build_timeline(
-    samples: list[ResolvedSample],
+    samples: Iterable[ResolvedSample],
     window_cycles: int,
     event: str = "GLOBAL_POWER_EVENTS",
 ) -> Timeline:
-    """Slice resolved samples into fixed windows by capture cycle."""
+    """Slice resolved samples into fixed windows by capture cycle.
+
+    ``samples`` may be any iterable, including the pipeline's streaming
+    resolver output; it is consumed once.
+    """
     if window_cycles <= 0:
         raise ConfigError("window_cycles must be positive")
     relevant = [s for s in samples if s.raw.event_name == event]

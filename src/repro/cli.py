@@ -51,16 +51,33 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_stage_stats(stats: dict) -> str:
+    """Render a resolver chain's per-stage counters as aligned rows."""
+    lines = [f"{'stage':<16}{'hits':>8}{'misses':>8}"]
+    for entry in stats["stages"]:
+        lines.append(
+            f"{entry['stage']:<16}{entry['hits']:>8}{entry['misses']:>8}"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     result = viprof_profile(
         by_name(args.benchmark), period=args.period,
         time_scale=args.scale, seed=args.seed,
     )
     vr = result.viprof_report()
+    if args.json:
+        from repro.profiling.export import report_to_json
+
+        print(report_to_json(vr.report, stats=vr.stage_stats))
+        return 0
     print(vr.report.format_table(limit=args.rows))
     s = vr.jit_stats
     print(f"\n{s.jit_samples} JIT samples, "
           f"{100 * s.resolution_rate:.1f}% resolved")
+    print("\nresolution stages:")
+    print(_format_stage_stats(vr.stage_stats))
     return 0
 
 
@@ -162,8 +179,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
         time_scale=args.scale, seed=args.seed,
     )
     post = result.viprof_report().post
-    resolved = [post.resolve(s) for s in post.read_samples()]
-    tl = build_timeline(resolved, window_cycles=args.window)
+    tl = build_timeline(post.resolved_samples(), window_cycles=args.window)
     print(tl.format_table(top=args.top))
     transitions = tl.transitions(min_divergence=args.divergence)
     print(f"\nphase transitions at windows: {transitions or 'none'}")
@@ -204,6 +220,9 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("report", help="profile a benchmark with VIProf")
     p.add_argument("benchmark")
     p.add_argument("--rows", type=int, default=15)
+    p.add_argument("--json", action="store_true",
+                   help="emit the report (plus per-stage resolution "
+                        "counters) as JSON")
     _add_run_args(p)
 
     p = sub.add_parser("case-study", help="Figure 1 side-by-side")

@@ -12,9 +12,12 @@ A faithful model of the OProfile 0.9-era pipeline the paper extends:
   kernel, or *anonymous*) and appends it to per-event sample files; its
   per-sample costs are the heart of the paper's overhead comparison;
 * :mod:`repro.oprofile.opreport` — offline post-processing: sample files →
-  symbol-level report.  Stock opreport leaves anonymous-region samples
-  (i.e. all JIT code) unsymbolized — the limitation VIProf removes;
-* :mod:`repro.oprofile.callgraph` — arc-recording call-graph profiles.
+  symbol-level report, as a composition of the streaming pipeline's
+  kernel and task-VMA stages (:mod:`repro.pipeline`).  Stock opreport
+  leaves anonymous-region samples (i.e. all JIT code) unsymbolized — the
+  limitation VIProf removes;
+* :mod:`repro.oprofile.callgraph` — arc-recording call-graph profiles
+  (implementation shared with VIProf in :mod:`repro.pipeline.callgraph`).
 """
 
 from repro.oprofile.opcontrol import OprofileConfig, EventSpec

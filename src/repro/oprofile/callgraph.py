@@ -1,72 +1,13 @@
-"""Call-graph profiles (``opcontrol --callgraph``).
+"""Call-graph profiles (``opcontrol --callgraph``) — stock flavour.
 
-OProfile can record, for each sample, the caller chain discovered by walking
-stack frames.  Our engine supplies a *stack witness* — the (caller, callee)
-context at the moment of the sample — which the recorder turns into weighted
-arcs.  VIProf extends this across layers (a JIT method calling into libc,
-VM internals calling JIT code): see :mod:`repro.viprof.callgraph`.
-
-The paper mentions the cross-layer call-graph capability and omits results
-for brevity; we implement it and exercise it in tests and an example.
+The implementation now lives in :mod:`repro.pipeline.callgraph`, one
+module for both the stock and the cross-layer recorder (they were
+near-duplicates).  This module remains as the stable import path for
+stock-OProfile consumers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.pipeline.callgraph import CallArc, CallGraphRecorder, NodeKey
 
-__all__ = ["CallArc", "CallGraphRecorder"]
-
-#: (image, symbol) — the node key used in arcs.
-NodeKey = tuple[str, str]
-
-
-@dataclass(frozen=True, slots=True)
-class CallArc:
-    """A directed caller→callee arc with a per-event sample count."""
-
-    caller: NodeKey
-    callee: NodeKey
-
-
-@dataclass
-class CallGraphRecorder:
-    """Accumulates weighted call arcs from per-sample stack witnesses."""
-
-    arcs: dict[CallArc, dict[str, int]] = field(default_factory=dict)
-    self_samples: dict[NodeKey, dict[str, int]] = field(default_factory=dict)
-
-    def record(
-        self, caller: NodeKey | None, callee: NodeKey, event_name: str
-    ) -> None:
-        """Record one sample landing in ``callee`` while called from
-        ``caller`` (None for a root frame)."""
-        per_ev = self.self_samples.setdefault(callee, {})
-        per_ev[event_name] = per_ev.get(event_name, 0) + 1
-        if caller is None:
-            return
-        arc = CallArc(caller=caller, callee=callee)
-        per_ev = self.arcs.setdefault(arc, {})
-        per_ev[event_name] = per_ev.get(event_name, 0) + 1
-
-    def top_arcs(self, event_name: str, limit: int = 10) -> list[tuple[CallArc, int]]:
-        weighted = [
-            (arc, counts.get(event_name, 0)) for arc, counts in self.arcs.items()
-        ]
-        weighted = [(a, n) for a, n in weighted if n > 0]
-        weighted.sort(key=lambda x: (-x[1], x[0].caller, x[0].callee))
-        return weighted[:limit]
-
-    def arcs_from(self, caller: NodeKey) -> list[CallArc]:
-        return [a for a in self.arcs if a.caller == caller]
-
-    def arcs_into(self, callee: NodeKey) -> list[CallArc]:
-        return [a for a in self.arcs if a.callee == callee]
-
-    def format_table(self, event_name: str, limit: int = 10) -> str:
-        lines = [f"{'samples':>8}  caller -> callee ({event_name})"]
-        for arc, n in self.top_arcs(event_name, limit):
-            lines.append(
-                f"{n:8d}  {arc.caller[0]}:{arc.caller[1]} -> "
-                f"{arc.callee[0]}:{arc.callee[1]}"
-            )
-        return "\n".join(lines)
+__all__ = ["CallArc", "CallGraphRecorder", "NodeKey"]

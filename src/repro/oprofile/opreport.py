@@ -1,96 +1,92 @@
 """Stock OProfile post-processing (``opreport``).
 
-Reads the sample files back and symbolizes each sample:
-
-* kernel PCs resolve against the ``vmlinux`` symbol table;
-* user PCs resolve through the owning task's VMA set: file-backed mappings
-  through their image's ELF symbols, anonymous mappings to an
-  ``anon (range:...)`` label with ``(no symbols)``.
+A thin composition over the streaming pipeline (:mod:`repro.pipeline`):
+the session's sample files stream through the stock resolver chain —
+kernel PCs against the ``vmlinux`` symbol table, then user PCs through
+the owning task's VMA set (file-backed mappings through their image's
+ELF symbols, anonymous mappings to an ``anon (range:...)`` label with
+``(no symbols)``).
 
 That last line is the paper's Figure 1 (bottom): the JVM heap — all JIT
 code — and any stripped images stay opaque.  VIProf's post-processor
-(:mod:`repro.viprof.postprocess`) subclasses the resolution step.
+(:mod:`repro.viprof.postprocess`) composes a longer chain; the resolution
+logic itself lives in :mod:`repro.pipeline.stages`, not here.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
 
-from repro.errors import ProfilerError
-from repro.os.binary import NO_SYMBOLS
-from repro.os.address_space import VmaKind
 from repro.os.kernel import Kernel
+from repro.pipeline.aggregate import run_pipeline
+from repro.pipeline.resolver import ResolverChain
+from repro.pipeline.source import DirectorySource, as_pipeline_sample
+from repro.pipeline.stages import (
+    UNKNOWN_IMAGE,
+    KernelSymbolStage,
+    TaskVmaStage,
+)
 from repro.profiling.model import RawSample, ResolvedSample
-from repro.profiling.report import ProfileReport, build_report
-from repro.profiling.samplefile import SampleFileReader
+from repro.profiling.report import ProfileReport
 
-__all__ = ["OpReport"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.profiling.annotate import SymbolAnnotation
 
-#: Label for samples whose PC matches no mapping at all.
-UNKNOWN_IMAGE = "(unknown)"
+__all__ = ["OpReport", "UNKNOWN_IMAGE"]
 
 
 class OpReport:
-    """Post-processor over a directory of per-event sample files."""
+    """Post-processor over a directory of per-event sample files.
+
+    ``self.chain`` is the resolver chain the report is built from;
+    subclasses override :meth:`_build_chain` (not resolution methods) to
+    extend resolution, and the chain's per-stage counters
+    (``self.chain.stats_dict()``) travel with every report flavour.
+    """
 
     def __init__(self, kernel: Kernel, sample_dir: Path | str) -> None:
         self.kernel = kernel
-        self.sample_dir = Path(sample_dir)
-        if not self.sample_dir.is_dir():
-            raise ProfilerError(f"no sample directory {self.sample_dir}")
+        self.source = DirectorySource(sample_dir)
+        self.sample_dir = self.source.sample_dir
+        self.chain = self._build_chain()
 
-    # ------------------------------------------------------------------
-
-    def read_samples(self) -> list[RawSample]:
-        """Load every sample from every event file, in file order."""
-        samples: list[RawSample] = []
-        files = sorted(self.sample_dir.glob("*.samples"))
-        if not files:
-            raise ProfilerError(f"no sample files in {self.sample_dir}")
-        for path in files:
-            samples.extend(SampleFileReader(path))
-        return samples
-
-    def event_names(self) -> tuple[str, ...]:
-        """Event column order: the time event first (as the paper's tables
-        print it), then the rest alphabetically."""
-        names = [
-            SampleFileReader(p).event_name
-            for p in sorted(self.sample_dir.glob("*.samples"))
-        ]
-        return tuple(
-            sorted(names, key=lambda n: (n != "GLOBAL_POWER_EVENTS", n))
+    def _build_chain(self) -> ResolverChain:
+        """Stock opreport resolution: kernel symbols, then task VMAs."""
+        return ResolverChain(
+            [KernelSymbolStage(self.kernel), TaskVmaStage(self.kernel)]
         )
 
     # ------------------------------------------------------------------
 
+    def iter_samples(self) -> Iterator[RawSample]:
+        """Stream every sample from every event file, in file order."""
+        for ps in self.source:
+            yield ps.raw
+
+    def read_samples(self) -> list[RawSample]:
+        """Load every sample from every event file, in file order.
+
+        Prefer :meth:`iter_samples` / :meth:`resolved_samples` — this
+        materializes the whole stream and exists for callers that need
+        random access.
+        """
+        return list(self.iter_samples())
+
+    def event_names(self) -> tuple[str, ...]:
+        """Event column order: the time event first (as the paper's tables
+        print it), then the rest alphabetically."""
+        return self.source.event_names()
+
+    # ------------------------------------------------------------------
+
     def resolve(self, sample: RawSample) -> ResolvedSample:
-        """Symbolize one sample the way stock opreport does."""
-        if sample.kernel_mode or self.kernel.is_kernel_address(sample.pc):
-            image, symbol = self.kernel.resolve_kernel(sample.pc)
-            koff = sample.pc - self.kernel.layout.kernel_base
-            sym = self.kernel.image.symbol_at(koff)
-            return ResolvedSample(
-                raw=sample, image=image, symbol=symbol,
-                offset=(koff - sym.offset) if sym is not None else -1,
-            )
-        proc = self.kernel.process(sample.task_id)
-        if proc is None:
-            return ResolvedSample(raw=sample, image=UNKNOWN_IMAGE, symbol=NO_SYMBOLS)
-        vma = proc.address_space.resolve(sample.pc)
-        if vma is None:
-            return ResolvedSample(raw=sample, image=UNKNOWN_IMAGE, symbol=NO_SYMBOLS)
-        if vma.kind is VmaKind.FILE:
-            assert vma.image is not None
-            off = vma.to_image_offset(sample.pc)
-            sym = vma.image.symbol_at(off)
-            return ResolvedSample(
-                raw=sample,
-                image=vma.image.name,
-                symbol=sym.name if sym is not None else NO_SYMBOLS,
-                offset=(off - sym.offset) if sym is not None else -1,
-            )
-        return ResolvedSample(raw=sample, image=vma.label(), symbol=NO_SYMBOLS)
+        """Symbolize one sample through the report's resolver chain."""
+        return self.chain.resolve(as_pipeline_sample(sample))
+
+    def resolved_samples(self) -> Iterator[ResolvedSample]:
+        """Stream the session's samples through the resolver chain."""
+        return self.chain.resolve_stream(self.source)
 
     # ------------------------------------------------------------------
 
@@ -99,7 +95,7 @@ class OpReport:
         (opreport's ``--separate=proc`` flavour).  Kernel-mode samples are
         charged to the interrupted task, as OProfile does."""
         counts: dict[int, int] = {}
-        for s in self.read_samples():
+        for s in self.iter_samples():
             counts[s.task_id] = counts.get(s.task_id, 0) + 1
         out = []
         for pid, n in counts.items():
@@ -114,17 +110,16 @@ class OpReport:
         symbol: str,
         bucket_bytes: int = 16,
         expansion: int | None = None,
-    ):
+    ) -> "SymbolAnnotation":
         """Within-symbol offset histogram (``opannotate``).
 
         See :func:`repro.profiling.annotate.annotate_symbol`.
         """
         from repro.profiling.annotate import annotate_symbol
 
-        resolved = [self.resolve(s) for s in self.read_samples()]
         return annotate_symbol(
-            resolved, image, symbol, bucket_bytes=bucket_bytes,
-            expansion=expansion,
+            self.resolved_samples(), image, symbol,
+            bucket_bytes=bucket_bytes, expansion=expansion,
         )
 
     def generate(
@@ -132,14 +127,22 @@ class OpReport:
         events: tuple[str, ...] | None = None,
         pid: int | None = None,
     ) -> ProfileReport:
-        """Build the symbol-level report.
+        """Build the symbol-level report in one streaming pass.
 
         Args:
             events: column order; defaults to the on-disk event order.
-            pid: restrict to one task (``opreport`` image separation).
+            pid: restrict to one task (``opreport`` image separation);
+                kernel-mode samples are kept, as OProfile does.
         """
-        raws = self.read_samples()
-        if pid is not None:
-            raws = [s for s in raws if s.task_id == pid or s.kernel_mode]
-        resolved = [self.resolve(s) for s in raws]
-        return build_report(resolved, events=events or self.event_names())
+        source = (
+            self.source
+            if pid is None
+            else (
+                ps
+                for ps in self.source
+                if ps.raw.task_id == pid or ps.raw.kernel_mode
+            )
+        )
+        return run_pipeline(
+            source, self.chain, events=events or self.event_names()
+        )

@@ -1,0 +1,33 @@
+"""Single-pass streaming aggregation: source → chain → report.
+
+:func:`run_pipeline` is the whole pipeline in one call: it streams samples
+out of a source, resolves each through the chain, and folds them into a
+:class:`~repro.profiling.report.StreamingAggregator` — never holding more
+than one sample (plus the aggregate's per-symbol rows) in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.pipeline.resolver import ResolverChain
+from repro.profiling.report import ProfileReport, StreamingAggregator
+
+__all__ = ["run_pipeline"]
+
+
+def run_pipeline(
+    source: Iterable[object],
+    chain: ResolverChain,
+    events: tuple[str, ...] | None = None,
+) -> ProfileReport:
+    """Resolve and aggregate a sample stream in one constant-memory pass.
+
+    ``source`` may yield raw, domain-tagged, or pipeline samples (any
+    shape :func:`~repro.pipeline.source.as_pipeline_sample` accepts);
+    ``events`` fixes the report's column order and drops other events.
+    """
+    agg = StreamingAggregator(events)
+    for resolved in chain.resolve_stream(source):
+        agg.add(resolved)
+    return agg.report()

@@ -1,0 +1,185 @@
+"""Call-graph recording — one module for both flavours.
+
+OProfile can record, for each sample, the caller chain discovered by
+walking stack frames (``opcontrol --callgraph``); our engine supplies a
+*stack witness* — the (caller, callee) context at the moment of the
+sample — which :class:`CallGraphRecorder` turns into weighted arcs.
+VIProf extends this across layers: :class:`CrossLayerCallGraph` tags each
+node with its vertical layer so the report can isolate the arcs that
+*cross* layer boundaries — VM internals invoking JIT code, JIT code
+calling into libc, anything trapping into the kernel.  Those arcs are the
+ones single-layer profilers structurally cannot see (paper §4.2; results
+omitted there for brevity, implemented and exercised here).
+
+The two flavours were formerly near-duplicate modules under
+``repro.oprofile`` and ``repro.viprof``; those now re-export from here.
+:func:`layered_node_for` derives a node from a resolver chain's output,
+so call-graph recording composes with any chain the pipeline can build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.jvm.bootimage import RVM_MAP_IMAGE_LABEL
+from repro.jvm.machine import JIT_APP_IMAGE_LABEL
+from repro.profiling.model import Layer, ResolvedSample
+
+__all__ = [
+    "NodeKey",
+    "CallArc",
+    "CallGraphRecorder",
+    "LayeredNode",
+    "CrossLayerCallGraph",
+    "layered_node_for",
+]
+
+#: (image, symbol) — the node key used in arcs.
+NodeKey = tuple[str, str]
+
+
+@dataclass(frozen=True, slots=True)
+class CallArc:
+    """A directed caller→callee arc with a per-event sample count."""
+
+    caller: NodeKey
+    callee: NodeKey
+
+
+@dataclass
+class CallGraphRecorder:
+    """Accumulates weighted call arcs from per-sample stack witnesses."""
+
+    arcs: dict[CallArc, dict[str, int]] = field(default_factory=dict)
+    self_samples: dict[NodeKey, dict[str, int]] = field(default_factory=dict)
+
+    def record(
+        self, caller: NodeKey | None, callee: NodeKey, event_name: str
+    ) -> None:
+        """Record one sample landing in ``callee`` while called from
+        ``caller`` (None for a root frame)."""
+        per_ev = self.self_samples.setdefault(callee, {})
+        per_ev[event_name] = per_ev.get(event_name, 0) + 1
+        if caller is None:
+            return
+        arc = CallArc(caller=caller, callee=callee)
+        per_ev = self.arcs.setdefault(arc, {})
+        per_ev[event_name] = per_ev.get(event_name, 0) + 1
+
+    def top_arcs(self, event_name: str, limit: int = 10) -> list[tuple[CallArc, int]]:
+        weighted = [
+            (arc, counts.get(event_name, 0)) for arc, counts in self.arcs.items()
+        ]
+        weighted = [(a, n) for a, n in weighted if n > 0]
+        weighted.sort(key=lambda x: (-x[1], x[0].caller, x[0].callee))
+        return weighted[:limit]
+
+    def arcs_from(self, caller: NodeKey) -> list[CallArc]:
+        return [a for a in self.arcs if a.caller == caller]
+
+    def arcs_into(self, callee: NodeKey) -> list[CallArc]:
+        return [a for a in self.arcs if a.callee == callee]
+
+    def format_table(self, event_name: str, limit: int = 10) -> str:
+        lines = [f"{'samples':>8}  caller -> callee ({event_name})"]
+        for arc, n in self.top_arcs(event_name, limit):
+            lines.append(
+                f"{n:8d}  {arc.caller[0]}:{arc.caller[1]} -> "
+                f"{arc.callee[0]}:{arc.callee[1]}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class LayeredNode:
+    """A call-graph node with its vertical layer."""
+
+    layer: Layer
+    image: str
+    symbol: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.image, self.symbol)
+
+
+def layered_node_for(resolved: ResolvedSample) -> LayeredNode:
+    """The call-graph node for a resolver chain's output.
+
+    The layer is recovered from the attribution the stages produced: the
+    JIT stage labels heap samples ``JIT.App``, the boot-image stage labels
+    VM samples with the RVM map image, kernel-mode samples are kernel, and
+    everything else is native user code.  This is how call-graph recording
+    composes with any chain the pipeline can build.
+    """
+    if resolved.image == JIT_APP_IMAGE_LABEL:
+        layer = Layer.APP_JIT
+    elif resolved.image == RVM_MAP_IMAGE_LABEL:
+        layer = Layer.VM
+    elif resolved.raw.kernel_mode:
+        layer = Layer.KERNEL
+    else:
+        layer = Layer.NATIVE
+    return LayeredNode(layer=layer, image=resolved.image, symbol=resolved.symbol)
+
+
+@dataclass
+class CrossLayerCallGraph:
+    """Arc recorder that also tracks each node's layer."""
+
+    recorder: CallGraphRecorder = field(default_factory=CallGraphRecorder)
+    _layers: dict[tuple[str, str], Layer] = field(default_factory=dict)
+
+    def record(
+        self, caller: LayeredNode | None, callee: LayeredNode, event_name: str
+    ) -> None:
+        self._layers[callee.key] = callee.layer
+        if caller is not None:
+            self._layers[caller.key] = caller.layer
+        self.recorder.record(
+            caller.key if caller is not None else None, callee.key, event_name
+        )
+
+    def layer_of(self, key: tuple[str, str]) -> Layer | None:
+        return self._layers.get(key)
+
+    def cross_layer_arcs(
+        self, event_name: str
+    ) -> list[tuple[CallArc, int, Layer, Layer]]:
+        """Arcs whose endpoints live in different layers, weighted by
+        samples for ``event_name``, heaviest first."""
+        out: list[tuple[CallArc, int, Layer, Layer]] = []
+        for arc, counts in self.recorder.arcs.items():
+            n = counts.get(event_name, 0)
+            if n <= 0:
+                continue
+            l_from = self._layers.get(arc.caller)
+            l_to = self._layers.get(arc.callee)
+            if l_from is None or l_to is None or l_from is l_to:
+                continue
+            out.append((arc, n, l_from, l_to))
+        out.sort(key=lambda x: (-x[1], x[0].caller, x[0].callee))
+        return out
+
+    def layer_transition_matrix(self, event_name: str) -> dict[tuple[Layer, Layer], int]:
+        """Aggregate sample counts over (caller layer, callee layer) pairs."""
+        matrix: dict[tuple[Layer, Layer], int] = {}
+        for arc, counts in self.recorder.arcs.items():
+            n = counts.get(event_name, 0)
+            if n <= 0:
+                continue
+            l_from = self._layers.get(arc.caller)
+            l_to = self._layers.get(arc.callee)
+            if l_from is None or l_to is None:
+                continue
+            matrix[(l_from, l_to)] = matrix.get((l_from, l_to), 0) + n
+        return matrix
+
+    def format_cross_layer_table(self, event_name: str, limit: int = 12) -> str:
+        lines = [f"{'samples':>8}  layer:caller -> layer:callee ({event_name})"]
+        for arc, n, l_from, l_to in self.cross_layer_arcs(event_name)[:limit]:
+            lines.append(
+                f"{n:8d}  {l_from.value}:{arc.caller[1]} -> "
+                f"{l_to.value}:{arc.callee[1]}"
+            )
+        return "\n".join(lines)

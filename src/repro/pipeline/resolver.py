@@ -1,0 +1,122 @@
+"""The resolver chain: ordered stages with per-stage hit/miss counters.
+
+A :class:`ResolverChain` is the pipeline's "PC → symbol" engine.  Samples
+are offered to each stage in order; the first stage to return a resolved
+sample claims it and the chain's counters record which stage that was.
+Samples no stage claims fall through to the terminal fallback stage
+(``(unknown)`` attribution by default).
+
+The counters subsume the old ad-hoc ``JitResolutionStats``: every report
+now exposes the same per-stage accounting (:meth:`ResolverChain.stats` /
+:meth:`ResolverChain.stats_dict`), and stages with richer detail (the JIT
+epoch stage's own/earlier-epoch split) contribute it through their
+``detail_dict`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ProfilerError
+from repro.pipeline.source import PipelineSample, iter_pipeline_samples
+from repro.pipeline.stages import FallbackStage, ResolverStage
+from repro.profiling.model import ResolvedSample
+
+__all__ = ["StageStats", "ResolverChain"]
+
+
+@dataclass
+class StageStats:
+    """Hit/miss counters for one stage of a chain.
+
+    ``hits`` counts samples the stage claimed; ``misses`` counts samples it
+    was offered and passed down the chain.
+    """
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def offered(self) -> int:
+        return self.hits + self.misses
+
+
+class ResolverChain:
+    """Ordered resolver stages plus a terminal fallback.
+
+    The chain is the only place resolution order lives: ``opreport``,
+    VIProf, and XenoProf reports differ solely in the stage list they are
+    built from (see the composition helpers in :mod:`repro.pipeline`).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[ResolverStage],
+        fallback: ResolverStage | None = None,
+    ) -> None:
+        self.stages = list(stages)
+        self.fallback = fallback if fallback is not None else FallbackStage()
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ProfilerError(f"duplicate stage names in chain: {names}")
+        self._stats = {s.name: StageStats(s.name) for s in self.stages}
+        self._stats[self.fallback.name] = StageStats(self.fallback.name)
+
+    def stage(self, name: str) -> ResolverStage:
+        """Look a stage up by name (e.g. ``chain.stage("jit-epoch")``)."""
+        for s in self.stages:
+            if s.name == name:
+                return s
+        if self.fallback.name == name:
+            return self.fallback
+        raise ProfilerError(f"no stage named {name!r} in chain")
+
+    def resolve(self, sample: PipelineSample) -> ResolvedSample:
+        """Resolve one sample, counting which stage claimed it."""
+        for s in self.stages:
+            resolved = s.resolve(sample)
+            st = self._stats[s.name]
+            if resolved is not None:
+                st.hits += 1
+                return resolved
+            st.misses += 1
+        resolved = self.fallback.resolve(sample)
+        if resolved is None:  # a fallback must be terminal
+            raise ProfilerError(
+                f"fallback stage {self.fallback.name!r} declined a sample"
+            )
+        self._stats[self.fallback.name].hits += 1
+        return resolved
+
+    def resolve_stream(
+        self, samples: Iterable[object]
+    ) -> Iterator[ResolvedSample]:
+        """Stream resolution: raw, domain-tagged, or pipeline samples in;
+        resolved samples out, one at a time."""
+        for sample in iter_pipeline_samples(samples):
+            yield self.resolve(sample)
+
+    def stats(self) -> list[StageStats]:
+        """Per-stage counters in chain order (fallback last)."""
+        return [self._stats[s.name] for s in self.stages] + [
+            self._stats[self.fallback.name]
+        ]
+
+    def stats_dict(self) -> dict[str, object]:
+        """JSON-able snapshot of the chain's counters, including any
+        stage-specific detail (e.g. the JIT epoch split)."""
+        stages: list[dict[str, object]] = []
+        for st in self.stats():
+            entry: dict[str, object] = {
+                "stage": st.name,
+                "hits": st.hits,
+                "misses": st.misses,
+            }
+            stage = self.stage(st.name)
+            detail = getattr(stage, "detail_dict", None)
+            if callable(detail):
+                entry["detail"] = detail()
+            stages.append(entry)
+        return {"stages": stages}

@@ -1,0 +1,291 @@
+"""Resolver stages — the single "PC → symbol" vocabulary of the tree.
+
+Each stage answers one question about a sample and either *claims* it
+(returns a :class:`~repro.profiling.model.ResolvedSample`) or passes it
+down the chain (returns None).  Stock ``opreport``, VIProf, and the
+multi-domain XenoProf report are nothing but different orderings of these
+stages (see :mod:`repro.pipeline` for the canonical compositions):
+
+* :class:`KernelSymbolStage` — kernel-mode PCs against the ``vmlinux``
+  symbol table;
+* :class:`JitEpochStage` — PCs inside a registered VM heap through the
+  epoch code maps, walking strictly backwards from the sample's epoch
+  (paper §3.2); terminal for heap samples (a miss is ``(unresolved jit)``,
+  never a fall-through);
+* :class:`BootImageStage` — PCs in the stripped boot-image mapping through
+  the Jikes RVM internal map (``RVM.map``);
+* :class:`TaskVmaStage` — the owning task's VMA set: file-backed mappings
+  through ELF symbols, anonymous mappings to an ``anon (range:...)``
+  label;
+* :class:`HypervisorStage` — Xen-layer PCs against the hypervisor symbol
+  table;
+* :class:`DomainDispatchStage` — routes each sample to its domain's own
+  sub-chain (XenoProf multi-stack resolution);
+* :class:`FallbackStage` — the terminal ``(unknown)`` attribution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.jvm.bootimage import BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL
+from repro.jvm.machine import JIT_APP_IMAGE_LABEL
+from repro.os.address_space import VmaKind
+from repro.os.binary import NO_SYMBOLS
+from repro.os.kernel import Kernel
+from repro.profiling.model import ResolvedSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.jvm.bootimage import RvmMap
+    from repro.pipeline.resolver import ResolverChain
+    from repro.pipeline.source import PipelineSample
+    from repro.viprof.codemap import CodeMapIndex
+    from repro.viprof.runtime_profiler import VmRegistration
+    from repro.xen.hypervisor import Hypervisor
+
+__all__ = [
+    "UNKNOWN_IMAGE",
+    "UNRESOLVED_JIT",
+    "ResolverStage",
+    "KernelSymbolStage",
+    "JitEpochStage",
+    "JitStageStats",
+    "BootImageStage",
+    "TaskVmaStage",
+    "HypervisorStage",
+    "DomainDispatchStage",
+    "FallbackStage",
+]
+
+#: Label for samples whose PC matches no mapping at all.
+UNKNOWN_IMAGE = "(unknown)"
+
+#: Symbol label for VM-heap samples no epoch map ever held.
+UNRESOLVED_JIT = "(unresolved jit)"
+
+
+class ResolverStage:
+    """One step of a resolver chain.
+
+    ``resolve`` returns a resolved sample to claim the sample, or None to
+    pass it to the next stage.  ``name`` keys the chain's per-stage
+    hit/miss counters.
+    """
+
+    name: str = "stage"
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        raise NotImplementedError
+
+
+class KernelSymbolStage(ResolverStage):
+    """Kernel-mode samples (or kernel-range PCs) against ``vmlinux``."""
+
+    name = "kernel"
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        raw = sample.raw
+        if not raw.kernel_mode and not self.kernel.is_kernel_address(raw.pc):
+            return None
+        image, symbol = self.kernel.resolve_kernel(raw.pc)
+        koff = raw.pc - self.kernel.layout.kernel_base
+        sym = self.kernel.image.symbol_at(koff)
+        return ResolvedSample(
+            raw=raw, image=image, symbol=symbol,
+            offset=(koff - sym.offset) if sym is not None else -1,
+        )
+
+
+class JitStageStats:
+    """Per-stage resolution detail for JIT samples (accuracy reporting).
+
+    Replaces the old ad-hoc ``JitResolutionStats``: the counters now live
+    on the stage that produces them and are exposed uniformly through the
+    chain's stats (:meth:`~repro.pipeline.resolver.ResolverChain.stats_dict`).
+    """
+
+    def __init__(self) -> None:
+        self.jit_samples = 0
+        self.resolved_in_own_epoch = 0
+        self.resolved_in_earlier_epoch = 0
+        self.unresolved = 0
+
+    @property
+    def resolved(self) -> int:
+        return self.resolved_in_own_epoch + self.resolved_in_earlier_epoch
+
+    @property
+    def resolution_rate(self) -> float:
+        return self.resolved / self.jit_samples if self.jit_samples else 1.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "jit_samples": self.jit_samples,
+            "resolved_in_own_epoch": self.resolved_in_own_epoch,
+            "resolved_in_earlier_epoch": self.resolved_in_earlier_epoch,
+            "unresolved": self.unresolved,
+            "resolution_rate": self.resolution_rate,
+        }
+
+
+class JitEpochStage(ResolverStage):
+    """VM-heap samples through the epoch code maps (backward walk).
+
+    Terminal for samples inside a registered heap: resolution failures are
+    attributed to ``JIT.App (unresolved jit)`` rather than passed on,
+    because no later stage can know more about anonymous heap memory.
+
+    ``backward=False`` is the paper's ablation: only the sample's own
+    epoch map is consulted.
+    """
+
+    name = "jit-epoch"
+
+    def __init__(
+        self,
+        codemaps: "CodeMapIndex",
+        registrations: Iterable["VmRegistration"],
+        backward: bool = True,
+    ) -> None:
+        self.codemaps = codemaps
+        self.backward = backward
+        self._registrations = {r.task_id: r for r in registrations}
+        self.stats = JitStageStats()
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        raw = sample.raw
+        reg = self._registrations.get(raw.task_id)
+        if reg is None or not reg.covers(raw.pc):
+            return None
+        self.stats.jit_samples += 1
+        hit = self.codemaps.resolve(raw.epoch, raw.pc, backward=self.backward)
+        if hit is None:
+            self.stats.unresolved += 1
+            return ResolvedSample(
+                raw=raw, image=JIT_APP_IMAGE_LABEL, symbol=UNRESOLVED_JIT
+            )
+        record, found_epoch = hit
+        if found_epoch == raw.epoch:
+            self.stats.resolved_in_own_epoch += 1
+        else:
+            self.stats.resolved_in_earlier_epoch += 1
+        return ResolvedSample(
+            raw=raw, image=JIT_APP_IMAGE_LABEL, symbol=record.name,
+            offset=raw.pc - record.address,
+        )
+
+    def detail_dict(self) -> dict[str, int | float]:
+        return self.stats.as_dict()
+
+
+class BootImageStage(ResolverStage):
+    """Samples in the stripped boot-image mapping through ``RVM.map``."""
+
+    name = "boot-image"
+
+    def __init__(self, kernel: Kernel, rvm_map: "RvmMap") -> None:
+        self.kernel = kernel
+        self.rvm_map = rvm_map
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        raw = sample.raw
+        proc = self.kernel.process(raw.task_id)
+        if proc is None:
+            return None
+        vma = proc.address_space.resolve(raw.pc)
+        if vma is None or vma.kind is not VmaKind.FILE:
+            return None
+        assert vma.image is not None
+        if vma.image.name != BOOT_IMAGE_NAME:
+            return None
+        off = vma.to_image_offset(raw.pc)
+        entry = self.rvm_map.resolve(off)
+        if entry is None:
+            return ResolvedSample(
+                raw=raw, image=RVM_MAP_IMAGE_LABEL, symbol=NO_SYMBOLS
+            )
+        return ResolvedSample(
+            raw=raw, image=RVM_MAP_IMAGE_LABEL, symbol=entry.name,
+            offset=off - entry.offset,
+        )
+
+
+class TaskVmaStage(ResolverStage):
+    """User PCs through the owning task's VMA set (stock opreport)."""
+
+    name = "task-vma"
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        raw = sample.raw
+        proc = self.kernel.process(raw.task_id)
+        if proc is None:
+            return None
+        vma = proc.address_space.resolve(raw.pc)
+        if vma is None:
+            return None
+        if vma.kind is VmaKind.FILE:
+            assert vma.image is not None
+            off = vma.to_image_offset(raw.pc)
+            sym = vma.image.symbol_at(off)
+            return ResolvedSample(
+                raw=raw,
+                image=vma.image.name,
+                symbol=sym.name if sym is not None else NO_SYMBOLS,
+                offset=(off - sym.offset) if sym is not None else -1,
+            )
+        return ResolvedSample(raw=raw, image=vma.label(), symbol=NO_SYMBOLS)
+
+
+class HypervisorStage(ResolverStage):
+    """Xen-layer PCs against the hypervisor's own symbol table."""
+
+    name = "hypervisor"
+
+    def __init__(self, hypervisor: "Hypervisor") -> None:
+        self.hypervisor = hypervisor
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        raw = sample.raw
+        if not self.hypervisor.is_xen_address(raw.pc):
+            return None
+        image, symbol = self.hypervisor.resolve(raw.pc)
+        return ResolvedSample(raw=raw, image=image, symbol=symbol)
+
+
+class DomainDispatchStage(ResolverStage):
+    """Routes each sample to its domain's own resolver chain.
+
+    Terminal: a sample tagged with an unknown domain is a corrupt stream,
+    reported as a :class:`~repro.errors.ProfilerError` rather than
+    silently falling through to ``(unknown)``.
+    """
+
+    name = "domain-dispatch"
+
+    def __init__(self, chains: Mapping[int, "ResolverChain"]) -> None:
+        self.chains = dict(chains)
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        from repro.errors import ProfilerError
+
+        chain = self.chains.get(sample.domain_id)  # type: ignore[arg-type]
+        if chain is None:
+            raise ProfilerError(f"no resolver for domain {sample.domain_id}")
+        return chain.resolve(sample)
+
+
+class FallbackStage(ResolverStage):
+    """The terminal attribution for samples no stage could place."""
+
+    name = "unresolved"
+
+    def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        return ResolvedSample(
+            raw=sample.raw, image=UNKNOWN_IMAGE, symbol=NO_SYMBOLS
+        )

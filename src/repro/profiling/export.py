@@ -10,11 +10,12 @@ from __future__ import annotations
 
 import csv
 import io
+import json
 from xml.etree import ElementTree as ET
 
 from repro.profiling.report import ProfileReport
 
-__all__ = ["report_to_xml", "report_to_csv"]
+__all__ = ["report_to_xml", "report_to_csv", "report_to_json"]
 
 
 def report_to_xml(report: ProfileReport) -> str:
@@ -50,6 +51,38 @@ def report_to_xml(report: ProfileReport) -> str:
                     percent=f"{report.percent(row, ev):.4f}",
                 )
     return ET.tostring(root, encoding="unicode")
+
+
+def report_to_json(
+    report: ProfileReport, stats: dict[str, object] | None = None
+) -> str:
+    """Serialize a report (and optionally the resolver chain's per-stage
+    counters, as returned by
+    :meth:`~repro.pipeline.resolver.ResolverChain.stats_dict`) to JSON::
+
+        {"events": {...totals...},
+         "symbols": [{"image": ..., "symbol": ..., "counts": {...},
+                      "percent": {...}}, ...],
+         "resolution": {"stages": [...]}}      # when stats given
+    """
+    doc: dict[str, object] = {
+        "events": {ev: report.totals.get(ev, 0) for ev in report.events},
+        "symbols": [
+            {
+                "image": row.image,
+                "symbol": row.symbol,
+                "counts": {ev: row.count(ev) for ev in report.events},
+                "percent": {
+                    ev: round(report.percent(row, ev), 4)
+                    for ev in report.events
+                },
+            }
+            for row in report.sorted_rows()
+        ],
+    }
+    if stats is not None:
+        doc["resolution"] = stats
+    return json.dumps(doc, indent=2)
 
 
 def report_to_csv(report: ProfileReport) -> str:

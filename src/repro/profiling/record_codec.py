@@ -1,0 +1,297 @@
+"""Shared struct-packed record codec for on-disk sample files.
+
+Both sample-file flavours in the tree — the core OProfile/VIProf format
+(magic ``VPRS``) and the domain-tagged XenoProf format (magic ``XPRS``) —
+share one header layout and one core record definition; the XenoProf
+record merely appends a domain-id column.  This module holds that single
+definition behind a small versioned registry, so
+:mod:`repro.profiling.samplefile` and :mod:`repro.xen.samplefile` are thin
+format-pinning wrappers and the streaming pipeline
+(:mod:`repro.pipeline.source`) can open *any* sample file by sniffing the
+magic.
+
+Layout (little endian)::
+
+    header:  4s magic | H version | H event-name length | name bytes
+             Q sampling period
+    record:  Q pc | I task_id | B kernel_mode | Q cycle | q epoch
+             [ H domain        -- codecs with has_domain only ]
+
+Files are append-only; a reader tolerates a clean EOF between records but
+rejects torn records and bad magic.  Reader errors always name the file
+and the byte offset of the failure, so a corrupt artifact can be located
+with ``dd``/``xxd`` without re-running anything.
+
+The reader streams: it validates the header and the body length up front
+(via ``stat``, not by slurping the file) and then decodes records in
+fixed-size chunks, so memory stays constant in the number of samples.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+from repro.errors import SampleFormatError
+from repro.profiling.model import RawSample
+
+__all__ = [
+    "SampleRecord",
+    "RecordCodec",
+    "CORE_CODEC",
+    "DOMAIN_CODEC",
+    "codec_for_magic",
+    "register_codec",
+    "RecordFileWriter",
+    "RecordFileReader",
+    "open_sample_record_file",
+]
+
+_HEADER_FIXED = struct.Struct("<4sHH")
+_HEADER_PERIOD = struct.Struct("<Q")
+
+#: Core record columns shared by every codec.
+_CORE_RECORD_FORMAT = "<QIBQq"
+#: The optional trailing domain-id column.
+_DOMAIN_COLUMN = "H"
+
+#: Records decoded per read when streaming a file body.
+_CHUNK_RECORDS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class SampleRecord:
+    """One decoded record: the core sample plus the optional domain tag.
+
+    ``domain_id`` is None for codecs without a domain column (the core
+    ``VPRS`` format); consumers that do not care about domains can read
+    ``.sample`` uniformly.
+    """
+
+    sample: RawSample
+    domain_id: int | None = None
+
+
+@dataclass(frozen=True)
+class RecordCodec:
+    """One on-disk record layout: a magic, a version, and the columns."""
+
+    magic: bytes
+    version: int
+    has_domain: bool
+
+    def __post_init__(self) -> None:
+        if len(self.magic) != 4:
+            raise SampleFormatError(f"codec magic must be 4 bytes: {self.magic!r}")
+        fmt = _CORE_RECORD_FORMAT + (_DOMAIN_COLUMN if self.has_domain else "")
+        object.__setattr__(self, "_record", struct.Struct(fmt))
+
+    @property
+    def record_struct(self) -> struct.Struct:
+        return self._record  # type: ignore[attr-defined]
+
+    @property
+    def record_size(self) -> int:
+        return self.record_struct.size
+
+    def pack(self, sample: RawSample, domain_id: int | None = None) -> bytes:
+        """Encode one record; ``domain_id`` is required iff the codec has
+        a domain column."""
+        core = (
+            sample.pc,
+            sample.task_id,
+            1 if sample.kernel_mode else 0,
+            sample.cycle,
+            sample.epoch,
+        )
+        if self.has_domain:
+            if domain_id is None:
+                raise SampleFormatError(
+                    f"codec {self.magic!r} requires a domain id"
+                )
+            return self.record_struct.pack(*core, domain_id)
+        return self.record_struct.pack(*core)
+
+    def unpack_fields(self, fields: tuple, event_name: str) -> SampleRecord:
+        """Decode one tuple of struct fields into a :class:`SampleRecord`."""
+        pc, task, kmode, cycle, epoch = fields[:5]
+        return SampleRecord(
+            sample=RawSample(
+                pc=pc,
+                event_name=event_name,
+                task_id=task,
+                kernel_mode=bool(kmode),
+                cycle=cycle,
+                epoch=epoch,
+            ),
+            domain_id=fields[5] if self.has_domain else None,
+        )
+
+
+#: The core sample-file codec (stock OProfile and VIProf sessions).
+CORE_CODEC = RecordCodec(magic=b"VPRS", version=2, has_domain=False)
+
+#: The domain-tagged XenoProf codec.
+DOMAIN_CODEC = RecordCodec(magic=b"XPRS", version=1, has_domain=True)
+
+#: Registry of known codecs, keyed by magic.  Versioning is per magic: a
+#: reader finding a known magic with an unknown version fails with a
+#: version error, not a bad-magic error.
+_CODECS: dict[bytes, RecordCodec] = {}
+
+
+def register_codec(codec: RecordCodec) -> RecordCodec:
+    """Register a codec so :func:`open_sample_record_file` can sniff it."""
+    existing = _CODECS.get(codec.magic)
+    if existing is not None and existing != codec:
+        raise SampleFormatError(
+            f"codec magic {codec.magic!r} already registered"
+        )
+    _CODECS[codec.magic] = codec
+    return codec
+
+
+register_codec(CORE_CODEC)
+register_codec(DOMAIN_CODEC)
+
+
+def codec_for_magic(magic: bytes) -> RecordCodec | None:
+    """Look up a registered codec by its 4-byte magic."""
+    return _CODECS.get(magic)
+
+
+class RecordFileWriter:
+    """Streams records for one hardware event to disk in a codec's format."""
+
+    def __init__(
+        self,
+        path: Path | str,
+        codec: RecordCodec,
+        event_name: str,
+        period: int,
+    ) -> None:
+        if period <= 0:
+            raise SampleFormatError(f"non-positive period {period}")
+        self.path = Path(path)
+        self.codec = codec
+        self.event_name = event_name
+        self.period = period
+        self._fh: BinaryIO = open(self.path, "wb")
+        name = event_name.encode("utf-8")
+        self._fh.write(_HEADER_FIXED.pack(codec.magic, codec.version, len(name)))
+        self._fh.write(name)
+        self._fh.write(_HEADER_PERIOD.pack(period))
+        self.samples_written = 0
+
+    def write(self, sample: RawSample, domain_id: int | None = None) -> None:
+        self._fh.write(self.codec.pack(sample, domain_id))
+        self.samples_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "RecordFileWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class RecordFileReader:
+    """Streaming reader: validates the header and body length up front,
+    then decodes records chunk by chunk on iteration.
+
+    Args:
+        path: the sample file.
+        codec: pin the expected format; None sniffs the magic against the
+            registry (any known format accepted).
+
+    Raises:
+        SampleFormatError: truncated header, unknown or unexpected magic,
+            version mismatch, or a torn trailing record — always naming
+            the file and the byte offset of the failure.
+    """
+
+    def __init__(self, path: Path | str, codec: RecordCodec | None = None) -> None:
+        self.path = Path(path)
+        try:
+            size = self.path.stat().st_size
+            fh = open(self.path, "rb")
+        except OSError as e:
+            raise SampleFormatError(f"{self.path}: unreadable: {e}") from None
+        with fh:
+            head = fh.read(_HEADER_FIXED.size)
+            if len(head) < _HEADER_FIXED.size:
+                raise SampleFormatError(
+                    f"{self.path}: truncated header at byte offset "
+                    f"{len(head)} (fixed header is {_HEADER_FIXED.size} bytes)"
+                )
+            magic, version, name_len = _HEADER_FIXED.unpack(head)
+            known = codec_for_magic(magic)
+            if codec is not None and magic != codec.magic:
+                raise SampleFormatError(
+                    f"{self.path}: bad magic {magic!r} at byte offset 0 "
+                    f"(expected {codec.magic!r})"
+                )
+            if known is None:
+                raise SampleFormatError(
+                    f"{self.path}: bad magic {magic!r} at byte offset 0"
+                )
+            self.codec = known
+            if version != self.codec.version:
+                raise SampleFormatError(
+                    f"{self.path}: version {version}, expected "
+                    f"{self.codec.version} (magic {magic!r})"
+                )
+            rest = fh.read(name_len + _HEADER_PERIOD.size)
+            if len(rest) < name_len + _HEADER_PERIOD.size:
+                raise SampleFormatError(
+                    f"{self.path}: truncated header at byte offset "
+                    f"{_HEADER_FIXED.size + len(rest)}"
+                )
+            self.event_name = rest[:name_len].decode("utf-8")
+            (self.period,) = _HEADER_PERIOD.unpack_from(rest, name_len)
+        self._data_start = _HEADER_FIXED.size + name_len + _HEADER_PERIOD.size
+        body = size - self._data_start
+        rsize = self.codec.record_size
+        if body % rsize:
+            torn_at = self._data_start + (body // rsize) * rsize
+            raise SampleFormatError(
+                f"{self.path}: torn record at byte offset {torn_at} "
+                f"({body % rsize} trailing bytes, record size {rsize})"
+            )
+        self._n_records = body // rsize
+
+    def __len__(self) -> int:
+        return self._n_records
+
+    def __iter__(self) -> Iterator[SampleRecord]:
+        """Stream records; each call re-opens the file, so a reader can be
+        iterated more than once without holding the body in memory."""
+        codec = self.codec
+        rsize = codec.record_size
+        chunk_bytes = _CHUNK_RECORDS * rsize
+        remaining = self._n_records * rsize
+        with open(self.path, "rb") as fh:
+            fh.seek(self._data_start)
+            while remaining > 0:
+                chunk = fh.read(min(chunk_bytes, remaining))
+                if len(chunk) % rsize:
+                    raise SampleFormatError(
+                        f"{self.path}: torn record at byte offset "
+                        f"{self._data_start + self._n_records * rsize - remaining + (len(chunk) // rsize) * rsize} "
+                        f"(file shrank while reading)"
+                    )
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+                for fields in codec.record_struct.iter_unpack(chunk):
+                    yield codec.unpack_fields(fields, self.event_name)
+
+
+def open_sample_record_file(path: Path | str) -> RecordFileReader:
+    """Open a sample file of *any* registered format by sniffing its magic."""
+    return RecordFileReader(path, codec=None)

@@ -10,10 +10,11 @@ that shape and :meth:`ProfileReport.format_table` renders it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.profiling.model import ResolvedSample
 
-__all__ = ["SymbolRow", "ProfileReport", "build_report"]
+__all__ = ["SymbolRow", "ProfileReport", "StreamingAggregator", "build_report"]
 
 
 @dataclass
@@ -127,28 +128,64 @@ class ProfileReport:
         return "\n".join(lines)
 
 
+class StreamingAggregator:
+    """Single-pass, constant-memory aggregation of resolved samples.
+
+    State is one :class:`SymbolRow` per distinct (image, symbol) pair plus
+    per-event totals — independent of the number of samples consumed, so a
+    session of any size aggregates in constant memory.  This is the *only*
+    aggregation implementation in the tree: :func:`build_report` and the
+    streaming pipeline (:mod:`repro.pipeline`) both run through it.
+
+    ``events`` fixes the column order and drops samples for other events
+    (matching opreport's event selection); None accepts every event in
+    first-seen order.
+    """
+
+    def __init__(self, events: tuple[str, ...] | None = None) -> None:
+        self._fixed_events = events
+        self._rows: dict[tuple[str, str], SymbolRow] = {}
+        self._totals: dict[str, int] = (
+            {e: 0 for e in events} if events is not None else {}
+        )
+        self.samples_seen = 0
+
+    def add(self, sample: ResolvedSample) -> None:
+        """Fold one resolved sample into the aggregate."""
+        self.samples_seen += 1
+        ev = sample.raw.event_name
+        if self._fixed_events is not None and ev not in self._totals:
+            return
+        row = self._rows.get(sample.key)
+        if row is None:
+            row = SymbolRow(image=sample.image, symbol=sample.symbol)
+            self._rows[sample.key] = row
+        row.add(ev)
+        self._totals[ev] = self._totals.get(ev, 0) + 1
+
+    def extend(self, samples: Iterable[ResolvedSample]) -> "StreamingAggregator":
+        for s in samples:
+            self.add(s)
+        return self
+
+    def report(self) -> ProfileReport:
+        """Snapshot the aggregate as a :class:`ProfileReport`."""
+        events = (
+            self._fixed_events
+            if self._fixed_events is not None
+            else tuple(self._totals)
+        )
+        return ProfileReport(
+            events=events,
+            rows=list(self._rows.values()),
+            totals=dict(self._totals),
+        )
+
+
 def build_report(
-    samples: list[ResolvedSample], events: tuple[str, ...] | None = None
+    samples: Iterable[ResolvedSample], events: tuple[str, ...] | None = None
 ) -> ProfileReport:
     """Aggregate resolved samples (possibly spanning several events) into a
     report.  ``events`` fixes the column order; by default events appear in
     first-seen order."""
-    if events is None:
-        seen: list[str] = []
-        for s in samples:
-            if s.raw.event_name not in seen:
-                seen.append(s.raw.event_name)
-        events = tuple(seen)
-    rows: dict[tuple[str, str], SymbolRow] = {}
-    totals: dict[str, int] = {e: 0 for e in events}
-    for s in samples:
-        ev = s.raw.event_name
-        if ev not in totals:
-            continue
-        row = rows.get(s.key)
-        if row is None:
-            row = SymbolRow(image=s.image, symbol=s.symbol)
-            rows[s.key] = row
-        row.add(ev)
-        totals[ev] += 1
-    return ProfileReport(events=events, rows=list(rows.values()), totals=totals)
+    return StreamingAggregator(events).extend(samples).report()

@@ -1,4 +1,4 @@
-"""Packed on-disk sample files.
+"""Packed on-disk sample files (the core ``VPRS`` format).
 
 OProfile's daemon periodically drains the kernel sample buffer to per-image
 sample files; the post-processing tools read them back.  We reproduce that
@@ -7,62 +7,36 @@ header), because the *existence* of the on-disk handoff is load-bearing for
 the paper: the daemon's write path is part of the overhead model, and the
 post-processors operate strictly on files, never on live state.
 
-Format (little endian)::
-
-    header:  4s magic "VPRS" | H version | H event-name length | name bytes
-             Q sampling period
-    record:  Q pc | I task_id | B kernel_mode | Q cycle | q epoch
-
-Files are append-only; a reader tolerates a clean EOF between records but
-rejects torn records and bad magic.
+The header/record layout lives in :mod:`repro.profiling.record_codec`,
+which both this module and the domain-tagged XenoProf flavour
+(:mod:`repro.xen.samplefile`) share; this module pins the core ``VPRS``
+codec (no domain column).  Readers stream records in constant memory and
+report corruption with the file path and byte offset.
 """
 
 from __future__ import annotations
 
-import struct
 from pathlib import Path
 from typing import Iterator
 
-from repro.errors import SampleFormatError
 from repro.profiling.model import RawSample
+from repro.profiling.record_codec import (
+    CORE_CODEC,
+    RecordFileReader,
+    RecordFileWriter,
+)
 
 __all__ = ["SampleFileWriter", "SampleFileReader", "MAGIC", "VERSION"]
 
-MAGIC = b"VPRS"
-VERSION = 2
-
-_HEADER_FIXED = struct.Struct("<4sHH")
-_HEADER_PERIOD = struct.Struct("<Q")
-_RECORD = struct.Struct("<QIBQq")
+MAGIC = CORE_CODEC.magic
+VERSION = CORE_CODEC.version
 
 
-class SampleFileWriter:
+class SampleFileWriter(RecordFileWriter):
     """Streams :class:`RawSample` records for one hardware event to disk."""
 
     def __init__(self, path: Path | str, event_name: str, period: int) -> None:
-        if period <= 0:
-            raise SampleFormatError(f"non-positive period {period}")
-        self.path = Path(path)
-        self.event_name = event_name
-        self.period = period
-        self._fh = open(self.path, "wb")
-        name = event_name.encode("utf-8")
-        self._fh.write(_HEADER_FIXED.pack(MAGIC, VERSION, len(name)))
-        self._fh.write(name)
-        self._fh.write(_HEADER_PERIOD.pack(period))
-        self.samples_written = 0
-
-    def write(self, sample: RawSample) -> None:
-        self._fh.write(
-            _RECORD.pack(
-                sample.pc,
-                sample.task_id,
-                1 if sample.kernel_mode else 0,
-                sample.cycle,
-                sample.epoch,
-            )
-        )
-        self.samples_written += 1
+        super().__init__(path, CORE_CODEC, event_name, period)
 
     def write_many(self, samples: Iterator[RawSample]) -> int:
         n = 0
@@ -71,57 +45,17 @@ class SampleFileWriter:
             n += 1
         return n
 
-    def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
-
     def __enter__(self) -> "SampleFileWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
 
-
-class SampleFileReader:
-    """Reads a sample file back; validates header and record integrity."""
+class SampleFileReader(RecordFileReader):
+    """Reads a core-format sample file back; validates header and record
+    integrity on construction, then streams records on iteration."""
 
     def __init__(self, path: Path | str) -> None:
-        self.path = Path(path)
-        data = self.path.read_bytes()
-        if len(data) < _HEADER_FIXED.size:
-            raise SampleFormatError(f"{self.path}: truncated header")
-        magic, version, name_len = _HEADER_FIXED.unpack_from(data, 0)
-        if magic != MAGIC:
-            raise SampleFormatError(f"{self.path}: bad magic {magic!r}")
-        if version != VERSION:
-            raise SampleFormatError(
-                f"{self.path}: version {version}, expected {VERSION}"
-            )
-        off = _HEADER_FIXED.size
-        if len(data) < off + name_len + _HEADER_PERIOD.size:
-            raise SampleFormatError(f"{self.path}: truncated header")
-        self.event_name = data[off : off + name_len].decode("utf-8")
-        off += name_len
-        (self.period,) = _HEADER_PERIOD.unpack_from(data, off)
-        off += _HEADER_PERIOD.size
-        body = data[off:]
-        if len(body) % _RECORD.size:
-            raise SampleFormatError(
-                f"{self.path}: torn record ({len(body)} bytes of records, "
-                f"record size {_RECORD.size})"
-            )
-        self._body = body
+        super().__init__(path, codec=CORE_CODEC)
 
     def __iter__(self) -> Iterator[RawSample]:
-        for (pc, task, kmode, cycle, epoch) in _RECORD.iter_unpack(self._body):
-            yield RawSample(
-                pc=pc,
-                event_name=self.event_name,
-                task_id=task,
-                kernel_mode=bool(kmode),
-                cycle=cycle,
-                epoch=epoch,
-            )
-
-    def __len__(self) -> int:
-        return len(self._body) // _RECORD.size
+        for record in super().__iter__():
+            yield record.sample

@@ -25,7 +25,7 @@ from pathlib import Path
 from repro.errors import CodeMapError, SampleFormatError, StatCheckError
 from repro.jvm.bootimage import RvmMap, build_boot_image
 from repro.profiling.model import RawSample
-from repro.profiling.samplefile import SampleFileReader
+from repro.profiling.record_codec import open_sample_record_file
 from repro.statcheck.findings import Finding, FindingReport, Severity
 from repro.viprof.codemap import CodeMapRecord
 from repro.viprof.runtime_profiler import VmRegistration
@@ -173,13 +173,16 @@ def load_session(session_dir: Path | str) -> SessionArtifacts:
         sample_files: list[SampleArtifact] = []
         for path in sorted(sample_dir.glob("*.samples")):
             try:
-                reader = SampleFileReader(path)
+                # Magic-sniffing reader: live sessions write the core
+                # format, Xen archives the domain-tagged one; the rules
+                # inspect the core record either way.
+                reader = open_sample_record_file(path)
                 sample_files.append(
                     SampleArtifact(
                         path=path,
                         event_name=reader.event_name,
                         period=reader.period,
-                        samples=tuple(reader),
+                        samples=tuple(r.sample for r in reader),
                     )
                 )
             except SampleFormatError as e:

@@ -55,7 +55,7 @@ _ALLOWED_RAISES = set(_errors.__all__) | {
 }
 
 #: Path fragments whose public functions must be fully annotated (SL204).
-_ANNOTATION_SCOPE = ("viprof", "profiling")
+_ANNOTATION_SCOPE = ("viprof", "profiling", "pipeline")
 
 
 def _is_int_quantity_name(name: str) -> bool:

@@ -248,6 +248,12 @@ class ViprofReportResult:
     def jit_stats(self):
         return self.post.jit_stats
 
+    @property
+    def stage_stats(self) -> dict[str, object]:
+        """Per-stage hit/miss counters of the resolver chain that built
+        this report (JSON-able; includes the JIT epoch detail)."""
+        return self.post.chain.stats_dict()
+
 
 class SystemEngine:
     """Assembles one machine and runs one benchmark configuration."""

@@ -12,9 +12,11 @@ integrated profiler:
   VM registers its heap boundaries, and samples falling inside them take a
   cheap JIT-classification path (replacing the expensive anonymous-region
   path) and carry a GC-epoch stamp;
-* :mod:`repro.viprof.postprocess` — the extended report tools: resolve JIT
-  samples through the epoch code maps (searching backwards from the
-  sample's epoch) and VM samples through the Jikes RVM boot-image map.
+* :mod:`repro.viprof.postprocess` — the extended report tools: the
+  streaming pipeline's chain (:mod:`repro.pipeline`) with the JIT-epoch
+  and boot-image stages composed in, resolving JIT samples through the
+  epoch code maps (searching backwards from the sample's epoch) and VM
+  samples through the Jikes RVM boot-image map.
 
 :mod:`repro.viprof.session` wires everything together behind one object.
 """

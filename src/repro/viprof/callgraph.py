@@ -1,97 +1,17 @@
-"""Cross-layer call graphs.
+"""Cross-layer call graphs (paper §4.2) — VIProf flavour.
 
-"VIProf also extends the call graph functionality of Oprofile to include
-call sequence profiles across layers."  (Paper §4.2 — results omitted there
-for brevity; implemented and exercised here.)
-
-Built on the stock arc recorder, with layer awareness: every node carries
-the vertical layer it belongs to, so the report can isolate the arcs that
-*cross* layer boundaries — VM internals invoking JIT code, JIT code calling
-into libc, anything trapping into the kernel.  Those cross-layer arcs are
-the ones single-layer profilers structurally cannot see, and the reason the
-paper wants one integrated profile.
+The implementation now lives in :mod:`repro.pipeline.callgraph`, one
+module for both the stock and the cross-layer recorder (they were
+near-duplicates).  This module remains as the stable import path for
+VIProf consumers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.pipeline.callgraph import (
+    CrossLayerCallGraph,
+    LayeredNode,
+    layered_node_for,
+)
 
-from repro.oprofile.callgraph import CallArc, CallGraphRecorder
-from repro.profiling.model import Layer
-
-__all__ = ["CrossLayerCallGraph", "LayeredNode"]
-
-
-@dataclass(frozen=True, slots=True)
-class LayeredNode:
-    """A call-graph node with its vertical layer."""
-
-    layer: Layer
-    image: str
-    symbol: str
-
-    @property
-    def key(self) -> tuple[str, str]:
-        return (self.image, self.symbol)
-
-
-@dataclass
-class CrossLayerCallGraph:
-    """Arc recorder that also tracks each node's layer."""
-
-    recorder: CallGraphRecorder = field(default_factory=CallGraphRecorder)
-    _layers: dict[tuple[str, str], Layer] = field(default_factory=dict)
-
-    def record(
-        self, caller: LayeredNode | None, callee: LayeredNode, event_name: str
-    ) -> None:
-        self._layers[callee.key] = callee.layer
-        if caller is not None:
-            self._layers[caller.key] = caller.layer
-        self.recorder.record(
-            caller.key if caller is not None else None, callee.key, event_name
-        )
-
-    def layer_of(self, key: tuple[str, str]) -> Layer | None:
-        return self._layers.get(key)
-
-    def cross_layer_arcs(
-        self, event_name: str
-    ) -> list[tuple[CallArc, int, Layer, Layer]]:
-        """Arcs whose endpoints live in different layers, weighted by
-        samples for ``event_name``, heaviest first."""
-        out: list[tuple[CallArc, int, Layer, Layer]] = []
-        for arc, counts in self.recorder.arcs.items():
-            n = counts.get(event_name, 0)
-            if n <= 0:
-                continue
-            l_from = self._layers.get(arc.caller)
-            l_to = self._layers.get(arc.callee)
-            if l_from is None or l_to is None or l_from is l_to:
-                continue
-            out.append((arc, n, l_from, l_to))
-        out.sort(key=lambda x: (-x[1], x[0].caller, x[0].callee))
-        return out
-
-    def layer_transition_matrix(self, event_name: str) -> dict[tuple[Layer, Layer], int]:
-        """Aggregate sample counts over (caller layer, callee layer) pairs."""
-        matrix: dict[tuple[Layer, Layer], int] = {}
-        for arc, counts in self.recorder.arcs.items():
-            n = counts.get(event_name, 0)
-            if n <= 0:
-                continue
-            l_from = self._layers.get(arc.caller)
-            l_to = self._layers.get(arc.callee)
-            if l_from is None or l_to is None:
-                continue
-            matrix[(l_from, l_to)] = matrix.get((l_from, l_to), 0) + n
-        return matrix
-
-    def format_cross_layer_table(self, event_name: str, limit: int = 12) -> str:
-        lines = [f"{'samples':>8}  layer:caller -> layer:callee ({event_name})"]
-        for arc, n, l_from, l_to in self.cross_layer_arcs(event_name)[:limit]:
-            lines.append(
-                f"{n:8d}  {l_from.value}:{arc.caller[1]} -> "
-                f"{l_to.value}:{arc.callee[1]}"
-            )
-        return "\n".join(lines)
+__all__ = ["CrossLayerCallGraph", "LayeredNode", "layered_node_for"]

@@ -1,65 +1,55 @@
 """VIProf post-processing — the extended opreport.
 
-Two extensions over the stock resolver (paper §3.2):
+Two extensions over the stock resolver chain (paper §3.2):
 
-1. **JIT samples** — a sample whose PC falls inside a registered VM heap is
-   resolved through the epoch code maps: the map for the sample's epoch
-   first, then strictly backwards until the first map containing the
-   address (:class:`repro.viprof.codemap.CodeMapIndex`).  Resolved samples
-   report image ``JIT.App``; misses are counted and reported as
+1. **JIT samples** — a sample whose PC falls inside a registered VM heap
+   is resolved through the epoch code maps: the map for the sample's
+   epoch first, then strictly backwards until the first map containing
+   the address (:class:`repro.pipeline.stages.JitEpochStage` over
+   :class:`repro.viprof.codemap.CodeMapIndex`).  Resolved samples report
+   image ``JIT.App``; misses are counted and reported as
    ``(unresolved jit)``.
 2. **Boot-image samples** — samples in the (stripped, file-backed)
    ``RVM.code.image`` mapping are resolved through the Jikes RVM internal
-   map and reported under image ``RVM.map``, exactly as Figure 1 shows.
+   map (:class:`repro.pipeline.stages.BootImageStage`) and reported under
+   image ``RVM.map``, exactly as Figure 1 shows.
 
 Everything else (kernel, shared libraries, other processes) falls through
-to stock OProfile resolution.
+to the stock stages.  :class:`ViprofReport` is nothing but this chain
+composition — it overrides :meth:`~repro.oprofile.opreport.OpReport._build_chain`
+and adds the JIT-specific annotation helper; all resolution logic lives
+in :mod:`repro.pipeline.stages`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+from repro.jvm.bootimage import RvmMap
+from repro.jvm.machine import JIT_APP_IMAGE_LABEL
+from repro.oprofile.opreport import OpReport
+from repro.os.kernel import Kernel
+from repro.pipeline.resolver import ResolverChain
+from repro.pipeline.stages import (
+    UNRESOLVED_JIT,
+    BootImageStage,
+    JitEpochStage,
+    JitStageStats,
+    KernelSymbolStage,
+    TaskVmaStage,
+)
+from repro.viprof.codemap import CodeMapIndex
+from repro.viprof.runtime_profiler import VmRegistration
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.profiling.annotate import SymbolAnnotation
 
-from repro.jvm.bootimage import BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL, RvmMap
-from repro.jvm.machine import JIT_APP_IMAGE_LABEL
-from repro.oprofile.opreport import OpReport
-from repro.os.address_space import VmaKind
-from repro.os.binary import NO_SYMBOLS
-from repro.os.kernel import Kernel
-from repro.profiling.model import RawSample, ResolvedSample
-from repro.viprof.codemap import CodeMapIndex
-from repro.viprof.runtime_profiler import VmRegistration
-
-__all__ = ["ViprofReport", "UNRESOLVED_JIT"]
-
-UNRESOLVED_JIT = "(unresolved jit)"
-
-
-@dataclass
-class JitResolutionStats:
-    """Bookkeeping on how JIT samples resolved (accuracy reporting)."""
-
-    jit_samples: int = 0
-    resolved_in_own_epoch: int = 0
-    resolved_in_earlier_epoch: int = 0
-    unresolved: int = 0
-
-    @property
-    def resolved(self) -> int:
-        return self.resolved_in_own_epoch + self.resolved_in_earlier_epoch
-
-    @property
-    def resolution_rate(self) -> float:
-        return self.resolved / self.jit_samples if self.jit_samples else 1.0
+__all__ = ["ViprofReport", "UNRESOLVED_JIT", "JitStageStats"]
 
 
 class ViprofReport(OpReport):
-    """Extended post-processor: stock opreport + code maps + RVM.map."""
+    """Extended post-processor: the stock chain + code maps + RVM.map."""
 
     def __init__(
         self,
@@ -72,65 +62,35 @@ class ViprofReport(OpReport):
     ) -> None:
         """``backward_traversal=False`` is the ablation: JIT samples only
         consult their own epoch's map (no walk through earlier maps)."""
-        super().__init__(kernel, sample_dir)
         self.codemaps = codemaps
         self.rvm_map = rvm_map
         self.backward_traversal = backward_traversal
-        self._registrations = {r.task_id: r for r in registrations}
-        self.jit_stats = JitResolutionStats()
+        self.registrations = tuple(registrations)
+        super().__init__(kernel, sample_dir)
 
-    # ------------------------------------------------------------------
-
-    def resolve(self, sample: RawSample) -> ResolvedSample:
-        if not sample.kernel_mode and not self.kernel.is_kernel_address(sample.pc):
-            reg = self._registrations.get(sample.task_id)
-            if reg is not None and reg.covers(sample.pc):
-                return self._resolve_jit(sample)
-            boot = self._resolve_boot_image(sample)
-            if boot is not None:
-                return boot
-        return super().resolve(sample)
-
-    def _resolve_jit(self, sample: RawSample) -> ResolvedSample:
-        self.jit_stats.jit_samples += 1
-        hit = self.codemaps.resolve(
-            sample.epoch, sample.pc, backward=self.backward_traversal
-        )
-        if hit is None:
-            self.jit_stats.unresolved += 1
-            return ResolvedSample(
-                raw=sample, image=JIT_APP_IMAGE_LABEL, symbol=UNRESOLVED_JIT
-            )
-        record, found_epoch = hit
-        if found_epoch == sample.epoch:
-            self.jit_stats.resolved_in_own_epoch += 1
-        else:
-            self.jit_stats.resolved_in_earlier_epoch += 1
-        return ResolvedSample(
-            raw=sample, image=JIT_APP_IMAGE_LABEL, symbol=record.name,
-            offset=sample.pc - record.address,
+    def _build_chain(self) -> ResolverChain:
+        """The vertically integrated chain: kernel, JIT epoch maps, RVM
+        boot image, then stock task-VMA resolution."""
+        return ResolverChain(
+            [
+                KernelSymbolStage(self.kernel),
+                JitEpochStage(
+                    self.codemaps,
+                    self.registrations,
+                    backward=self.backward_traversal,
+                ),
+                BootImageStage(self.kernel, self.rvm_map),
+                TaskVmaStage(self.kernel),
+            ]
         )
 
-    def _resolve_boot_image(self, sample: RawSample) -> ResolvedSample | None:
-        proc = self.kernel.process(sample.task_id)
-        if proc is None:
-            return None
-        vma = proc.address_space.resolve(sample.pc)
-        if vma is None or vma.kind is not VmaKind.FILE:
-            return None
-        assert vma.image is not None
-        if vma.image.name != BOOT_IMAGE_NAME:
-            return None
-        off = vma.to_image_offset(sample.pc)
-        entry = self.rvm_map.resolve(off)
-        if entry is None:
-            return ResolvedSample(
-                raw=sample, image=RVM_MAP_IMAGE_LABEL, symbol=NO_SYMBOLS
-            )
-        return ResolvedSample(
-            raw=sample, image=RVM_MAP_IMAGE_LABEL, symbol=entry.name,
-            offset=off - entry.offset,
-        )
+    @property
+    def jit_stats(self) -> JitStageStats:
+        """How JIT samples resolved (accuracy reporting) — the JIT stage's
+        own counters, exposed under the historical name."""
+        stage = self.chain.stage("jit-epoch")
+        assert isinstance(stage, JitEpochStage)
+        return stage.stats
 
     # ------------------------------------------------------------------
 
@@ -158,8 +118,7 @@ class ViprofReport(OpReport):
         expansion = (
             tier_by_label(tier_label).expansion if tier_label else None
         )
-        resolved = [self.resolve(s) for s in self.read_samples()]
         return annotate_symbol(
-            resolved, JIT_APP_IMAGE_LABEL, method_name,
+            self.resolved_samples(), JIT_APP_IMAGE_LABEL, method_name,
             bucket_bytes=bucket_bytes, expansion=expansion,
         )

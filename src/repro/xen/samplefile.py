@@ -1,59 +1,49 @@
-"""On-disk format for domain-tagged XenoProf samples.
+"""On-disk format for domain-tagged XenoProf samples (``XPRS``).
 
 XenoProf exposes per-domain sample streams through shared buffer pages
 that a domain-0 daemon persists.  We persist the whole tagged stream in
 one file: the core sample record plus a domain id column.
 
-Format (little endian)::
-
-    header:  4s magic "XPRS" | H version | H event-name length | name bytes
-             Q sampling period
-    record:  Q pc | I task_id | B kernel_mode | Q cycle | q epoch | H domain
+The header/record layout is the shared codec in
+:mod:`repro.profiling.record_codec`; this module pins the domain-tagged
+``XPRS`` codec.  The core and domain formats differ only in the optional
+trailing domain column, so any consumer that sniffs the magic (the
+streaming pipeline, the artifact analyzer) can read both.
 """
 
 from __future__ import annotations
 
-import struct
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from repro.errors import SampleFormatError
-from repro.profiling.model import RawSample
+from repro.profiling.record_codec import (
+    DOMAIN_CODEC,
+    RecordFileReader,
+    RecordFileWriter,
+)
 from repro.xen.xenoprof import XenoSample
 
 __all__ = ["XenoSampleFileWriter", "XenoSampleFileReader", "XENO_MAGIC"]
 
-XENO_MAGIC = b"XPRS"
-XENO_VERSION = 1
-
-_HEADER_FIXED = struct.Struct("<4sHH")
-_HEADER_PERIOD = struct.Struct("<Q")
-_RECORD = struct.Struct("<QIBQqH")
+XENO_MAGIC = DOMAIN_CODEC.magic
+XENO_VERSION = DOMAIN_CODEC.version
 
 
 class XenoSampleFileWriter:
     """Streams domain-tagged samples to disk."""
 
     def __init__(self, path: Path | str, event_name: str, period: int) -> None:
-        if period <= 0:
-            raise SampleFormatError(f"non-positive period {period}")
-        self.path = Path(path)
-        self._fh = open(self.path, "wb")
-        name = event_name.encode("utf-8")
-        self._fh.write(_HEADER_FIXED.pack(XENO_MAGIC, XENO_VERSION, len(name)))
-        self._fh.write(name)
-        self._fh.write(_HEADER_PERIOD.pack(period))
-        self.samples_written = 0
+        self._writer = RecordFileWriter(path, DOMAIN_CODEC, event_name, period)
+        self.path = self._writer.path
+        self.event_name = event_name
+        self.period = period
+
+    @property
+    def samples_written(self) -> int:
+        return self._writer.samples_written
 
     def write(self, sample: XenoSample) -> None:
-        r = sample.raw
-        self._fh.write(
-            _RECORD.pack(
-                r.pc, r.task_id, 1 if r.kernel_mode else 0, r.cycle,
-                r.epoch, sample.domain_id,
-            )
-        )
-        self.samples_written += 1
+        self._writer.write(sample.raw, domain_id=sample.domain_id)
 
     def write_many(self, samples: Iterable[XenoSample]) -> int:
         n = 0
@@ -63,54 +53,22 @@ class XenoSampleFileWriter:
         return n
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.close()
+        self._writer.close()
 
     def __enter__(self) -> "XenoSampleFileWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
-class XenoSampleFileReader:
+class XenoSampleFileReader(RecordFileReader):
     """Reads a XenoProf sample file back, validating integrity."""
 
     def __init__(self, path: Path | str) -> None:
-        self.path = Path(path)
-        data = self.path.read_bytes()
-        if len(data) < _HEADER_FIXED.size:
-            raise SampleFormatError(f"{self.path}: truncated header")
-        magic, version, name_len = _HEADER_FIXED.unpack_from(data, 0)
-        if magic != XENO_MAGIC:
-            raise SampleFormatError(f"{self.path}: bad magic {magic!r}")
-        if version != XENO_VERSION:
-            raise SampleFormatError(
-                f"{self.path}: version {version}, expected {XENO_VERSION}"
-            )
-        off = _HEADER_FIXED.size
-        if len(data) < off + name_len + _HEADER_PERIOD.size:
-            raise SampleFormatError(f"{self.path}: truncated header")
-        self.event_name = data[off : off + name_len].decode("utf-8")
-        off += name_len
-        (self.period,) = _HEADER_PERIOD.unpack_from(data, off)
-        off += _HEADER_PERIOD.size
-        body = data[off:]
-        if len(body) % _RECORD.size:
-            raise SampleFormatError(f"{self.path}: torn record")
-        self._body = body
+        super().__init__(path, codec=DOMAIN_CODEC)
 
     def __iter__(self) -> Iterator[XenoSample]:
-        for (pc, task, kmode, cycle, epoch, domain) in _RECORD.iter_unpack(
-            self._body
-        ):
-            yield XenoSample(
-                raw=RawSample(
-                    pc=pc, event_name=self.event_name, task_id=task,
-                    kernel_mode=bool(kmode), cycle=cycle, epoch=epoch,
-                ),
-                domain_id=domain,
-            )
-
-    def __len__(self) -> int:
-        return len(self._body) // _RECORD.size
+        for record in super().__iter__():
+            assert record.domain_id is not None
+            yield XenoSample(raw=record.sample, domain_id=record.domain_id)

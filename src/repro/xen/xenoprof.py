@@ -14,22 +14,33 @@ same structure:
   image (via RVM.map), and its JIT code (via that domain's VIProf epoch
   code maps).  This is the paper's "multiple concurrently executing
   software stacks" goal realized end to end.
+
+Resolution is the streaming pipeline's (:mod:`repro.pipeline`): each
+:class:`DomainResolver` is one guest's VIProf chain, and the report is a
+hypervisor stage in front of a domain-dispatch stage over those chains —
+the same stages every other report in the tree composes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ProfilerError
-from repro.jvm.bootimage import BOOT_IMAGE_NAME, RVM_MAP_IMAGE_LABEL, RvmMap
-from repro.jvm.machine import JIT_APP_IMAGE_LABEL
-from repro.os.address_space import VmaKind
-from repro.os.binary import NO_SYMBOLS
+from repro.jvm.bootimage import RvmMap
 from repro.os.kernel import Kernel
+from repro.pipeline.resolver import ResolverChain
+from repro.pipeline.source import PipelineSample, iter_pipeline_samples
+from repro.pipeline.stages import (
+    BootImageStage,
+    DomainDispatchStage,
+    HypervisorStage,
+    JitEpochStage,
+    KernelSymbolStage,
+    TaskVmaStage,
+)
 from repro.profiling.model import RawSample, ResolvedSample
-from repro.profiling.report import ProfileReport, build_report
+from repro.profiling.report import ProfileReport, StreamingAggregator
 from repro.viprof.codemap import CodeMapIndex
-from repro.viprof.postprocess import UNRESOLVED_JIT
+from repro.viprof.runtime_profiler import VmRegistration
 from repro.xen.hypervisor import Hypervisor
 
 __all__ = ["XenoSample", "XenoProfBuffer", "DomainResolver", "XenoProfReport"]
@@ -83,6 +94,10 @@ class DomainResolver:
         heap_bounds: the registered VM heap range.
         codemaps: the guest's VIProf epoch code maps.
         rvm_map: the guest's boot-image map.
+
+    The resolver is one guest's VIProf chain (kernel → JIT epoch maps →
+    boot image → task VMAs), built once and cached; its per-stage counters
+    accumulate across every sample the domain resolves.
     """
 
     kernel: Kernel
@@ -91,42 +106,22 @@ class DomainResolver:
     codemaps: CodeMapIndex
     rvm_map: RvmMap
 
-    def resolve(self, sample: RawSample) -> ResolvedSample:
-        pc = sample.pc
-        if sample.kernel_mode or self.kernel.is_kernel_address(pc):
-            image, symbol = self.kernel.resolve_kernel(pc)
-            return ResolvedSample(raw=sample, image=image, symbol=symbol)
+    def __post_init__(self) -> None:
         lo, hi = self.heap_bounds
-        if sample.task_id == self.vm_task_id and lo <= pc < hi:
-            hit = self.codemaps.resolve(sample.epoch, pc)
-            if hit is None:
-                return ResolvedSample(
-                    raw=sample, image=JIT_APP_IMAGE_LABEL, symbol=UNRESOLVED_JIT
-                )
-            return ResolvedSample(
-                raw=sample, image=JIT_APP_IMAGE_LABEL, symbol=hit[0].name
-            )
-        proc = self.kernel.process(sample.task_id)
-        if proc is None:
-            return ResolvedSample(raw=sample, image="(unknown)", symbol=NO_SYMBOLS)
-        vma = proc.address_space.resolve(pc)
-        if vma is None:
-            return ResolvedSample(raw=sample, image="(unknown)", symbol=NO_SYMBOLS)
-        if vma.kind is VmaKind.FILE:
-            assert vma.image is not None
-            off = vma.to_image_offset(pc)
-            if vma.image.name == BOOT_IMAGE_NAME:
-                entry = self.rvm_map.resolve(off)
-                return ResolvedSample(
-                    raw=sample,
-                    image=RVM_MAP_IMAGE_LABEL,
-                    symbol=entry.name if entry else NO_SYMBOLS,
-                )
-            return ResolvedSample(
-                raw=sample, image=vma.image.name,
-                symbol=vma.image.symbol_name_at(off),
-            )
-        return ResolvedSample(raw=sample, image=vma.label(), symbol=NO_SYMBOLS)
+        self.chain = ResolverChain(
+            [
+                KernelSymbolStage(self.kernel),
+                JitEpochStage(
+                    self.codemaps,
+                    (VmRegistration(self.vm_task_id, lo, hi),),
+                ),
+                BootImageStage(self.kernel, self.rvm_map),
+                TaskVmaStage(self.kernel),
+            ]
+        )
+
+    def resolve(self, sample: RawSample) -> ResolvedSample:
+        return self.chain.resolve(PipelineSample(raw=sample))
 
 
 class XenoProfReport:
@@ -139,46 +134,49 @@ class XenoProfReport:
     ) -> None:
         self.hypervisor = hypervisor
         self.resolvers = resolvers
+        self.chain = ResolverChain(
+            [
+                HypervisorStage(hypervisor),
+                DomainDispatchStage(
+                    {d: r.chain for d, r in resolvers.items()}
+                ),
+            ]
+        )
 
     def _resolve(self, s: XenoSample) -> ResolvedSample:
-        if self.hypervisor.is_xen_address(s.raw.pc):
-            image, symbol = self.hypervisor.resolve(s.raw.pc)
-            return ResolvedSample(raw=s.raw, image=image, symbol=symbol)
-        resolver = self.resolvers.get(s.domain_id)
-        if resolver is None:
-            raise ProfilerError(f"no resolver for domain {s.domain_id}")
-        return resolver.resolve(s.raw)
+        return self.chain.resolve(
+            PipelineSample(raw=s.raw, domain_id=s.domain_id)
+        )
 
     def domain_report(
         self, buffer: XenoProfBuffer, domain_id: int
     ) -> ProfileReport:
         """Per-domain profile: that guest's samples plus hypervisor work
         performed while it ran (XenoProf's per-domain view)."""
-        resolved = [
-            self._resolve(s)
-            for s in buffer.samples
-            if s.domain_id == domain_id
-        ]
-        return build_report(resolved)
+        stream = (s for s in buffer.samples if s.domain_id == domain_id)
+        agg = StreamingAggregator()
+        for resolved in self.chain.resolve_stream(iter_pipeline_samples(stream)):
+            agg.add(resolved)
+        return agg.report()
 
     def unified_report(self, buffer: XenoProfBuffer) -> ProfileReport:
         """One vertically *and horizontally* integrated profile: every
         domain's stack plus the hypervisor, in one listing.  Symbols are
         prefixed with their domain so identical guest symbols stay
         distinguishable."""
-        resolved = []
+        agg = StreamingAggregator()
         for s in buffer.samples:
             r = self._resolve(s)
             if self.hypervisor.is_xen_address(s.raw.pc):
                 prefix = "xen"
             else:
                 prefix = f"dom{s.domain_id}"
-            resolved.append(
+            agg.add(
                 ResolvedSample(
                     raw=r.raw, image=f"{prefix}:{r.image}", symbol=r.symbol
                 )
             )
-        return build_report(resolved)
+        return agg.report()
 
     def xen_share(self, buffer: XenoProfBuffer) -> float:
         """Fraction of all samples that landed in the hypervisor itself."""
