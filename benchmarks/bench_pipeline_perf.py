@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the sample-resolution pipeline.
+
+Synthesizes a large session (default one million samples) by replicating
+a real seeded VIProf run's sample records, then measures end-to-end
+resolution throughput (samples/sec) and peak RSS for:
+
+* ``workers=1`` with the resolution cache **off** — the raw stage walk;
+* ``workers=1`` with the cache **on** — memoization + batched decode;
+* ``workers=2`` and ``workers=4`` — sharded multi-process resolution.
+
+Every configuration's report is checked byte-identical against the
+sequential baseline before its numbers are recorded (a perf run that
+changes output is a failed run, not a fast one).  Results land in
+``BENCH_pipeline.json`` at the repo root; ``docs/performance.md``
+explains how to read them.
+
+Usage::
+
+    python benchmarks/bench_pipeline_perf.py            # 1M samples, 1/2/4
+    python benchmarks/bench_pipeline_perf.py --smoke    # 100k, workers 1/2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.profiling.record_codec import (  # noqa: E402
+    RecordFileReader,
+    RecordFileWriter,
+)
+from repro.system.api import viprof_profile  # noqa: E402
+from repro.viprof.postprocess import ViprofReport  # noqa: E402
+from repro.workloads import by_name  # noqa: E402
+
+SEED_BENCH = "fop"
+SEED_PERIOD = 90_000
+SEED_SCALE = 0.25
+SEED = 7
+
+
+def synthesize_session(sample_dir: Path, big_dir: Path, target: int) -> int:
+    """Replicate a seed session's sample files into ``big_dir`` until the
+    directory holds ~``target`` records, preserving the per-event mix and
+    the record order within each replica (PC locality and all)."""
+    big_dir.mkdir(parents=True, exist_ok=True)
+    seed_files = sorted(sample_dir.glob("*.samples"))
+    seed_total = 0
+    decoded = []
+    for path in seed_files:
+        with RecordFileReader(path) as reader:
+            records = [r.sample for r in reader]
+            decoded.append(
+                (path.name, reader.codec, reader.event_name,
+                 reader.period, records)
+            )
+            seed_total += len(records)
+    if seed_total == 0:
+        raise SystemExit(f"seed session {sample_dir} has no samples")
+    replicas = max(1, -(-target // seed_total))  # ceil
+    written = 0
+    for name, codec, event, period, records in decoded:
+        with RecordFileWriter(big_dir / name, codec, event, period) as w:
+            for _ in range(replicas):
+                for s in records:
+                    w.write(s)
+                    written += 1
+    return written
+
+
+def peak_rss_kb() -> int:
+    """High-watermark RSS of this process plus all reaped children, in
+    kB (Linux ``ru_maxrss`` units)."""
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return own + kids
+
+
+def bench_config(
+    make_post, workers: int, cache: bool, baseline_table: str | None
+) -> tuple[dict, str]:
+    post = make_post(cache)
+    t0 = time.perf_counter()
+    report = post.generate(workers=workers)
+    elapsed = time.perf_counter() - t0
+    stats = post.chain.stats_dict()
+    total = stats["total_samples"]
+    table = report.format_table(limit=20)
+    result = {
+        "workers": workers,
+        "resolve_cache": cache,
+        "samples": total,
+        "seconds": round(elapsed, 4),
+        "samples_per_sec": round(total / elapsed) if elapsed else None,
+        "peak_rss_kb": peak_rss_kb(),
+        "cache": stats["cache"],
+        "matches_baseline": (
+            None if baseline_table is None else table == baseline_table
+        ),
+    }
+    if baseline_table is not None and table != baseline_table:
+        raise SystemExit(
+            f"workers={workers} cache={cache} produced a different report "
+            "than the sequential baseline — parity broken, not measuring"
+        )
+    return result, table
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--samples", type=int, default=1_000_000,
+                    help="synthetic session size (default 1M)")
+    ap.add_argument("--workers", default="1,2,4",
+                    help="comma-separated worker counts (default 1,2,4)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI mode: 100k samples, workers 1,2")
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "BENCH_pipeline.json")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        args.samples = min(args.samples, 100_000)
+        args.workers = "1,2"
+    worker_counts = [int(w) for w in args.workers.split(",")]
+
+    print(f"seeding: viprof run of {SEED_BENCH!r} "
+          f"(period={SEED_PERIOD}, scale={SEED_SCALE})", flush=True)
+    run = viprof_profile(
+        by_name(SEED_BENCH), period=SEED_PERIOD,
+        time_scale=SEED_SCALE, seed=SEED,
+    )
+    seed_post = run.viprof_report().post
+
+    with tempfile.TemporaryDirectory(prefix="viprof-bench-") as tmp:
+        big_dir = Path(tmp) / "samples"
+        written = synthesize_session(run.sample_dir, big_dir, args.samples)
+        print(f"synthesized {written} samples in {big_dir}", flush=True)
+
+        def make_post(cache: bool) -> ViprofReport:
+            return ViprofReport(
+                kernel=seed_post.kernel,
+                sample_dir=big_dir,
+                codemaps=seed_post.codemaps,
+                rvm_map=seed_post.rvm_map,
+                registrations=seed_post.registrations,
+                resolve_cache=cache,
+            )
+
+        configs = []
+        baseline_table = None
+        baseline_secs = None
+        # The raw stage walk first, then the cached sequential pass (the
+        # memoization + batched-decode win), then the sharded runs.
+        plan = [(1, False)] + [(w, True) for w in worker_counts]
+        for workers, cache in plan:
+            result, table = bench_config(
+                make_post, workers, cache, baseline_table
+            )
+            if baseline_table is None:
+                baseline_table = table
+            if workers == 1 and cache and baseline_secs is None:
+                baseline_secs = result["seconds"]
+            configs.append(result)
+            rate = result["samples_per_sec"]
+            print(f"workers={workers} cache={'on' if cache else 'off'}: "
+                  f"{result['seconds']:.2f}s  {rate} samples/s", flush=True)
+
+        uncached = next(
+            c for c in configs if not c["resolve_cache"] and c["workers"] == 1
+        )
+        cached = next(
+            (c for c in configs if c["resolve_cache"] and c["workers"] == 1),
+            None,
+        )
+        payload = {
+            "benchmark": "pipeline_resolution_throughput",
+            "seed_run": {
+                "workload": SEED_BENCH, "period": SEED_PERIOD,
+                "time_scale": SEED_SCALE, "seed": SEED,
+            },
+            "samples": written,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "smoke": args.smoke,
+            "configs": configs,
+            "speedup_cache_on_vs_off": (
+                round(uncached["seconds"] / cached["seconds"], 2)
+                if cached and cached["seconds"]
+                else None
+            ),
+        }
+
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if payload["speedup_cache_on_vs_off"] is not None:
+        print(f"cache+batched-decode speedup: "
+              f"{payload['speedup_cache_on_vs_off']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,7 +66,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
         by_name(args.benchmark), period=args.period,
         time_scale=args.scale, seed=args.seed,
     )
-    vr = result.viprof_report()
+    vr = result.viprof_report(
+        workers=args.workers, resolve_cache=not args.no_resolve_cache,
+    )
     if args.json:
         from repro.profiling.export import report_to_json
 
@@ -77,7 +79,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"\n{s.jit_samples} JIT samples, "
           f"{100 * s.resolution_rate:.1f}% resolved")
     print("\nresolution stages:")
-    print(_format_stage_stats(vr.stage_stats))
+    stats = vr.stage_stats
+    print(_format_stage_stats(stats))
+    cache = stats.get("cache")
+    if cache is not None:
+        print(f"resolve cache: {cache['hits']}/{stats['total_samples']} "
+              f"hits ({100 * cache['hit_rate']:.1f}%)")
     return 0
 
 
@@ -223,6 +230,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the report (plus per-stage resolution "
                         "counters) as JSON")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard sample resolution across N worker "
+                        "processes (same output, faster; default 1)")
+    p.add_argument("--no-resolve-cache", action="store_true",
+                   help="disable the epoch-aware PC resolution cache "
+                        "(performance ablation; output is unchanged)")
     _add_run_args(p)
 
     p = sub.add_parser("case-study", help="Figure 1 side-by-side")

@@ -45,16 +45,31 @@ class OpReport:
     (``self.chain.stats_dict()``) travel with every report flavour.
     """
 
-    def __init__(self, kernel: Kernel, sample_dir: Path | str) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        sample_dir: Path | str,
+        resolve_cache: bool = True,
+    ) -> None:
         self.kernel = kernel
         self.source = DirectorySource(sample_dir)
         self.sample_dir = self.source.sample_dir
+        self.resolve_cache = resolve_cache
         self.chain = self._build_chain()
+
+    @property
+    def _cache_size(self) -> int:
+        """Resolution-cache bound for the report's chain (0 = disabled;
+        the ``--no-resolve-cache`` ablation)."""
+        from repro.pipeline.cache import DEFAULT_RESOLVE_CACHE_SIZE
+
+        return DEFAULT_RESOLVE_CACHE_SIZE if self.resolve_cache else 0
 
     def _build_chain(self) -> ResolverChain:
         """Stock opreport resolution: kernel symbols, then task VMAs."""
         return ResolverChain(
-            [KernelSymbolStage(self.kernel), TaskVmaStage(self.kernel)]
+            [KernelSymbolStage(self.kernel), TaskVmaStage(self.kernel)],
+            cache_size=self._cache_size,
         )
 
     # ------------------------------------------------------------------
@@ -126,6 +141,7 @@ class OpReport:
         self,
         events: tuple[str, ...] | None = None,
         pid: int | None = None,
+        workers: int = 1,
     ) -> ProfileReport:
         """Build the symbol-level report in one streaming pass.
 
@@ -133,7 +149,18 @@ class OpReport:
             events: column order; defaults to the on-disk event order.
             pid: restrict to one task (``opreport`` image separation);
                 kernel-mode samples are kept, as OProfile does.
+            workers: shard the session's sample files across this many
+                worker processes (output is byte-identical to ``1``).
+                Incompatible with ``pid`` — filtering is a sequential
+                pass over the stream.
         """
+        if pid is not None and workers > 1:
+            from repro.errors import ProfilerError
+
+            raise ProfilerError(
+                "pid-filtered reports resolve sequentially; "
+                "drop workers or the pid filter"
+            )
         source = (
             self.source
             if pid is None
@@ -144,5 +171,8 @@ class OpReport:
             )
         )
         return run_pipeline(
-            source, self.chain, events=events or self.event_names()
+            source,
+            self.chain,
+            events=events or self.event_names(),
+            workers=workers,
         )

@@ -27,6 +27,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.pipeline.aggregate import run_pipeline
+from repro.pipeline.cache import (
+    DEFAULT_RESOLVE_CACHE_SIZE,
+    CachedResolution,
+    ResolutionCache,
+)
 from repro.pipeline.callgraph import (
     CallArc,
     CallGraphRecorder,
@@ -34,6 +39,12 @@ from repro.pipeline.callgraph import (
     LayeredNode,
     NodeKey,
     layered_node_for,
+)
+from repro.pipeline.parallel import (
+    ShardChunk,
+    consume_source,
+    plan_shards,
+    run_parallel_pipeline,
 )
 from repro.pipeline.resolver import ResolverChain, StageStats
 from repro.pipeline.source import (
@@ -84,6 +95,13 @@ __all__ = [
     "ResolverChain",
     "StageStats",
     "run_pipeline",
+    "DEFAULT_RESOLVE_CACHE_SIZE",
+    "CachedResolution",
+    "ResolutionCache",
+    "ShardChunk",
+    "plan_shards",
+    "consume_source",
+    "run_parallel_pipeline",
     "NodeKey",
     "CallArc",
     "CallGraphRecorder",

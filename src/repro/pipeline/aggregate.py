@@ -3,7 +3,11 @@
 :func:`run_pipeline` is the whole pipeline in one call: it streams samples
 out of a source, resolves each through the chain, and folds them into a
 :class:`~repro.profiling.report.StreamingAggregator` — never holding more
-than one sample (plus the aggregate's per-symbol rows) in memory.
+than one decode chunk (plus the aggregate's per-symbol rows) in memory.
+
+``workers=N`` shards a directory-backed source across ``N`` worker
+processes (:mod:`repro.pipeline.parallel`); the merged output is
+byte-identical to the sequential pass, statistics included.
 """
 
 from __future__ import annotations
@@ -20,14 +24,22 @@ def run_pipeline(
     source: Iterable[object],
     chain: ResolverChain,
     events: tuple[str, ...] | None = None,
+    workers: int = 1,
 ) -> ProfileReport:
     """Resolve and aggregate a sample stream in one constant-memory pass.
 
     ``source`` may yield raw, domain-tagged, or pipeline samples (any
     shape :func:`~repro.pipeline.source.as_pipeline_sample` accepts);
     ``events`` fixes the report's column order and drops other events.
+    ``workers > 1`` requires a :class:`~repro.pipeline.source.DirectorySource`
+    (sharding needs record-addressable files); after the run the chain's
+    ``stats_dict()`` covers the whole stream either way.
     """
-    agg = StreamingAggregator(events)
-    for resolved in chain.resolve_stream(source):
-        agg.add(resolved)
+    from repro.pipeline.parallel import consume_source, run_parallel_pipeline
+
+    if workers > 1:
+        agg = run_parallel_pipeline(source, chain, events, workers)
+    else:
+        agg = StreamingAggregator(events)
+        consume_source(source, chain, agg)
     return agg.report()

@@ -1,0 +1,124 @@
+"""Epoch-aware PC resolution memoization.
+
+Profiles have extreme PC locality — a hot loop delivers the same
+interrupted PC thousands of times — so the resolver chain keeps a bounded
+LRU cache in front of the stage walk, keyed on
+``(pc, epoch, kernel_mode, task_id, domain_id)``.
+
+**Why the key is sound.**  Every input a stage consults is immutable
+during a post-processing pass: symbol tables, VMA sets, and boot-image
+maps are the session's final snapshot, and the epoch code maps are
+immutable *per epoch* — the backward epoch-walk for ``(epoch, pc)`` can
+never change once the session's maps are on disk.  The one time-varying
+input the profiler tracks (which JIT method occupied an address) is
+exactly what the epoch stamp captures, so putting ``epoch`` in the key
+makes even a cached ``(unresolved jit)`` verdict permanent: map *e* and
+everything below it will never gain the address.  ``domain_id`` keeps
+multi-stack (Xen) streams from aliasing across guests.
+
+A cache entry records *how* the chain resolved the sample — which stage
+claimed it and any stage-detail token (the JIT own/earlier-epoch split) —
+so a hit replays the exact per-stage counter updates the full walk would
+have made.  Cached reports are therefore byte-identical to uncached ones,
+statistics included (golden-parity tested).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import ProfilerError
+
+__all__ = [
+    "DEFAULT_RESOLVE_CACHE_SIZE",
+    "CachedResolution",
+    "ResolutionCache",
+]
+
+#: Default entry bound for a chain's resolution cache.  Sized for the
+#: distinct-PC working set of a long session (hot profiles concentrate on
+#: far fewer PCs); one entry is a small tuple-keyed dataclass, so the
+#: worst-case footprint is a few MB.
+DEFAULT_RESOLVE_CACHE_SIZE = 1 << 16
+
+
+@dataclass(frozen=True, slots=True)
+class CachedResolution:
+    """The outcome of one full stage walk, replayable on later hits.
+
+    ``claim_index`` is the position of the claiming stage in the chain
+    (``len(stages)`` for the terminal fallback); ``token`` is the claiming
+    stage's opaque detail token (see
+    :meth:`~repro.pipeline.stages.ResolverStage.claim_token`), replayed so
+    stage-local counters stay exact.
+    """
+
+    image: str
+    symbol: str
+    offset: int
+    claim_index: int
+    token: object | None = None
+
+
+class ResolutionCache:
+    """Bounded LRU map from sample key to :class:`CachedResolution`."""
+
+    __slots__ = ("capacity", "hits", "misses", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_RESOLVE_CACHE_SIZE) -> None:
+        if capacity <= 0:
+            raise ProfilerError(f"non-positive cache capacity {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, CachedResolution] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> CachedResolution | None:
+        """Look a key up, counting the hit/miss and refreshing recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, entry: CachedResolution) -> None:
+        entries = self._entries
+        entries[key] = entry
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters, keeping the entries warm."""
+        self.hits = 0
+        self.misses = 0
+
+    def absorb_counters(self, hits: int, misses: int) -> None:
+        """Fold a worker cache's counters into this one (stat merging)."""
+        self.hits += hits
+        self.misses += misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats_dict(self) -> dict[str, int | float]:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,273 @@
+"""Sharded, multi-process sample resolution.
+
+:func:`run_pipeline(..., workers=N) <repro.pipeline.aggregate.run_pipeline>`
+partitions a directory-backed source's records into ``N`` contiguous
+shards — whole files where possible, large files split by record-chunk
+ranges (:func:`plan_shards`) — and resolves each shard in its own worker
+process with its own copy of the :class:`~repro.pipeline.resolver.ResolverChain`.
+
+Exactness is the design constraint, not best-effort parallelism:
+
+* shards are **contiguous in global stream order** (files in sorted name
+  order, record ranges in file order), and partial results are merged in
+  shard order, so row/event first-seen order — the report's sort
+  tie-break — matches the sequential pass exactly;
+* workers reset their chain copy's counters and export pure **deltas**,
+  which the parent chain absorbs
+  (:meth:`~repro.pipeline.resolver.ResolverChain.absorb_stats`); counters
+  are pure sums, so merged statistics equal sequential statistics;
+* therefore ``workers=N`` output is byte-identical to ``workers=1``
+  (golden-parity tested for N in {2, 4}).
+
+The per-shard resolve loop is also the pipeline's sequential fast path
+(:func:`consume_source`): records are decoded in batched field chunks
+(one ``iter_unpack`` C call per chunk) and resolution-cache hits skip
+sample-object construction entirely — the chain replays the claim's
+counters and the aggregate is bumped straight from the decoded fields.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import multiprocessing
+
+from repro.errors import ProfilerError
+from repro.pipeline.resolver import ResolverChain
+from repro.pipeline.source import DirectorySource, PipelineSample
+from repro.profiling.model import RawSample
+from repro.profiling.record_codec import RecordFileReader
+from repro.profiling.report import StreamingAggregator
+
+__all__ = [
+    "ShardChunk",
+    "plan_shards",
+    "consume_source",
+    "consume_chunks",
+    "run_parallel_pipeline",
+]
+
+#: Shard split points within a file are rounded to this many records so a
+#: split never lands mid decode chunk (pure I/O efficiency; correctness
+#: does not depend on it).
+SPLIT_ALIGN_RECORDS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class ShardChunk:
+    """A contiguous record range of one sample file.
+
+    ``path`` is a string (not :class:`~pathlib.Path`) so chunk lists
+    pickle cheaply across the worker boundary.
+    """
+
+    path: str
+    start_record: int
+    n_records: int
+
+
+def plan_shards(
+    paths: Sequence[Path | str], workers: int
+) -> list[list[ShardChunk]]:
+    """Partition files' records into ``workers`` contiguous shards.
+
+    Files are taken in the given (sorted) order; each shard receives a
+    contiguous run of the global record stream, so concatenating the
+    shards in index order reproduces the sequential stream exactly.
+    Large files are split at :data:`SPLIT_ALIGN_RECORDS`-aligned record
+    boundaries.  Shards that would be empty (more workers than records)
+    are dropped.
+    """
+    if workers < 1:
+        raise ProfilerError(f"worker count must be >= 1, got {workers}")
+    counts: list[tuple[str, int]] = []
+    total = 0
+    for p in paths:
+        with RecordFileReader(p) as reader:
+            n = len(reader)
+        counts.append((str(p), n))
+        total += n
+    if total == 0:
+        return []
+    per_shard = -(-total // workers)  # ceil
+    shards: list[list[ShardChunk]] = [[]]
+    room = per_shard
+    for path, n in counts:
+        taken = 0
+        while taken < n:
+            if room == 0:
+                shards.append([])
+                room = per_shard
+            take = min(n - taken, room)
+            remaining_after = n - taken - take
+            if 0 < remaining_after and take % SPLIT_ALIGN_RECORDS:
+                # Keep every intra-file split on a decode-chunk boundary:
+                # round the take down to one, or — when the shard's budget
+                # is smaller than a chunk — up to a whole chunk (alignment
+                # wins over perfectly even shard sizes).
+                aligned = take - (take % SPLIT_ALIGN_RECORDS)
+                take = (
+                    aligned
+                    if aligned > 0
+                    else min(n - taken, SPLIT_ALIGN_RECORDS)
+                )
+            shards[-1].append(ShardChunk(path, taken, take))
+            taken += take
+            room = max(0, room - take)
+    return [s for s in shards if s]
+
+
+# ----------------------------------------------------------------------
+# the resolve loop (sequential fast path == per-shard worker loop)
+# ----------------------------------------------------------------------
+
+
+def consume_chunks(
+    chunks: Iterable[ShardChunk],
+    chain: ResolverChain,
+    agg: StreamingAggregator,
+) -> None:
+    """Resolve every record in the given chunk ranges into ``agg``.
+
+    This is the pipeline's hot loop.  Records arrive as raw struct-field
+    tuples in batched chunks; a resolution-cache hit bypasses
+    ``RawSample``/``PipelineSample`` construction entirely — the chain
+    replays the cached claim's counters and the aggregate is bumped from
+    the decoded fields.  Only cache misses build sample objects and walk
+    the stages.  The cache key layout must match
+    :meth:`ResolverChain.cache_key`; ``kernel_mode`` may be an int here
+    (``1 == True`` hashes identically, so the keys unify).
+    """
+    for chunk in chunks:
+        with RecordFileReader(chunk.path) as reader:
+            event_name = reader.event_name
+            has_domain = reader.codec.has_domain
+            cache = chain.cache
+            add_counts = agg.add_counts
+            add = agg.add
+            replay = chain.replay
+            for fields_chunk in reader.iter_field_chunks(
+                chunk.start_record, chunk.n_records
+            ):
+                for fields in fields_chunk:
+                    pc, task, kmode, cycle, epoch = fields[:5]
+                    domain = fields[5] if has_domain else None
+                    if cache is not None:
+                        key = (pc, epoch, kmode, task, domain)
+                        entry = cache.get(key)
+                        if entry is not None:
+                            replay(entry)
+                            add_counts(event_name, entry.image, entry.symbol)
+                            continue
+                    sample = PipelineSample(
+                        raw=RawSample(
+                            pc=pc,
+                            event_name=event_name,
+                            task_id=task,
+                            kernel_mode=bool(kmode),
+                            cycle=cycle,
+                            epoch=epoch,
+                        ),
+                        domain_id=domain,
+                    )
+                    if cache is not None:
+                        add(chain.resolve_miss(sample, key))
+                    else:
+                        add(chain.resolve(sample))
+
+
+def consume_source(
+    source: Iterable[object],
+    chain: ResolverChain,
+    agg: StreamingAggregator,
+) -> None:
+    """Resolve a whole source into ``agg``, using the fused fast path for
+    directory-backed sources and the generic stream loop otherwise."""
+    if isinstance(source, DirectorySource):
+        whole_files = [
+            ShardChunk(str(p), 0, _record_count(p)) for p in source.paths()
+        ]
+        consume_chunks(whole_files, chain, agg)
+        return
+    for resolved in chain.resolve_stream(source):
+        agg.add(resolved)
+
+
+def _record_count(path: Path | str) -> int:
+    with RecordFileReader(path) as reader:
+        return len(reader)
+
+
+# ----------------------------------------------------------------------
+# the multi-process runner
+# ----------------------------------------------------------------------
+
+
+def _resolve_shard_worker(
+    payload: tuple[bytes, list[ShardChunk], tuple[str, ...] | None],
+) -> tuple[StreamingAggregator, dict[str, object]]:
+    """Worker entry: resolve one shard on a private chain copy and return
+    the partial aggregate plus the chain's counter deltas."""
+    chain_bytes, chunks, events = payload
+    chain: ResolverChain = pickle.loads(chain_bytes)
+    chain.reset_stats()
+    agg = StreamingAggregator(events)
+    consume_chunks(chunks, chain, agg)
+    return agg, chain.export_stats()
+
+
+def run_parallel_pipeline(
+    source: Iterable[object],
+    chain: ResolverChain,
+    events: tuple[str, ...] | None,
+    workers: int,
+) -> StreamingAggregator:
+    """Resolve a directory-backed source across ``workers`` processes.
+
+    Returns the merged aggregator; the parent ``chain`` has absorbed every
+    worker's counter deltas, so ``chain.stats_dict()`` reports the whole
+    run.  Falls back to the sequential fast path when the plan yields a
+    single shard (tiny inputs) — same results either way.
+    """
+    if not isinstance(source, DirectorySource):
+        raise ProfilerError(
+            "parallel resolution needs a directory-backed source "
+            f"(got {type(source).__name__}); filtered or in-memory streams "
+            "resolve sequentially"
+        )
+    try:
+        chain_bytes = pickle.dumps(chain)
+    except Exception as e:
+        raise ProfilerError(
+            f"resolver chain is not picklable for worker processes: {e}"
+        ) from e
+    shards = plan_shards(source.paths(), workers)
+    agg = StreamingAggregator(events)
+    if not shards:
+        return agg
+    if len(shards) == 1:
+        consume_chunks(shards[0], chain, agg)
+        return agg
+    # fork shares the parent's loaded modules and page cache; spawn works
+    # too (workers re-import repro) but pays interpreter start-up.
+    method = (
+        "fork"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else None
+    )
+    ctx = multiprocessing.get_context(method)
+    payloads = [(chain_bytes, shard, events) for shard in shards]
+    with ProcessPoolExecutor(
+        max_workers=len(shards), mp_context=ctx
+    ) as pool:
+        results = list(pool.map(_resolve_shard_worker, payloads))
+    # Merge in shard order: shards are contiguous in stream order, so
+    # order-preserving merges reproduce the sequential first-seen order.
+    for shard_agg, stats_snapshot in results:
+        agg.merge(shard_agg)
+        chain.absorb_stats(stats_snapshot)
+    return agg

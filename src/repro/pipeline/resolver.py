@@ -11,6 +11,18 @@ now exposes the same per-stage accounting (:meth:`ResolverChain.stats` /
 :meth:`ResolverChain.stats_dict`), and stages with richer detail (the JIT
 epoch stage's own/earlier-epoch split) contribute it through their
 ``detail_dict`` hook.
+
+Two performance features live here:
+
+* a bounded LRU **resolution cache** in front of the stage walk
+  (:mod:`repro.pipeline.cache`), keyed on
+  ``(pc, epoch, kernel_mode, task_id, domain_id)``.  Hits replay the
+  exact counter updates the full walk would have made, so cached and
+  uncached runs produce byte-identical reports *and* statistics;
+* **mergeable statistics** (:meth:`StageStats.merge`,
+  :meth:`ResolverChain.export_stats` / :meth:`ResolverChain.absorb_stats`)
+  so shard workers (:mod:`repro.pipeline.parallel`) can resolve disjoint
+  sample ranges on chain copies and fold their counters back exactly.
 """
 
 from __future__ import annotations
@@ -19,6 +31,11 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ProfilerError
+from repro.pipeline.cache import (
+    DEFAULT_RESOLVE_CACHE_SIZE,
+    CachedResolution,
+    ResolutionCache,
+)
 from repro.pipeline.source import PipelineSample, iter_pipeline_samples
 from repro.pipeline.stages import FallbackStage, ResolverStage
 from repro.profiling.model import ResolvedSample
@@ -31,16 +48,49 @@ class StageStats:
     """Hit/miss counters for one stage of a chain.
 
     ``hits`` counts samples the stage claimed; ``misses`` counts samples it
-    was offered and passed down the chain.
+    was offered and passed down the chain.  ``terminal`` marks a stage that
+    *cannot* pass a sample on (the chain's fallback): its misses are zero
+    by construction — ``offered == hits`` — and :meth:`check` asserts that
+    invariant rather than leaving the uncounted misses implicit.
     """
 
     name: str
     hits: int = 0
     misses: int = 0
+    terminal: bool = False
 
     @property
     def offered(self) -> int:
         return self.hits + self.misses
+
+    def check(self) -> "StageStats":
+        """Assert the terminality invariant (``offered == hits`` for a
+        terminal stage); returns self for chaining."""
+        if self.terminal and self.misses:
+            raise ProfilerError(
+                f"terminal stage {self.name!r} recorded {self.misses} "
+                "misses; a fallback claims every sample it is offered"
+            )
+        return self
+
+    def merge(self, other: "StageStats") -> "StageStats":
+        """Fold another shard's counters for the *same* stage into this
+        one, in place.  Merging is exact: counters are pure sums."""
+        if other.name != self.name or other.terminal != self.terminal:
+            raise ProfilerError(
+                f"cannot merge stats for stage {other.name!r} "
+                f"(terminal={other.terminal}) into {self.name!r} "
+                f"(terminal={self.terminal})"
+            )
+        other.check()
+        self.hits += other.hits
+        self.misses += other.misses
+        return self
+
+    def __add__(self, other: "StageStats") -> "StageStats":
+        return StageStats(
+            self.name, self.hits, self.misses, self.terminal
+        ).merge(other)
 
 
 class ResolverChain:
@@ -49,46 +99,137 @@ class ResolverChain:
     The chain is the only place resolution order lives: ``opreport``,
     VIProf, and XenoProf reports differ solely in the stage list they are
     built from (see the composition helpers in :mod:`repro.pipeline`).
+
+    ``cache_size`` bounds the chain's resolution cache; 0 disables it.
+    Chains containing a stage that routes to *inner* chains with their own
+    counters (``owns_inner_chains``, e.g. the Xen domain dispatcher) never
+    cache at this level — a hit here could not replay the inner chains'
+    counters — but the inner chains cache normally.
     """
 
     def __init__(
         self,
         stages: Sequence[ResolverStage],
         fallback: ResolverStage | None = None,
+        cache_size: int = DEFAULT_RESOLVE_CACHE_SIZE,
     ) -> None:
         self.stages = list(stages)
         self.fallback = fallback if fallback is not None else FallbackStage()
         names = [s.name for s in self.stages]
         if len(set(names)) != len(names):
             raise ProfilerError(f"duplicate stage names in chain: {names}")
-        self._stats = {s.name: StageStats(s.name) for s in self.stages}
-        self._stats[self.fallback.name] = StageStats(self.fallback.name)
+        self._by_name = {s.name: s for s in self.stages}
+        self._by_name[self.fallback.name] = self.fallback
+        if len(self._by_name) != len(self.stages) + 1:
+            raise ProfilerError(
+                f"fallback stage name {self.fallback.name!r} collides "
+                f"with a chain stage"
+            )
+        # Ordered stats: one per stage, fallback (terminal) last.
+        self._stats_list = [StageStats(s.name) for s in self.stages]
+        self._stats_list.append(StageStats(self.fallback.name, terminal=True))
+        self._stats = {st.name: st for st in self._stats_list}
+        cacheable = not any(
+            getattr(s, "owns_inner_chains", False) for s in self.stages
+        )
+        self.cache: ResolutionCache | None = (
+            ResolutionCache(cache_size) if cache_size > 0 and cacheable else None
+        )
 
     def stage(self, name: str) -> ResolverStage:
         """Look a stage up by name (e.g. ``chain.stage("jit-epoch")``)."""
-        for s in self.stages:
-            if s.name == name:
-                return s
-        if self.fallback.name == name:
-            return self.fallback
-        raise ProfilerError(f"no stage named {name!r} in chain")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ProfilerError(f"no stage named {name!r} in chain") from None
 
-    def resolve(self, sample: PipelineSample) -> ResolvedSample:
-        """Resolve one sample, counting which stage claimed it."""
-        for s in self.stages:
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def cache_key(sample: PipelineSample) -> tuple:
+        """The sample's resolution-cache key.  Everything any stage reads
+        from a sample is in here (see :mod:`repro.pipeline.cache` for the
+        correctness argument); ``cycle`` and ``event_name`` are not,
+        because no stage consults them."""
+        raw = sample.raw
+        return (
+            raw.pc, raw.epoch, raw.kernel_mode, raw.task_id, sample.domain_id
+        )
+
+    def _resolve_uncached(
+        self, sample: PipelineSample
+    ) -> tuple[ResolvedSample, int, object | None]:
+        """The full stage walk.  Returns the resolved sample, the claiming
+        stage's index (``len(stages)`` for the fallback), and the claiming
+        stage's detail token for cache replay."""
+        stats = self._stats_list
+        for i, s in enumerate(self.stages):
             resolved = s.resolve(sample)
-            st = self._stats[s.name]
+            st = stats[i]
             if resolved is not None:
                 st.hits += 1
-                return resolved
+                return resolved, i, s.claim_token()
             st.misses += 1
         resolved = self.fallback.resolve(sample)
         if resolved is None:  # a fallback must be terminal
             raise ProfilerError(
                 f"fallback stage {self.fallback.name!r} declined a sample"
             )
-        self._stats[self.fallback.name].hits += 1
+        stats[-1].hits += 1
+        return resolved, len(self.stages), self.fallback.claim_token()
+
+    def replay(self, entry: CachedResolution) -> None:
+        """Re-apply the counter updates a cached walk would have made:
+        a miss for every stage above the claimant, a hit for the claimant,
+        and the claimant's own detail counters via its token."""
+        stats = self._stats_list
+        idx = entry.claim_index
+        for i in range(idx):
+            stats[i].misses += 1
+        stats[idx].hits += 1
+        if entry.token is not None:
+            claimant = (
+                self.fallback if idx == len(self.stages) else self.stages[idx]
+            )
+            claimant.replay_token(entry.token)
+
+    def resolve_miss(
+        self, sample: PipelineSample, key: tuple
+    ) -> ResolvedSample:
+        """Resolve a sample the cache did not hold and insert the result.
+        The caller has already consulted (and counted) the cache."""
+        resolved, idx, token = self._resolve_uncached(sample)
+        if self.cache is not None:
+            self.cache.put(
+                key,
+                CachedResolution(
+                    image=resolved.image,
+                    symbol=resolved.symbol,
+                    offset=resolved.offset,
+                    claim_index=idx,
+                    token=token,
+                ),
+            )
         return resolved
+
+    def resolve(self, sample: PipelineSample) -> ResolvedSample:
+        """Resolve one sample, counting which stage claimed it."""
+        cache = self.cache
+        if cache is None:
+            return self._resolve_uncached(sample)[0]
+        key = self.cache_key(sample)
+        entry = cache.get(key)
+        if entry is not None:
+            self.replay(entry)
+            return ResolvedSample(
+                raw=sample.raw,
+                image=entry.image,
+                symbol=entry.symbol,
+                offset=entry.offset,
+            )
+        return self.resolve_miss(sample, key)
 
     def resolve_stream(
         self, samples: Iterable[object]
@@ -98,15 +239,25 @@ class ResolverChain:
         for sample in iter_pipeline_samples(samples):
             yield self.resolve(sample)
 
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        """Samples this chain has resolved: every sample is claimed by
+        exactly one stage (the fallback is terminal), so the hit sum is
+        the stream length — the denominator for cache hit-rate math."""
+        return sum(st.hits for st in self._stats_list)
+
     def stats(self) -> list[StageStats]:
         """Per-stage counters in chain order (fallback last)."""
-        return [self._stats[s.name] for s in self.stages] + [
-            self._stats[self.fallback.name]
-        ]
+        return [st.check() for st in self._stats_list]
 
     def stats_dict(self) -> dict[str, object]:
         """JSON-able snapshot of the chain's counters, including any
-        stage-specific detail (e.g. the JIT epoch split)."""
+        stage-specific detail (e.g. the JIT epoch split), the resolution
+        cache's hit rate, and ``total_samples`` as the denominator."""
         stages: list[dict[str, object]] = []
         for st in self.stats():
             entry: dict[str, object] = {
@@ -114,9 +265,71 @@ class ResolverChain:
                 "hits": st.hits,
                 "misses": st.misses,
             }
+            if st.terminal:
+                entry["terminal"] = True
             stage = self.stage(st.name)
             detail = getattr(stage, "detail_dict", None)
             if callable(detail):
                 entry["detail"] = detail()
             stages.append(entry)
-        return {"stages": stages}
+        return {
+            "stages": stages,
+            "total_samples": self.total_samples,
+            "cache": (
+                self.cache.stats_dict() if self.cache is not None else None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # shard-worker support (see repro.pipeline.parallel)
+    # ------------------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero every counter (stage, stage detail, cache) — a shard
+        worker resets its chain copy so the exported counters are pure
+        deltas."""
+        for st in self._stats_list:
+            st.hits = 0
+            st.misses = 0
+        for s in [*self.stages, self.fallback]:
+            s.reset_state()
+        if self.cache is not None:
+            self.cache.clear()
+
+    def export_stats(self) -> dict[str, object]:
+        """Picklable counter snapshot for cross-process merging."""
+        return {
+            "stages": [
+                (st.name, st.hits, st.misses, st.terminal)
+                for st in self.stats()
+            ],
+            "details": {
+                s.name: state
+                for s in [*self.stages, self.fallback]
+                if (state := s.export_state()) is not None
+            },
+            "cache": (
+                (self.cache.hits, self.cache.misses)
+                if self.cache is not None
+                else None
+            ),
+        }
+
+    def absorb_stats(self, snapshot: dict[str, object]) -> None:
+        """Fold a worker chain's exported counters into this chain.
+
+        Merging is exact — counters are sums — so sequential resolution
+        and sharded resolution plus absorption produce identical
+        statistics (property-tested)."""
+        for name, hits, misses, terminal in snapshot["stages"]:
+            st = self._stats.get(name)
+            if st is None:
+                raise ProfilerError(
+                    f"cannot absorb stats for unknown stage {name!r}"
+                )
+            st.merge(StageStats(name, hits, misses, terminal))
+        for name, state in snapshot["details"].items():
+            self.stage(name).merge_state(state)
+        cache_counts = snapshot.get("cache")
+        if cache_counts is not None and self.cache is not None:
+            self.cache.absorb_counters(*cache_counts)

@@ -69,9 +69,14 @@ def iter_pipeline_samples(samples: Iterable[object]) -> Iterator[PipelineSample]
 
 
 def file_source(path: Path | str) -> Iterator[PipelineSample]:
-    """Stream one sample file of any registered codec (magic-sniffed)."""
-    for record in open_sample_record_file(path):
-        yield PipelineSample(raw=record.sample, domain_id=record.domain_id)
+    """Stream one sample file of any registered codec (magic-sniffed).
+
+    The reader is a context manager; its handle is released as soon as
+    the file is drained (or the generator is closed early).
+    """
+    with open_sample_record_file(path) as reader:
+        for record in reader:
+            yield PipelineSample(raw=record.sample, domain_id=record.domain_id)
 
 
 class DirectorySource:
@@ -80,6 +85,10 @@ class DirectorySource:
     Files are visited in sorted name order and decoded through the codec
     registry, so a directory may mix core and domain-tagged files.  The
     source is re-iterable; each iteration re-opens the files.
+
+    For parallel resolution, :meth:`shards` partitions the directory's
+    records — whole files, and large files by record-chunk ranges — into
+    contiguous, disjoint shards (see :mod:`repro.pipeline.parallel`).
     """
 
     def __init__(self, sample_dir: Path | str, pattern: str = "*.samples") -> None:
@@ -89,21 +98,29 @@ class DirectorySource:
             raise ProfilerError(f"no sample directory {self.sample_dir}")
 
     def paths(self) -> list[Path]:
-        return sorted(self.sample_dir.glob(self.pattern))
-
-    def __iter__(self) -> Iterator[PipelineSample]:
-        paths = self.paths()
+        paths = sorted(self.sample_dir.glob(self.pattern))
         if not paths:
             raise ProfilerError(f"no sample files in {self.sample_dir}")
-        for path in paths:
+        return paths
+
+    def __iter__(self) -> Iterator[PipelineSample]:
+        for path in self.paths():
             yield from file_source(path)
+
+    def shards(self, workers: int) -> "list[list]":
+        """Partition the directory's records into ``workers`` contiguous
+        shards of :class:`~repro.pipeline.parallel.ShardChunk` ranges."""
+        from repro.pipeline.parallel import plan_shards
+
+        return plan_shards(self.paths(), workers)
 
     def event_names(self) -> tuple[str, ...]:
         """Event column order: the time event first (as the paper's tables
         print it), then the rest alphabetically."""
-        names = [
-            open_sample_record_file(p).event_name for p in self.paths()
-        ]
+        names = []
+        for p in self.paths():
+            with open_sample_record_file(p) as reader:
+                names.append(reader.event_name)
         return tuple(
             sorted(names, key=lambda n: (n != "GLOBAL_POWER_EVENTS", n))
         )

@@ -70,12 +70,44 @@ class ResolverStage:
     ``resolve`` returns a resolved sample to claim the sample, or None to
     pass it to the next stage.  ``name`` keys the chain's per-stage
     hit/miss counters.
+
+    Stages with per-resolution detail counters (beyond the chain's
+    hit/miss) implement the *claim token* hooks so the chain's resolution
+    cache can replay them exactly: after a claim, :meth:`claim_token`
+    describes what the stage just counted, and :meth:`replay_token`
+    re-applies that counting on a later cache hit.  The *state* hooks
+    (:meth:`export_state` / :meth:`merge_state` / :meth:`reset_state`)
+    carry the same detail counters across shard-worker process boundaries
+    (:mod:`repro.pipeline.parallel`).
     """
 
     name: str = "stage"
 
+    #: True for stages that dispatch to inner chains with their own
+    #: counters; a chain containing one never caches above it.
+    owns_inner_chains: bool = False
+
     def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
         raise NotImplementedError
+
+    def claim_token(self) -> object | None:
+        """Opaque description of the detail counters the stage updated for
+        the claim it just made; None when the stage keeps no detail."""
+        return None
+
+    def replay_token(self, token: object) -> None:
+        """Re-apply the detail counting described by a claim token."""
+
+    def export_state(self) -> object | None:
+        """Picklable snapshot of the stage's detail counters (None when
+        the stage keeps none)."""
+        return None
+
+    def merge_state(self, state: object) -> None:
+        """Fold a worker stage's exported detail counters into this one."""
+
+    def reset_state(self) -> None:
+        """Zero the stage's detail counters."""
 
 
 class KernelSymbolStage(ResolverStage):
@@ -130,6 +162,26 @@ class JitStageStats:
             "resolution_rate": self.resolution_rate,
         }
 
+    def merge(self, other: "JitStageStats") -> "JitStageStats":
+        """Fold another shard's JIT counters into this one, in place.
+        Counters are pure sums, so merging shard results equals counting
+        the concatenated stream (property-tested)."""
+        self.jit_samples += other.jit_samples
+        self.resolved_in_own_epoch += other.resolved_in_own_epoch
+        self.resolved_in_earlier_epoch += other.resolved_in_earlier_epoch
+        self.unresolved += other.unresolved
+        return self
+
+    def __add__(self, other: "JitStageStats") -> "JitStageStats":
+        out = JitStageStats()
+        return out.merge(self).merge(other)
+
+    def reset(self) -> None:
+        self.jit_samples = 0
+        self.resolved_in_own_epoch = 0
+        self.resolved_in_earlier_epoch = 0
+        self.unresolved = 0
+
 
 class JitEpochStage(ResolverStage):
     """VM-heap samples through the epoch code maps (backward walk).
@@ -154,6 +206,7 @@ class JitEpochStage(ResolverStage):
         self.backward = backward
         self._registrations = {r.task_id: r for r in registrations}
         self.stats = JitStageStats()
+        self._last_outcome: str | None = None
 
     def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
         raw = sample.raw
@@ -164,14 +217,17 @@ class JitEpochStage(ResolverStage):
         hit = self.codemaps.resolve(raw.epoch, raw.pc, backward=self.backward)
         if hit is None:
             self.stats.unresolved += 1
+            self._last_outcome = "unresolved"
             return ResolvedSample(
                 raw=raw, image=JIT_APP_IMAGE_LABEL, symbol=UNRESOLVED_JIT
             )
         record, found_epoch = hit
         if found_epoch == raw.epoch:
             self.stats.resolved_in_own_epoch += 1
+            self._last_outcome = "own"
         else:
             self.stats.resolved_in_earlier_epoch += 1
+            self._last_outcome = "earlier"
         return ResolvedSample(
             raw=raw, image=JIT_APP_IMAGE_LABEL, symbol=record.name,
             offset=raw.pc - record.address,
@@ -179,6 +235,36 @@ class JitEpochStage(ResolverStage):
 
     def detail_dict(self) -> dict[str, int | float]:
         return self.stats.as_dict()
+
+    # -- cache replay / shard merging ----------------------------------
+
+    def claim_token(self) -> object | None:
+        return self._last_outcome
+
+    def replay_token(self, token: object) -> None:
+        self.stats.jit_samples += 1
+        if token == "own":
+            self.stats.resolved_in_own_epoch += 1
+        elif token == "earlier":
+            self.stats.resolved_in_earlier_epoch += 1
+        else:
+            self.stats.unresolved += 1
+
+    def export_state(self) -> object | None:
+        d = self.stats.as_dict()
+        d.pop("resolution_rate", None)
+        return d
+
+    def merge_state(self, state: object) -> None:
+        other = JitStageStats()
+        other.jit_samples = state["jit_samples"]
+        other.resolved_in_own_epoch = state["resolved_in_own_epoch"]
+        other.resolved_in_earlier_epoch = state["resolved_in_earlier_epoch"]
+        other.unresolved = state["unresolved"]
+        self.stats.merge(other)
+
+    def reset_state(self) -> None:
+        self.stats.reset()
 
 
 class BootImageStage(ResolverStage):
@@ -264,9 +350,16 @@ class DomainDispatchStage(ResolverStage):
     Terminal: a sample tagged with an unknown domain is a corrupt stream,
     reported as a :class:`~repro.errors.ProfilerError` rather than
     silently falling through to ``(unknown)``.
+
+    ``owns_inner_chains`` is True: the per-domain chains keep their own
+    stage counters (and their own resolution caches), so the *outer* chain
+    never caches above this stage — an outer cache hit could not replay
+    the inner chains' counters.  The domain chains still memoize their own
+    stage walks, so multi-stack resolution keeps the cache win.
     """
 
     name = "domain-dispatch"
+    owns_inner_chains = True
 
     def __init__(self, chains: Mapping[int, "ResolverChain"]) -> None:
         self.chains = dict(chains)
@@ -278,6 +371,28 @@ class DomainDispatchStage(ResolverStage):
         if chain is None:
             raise ProfilerError(f"no resolver for domain {sample.domain_id}")
         return chain.resolve(sample)
+
+    # -- shard merging: recurse into the per-domain chains -------------
+
+    def export_state(self) -> object | None:
+        return {
+            dom: chain.export_stats() for dom, chain in self.chains.items()
+        }
+
+    def merge_state(self, state: object) -> None:
+        for dom, snapshot in state.items():
+            chain = self.chains.get(dom)
+            if chain is None:
+                from repro.errors import ProfilerError
+
+                raise ProfilerError(
+                    f"cannot absorb stats for unknown domain {dom}"
+                )
+            chain.absorb_stats(snapshot)
+
+    def reset_state(self) -> None:
+        for chain in self.chains.values():
+            chain.reset_stats()
 
 
 class FallbackStage(ResolverStage):

@@ -25,6 +25,13 @@ with ``dd``/``xxd`` without re-running anything.
 The reader streams: it validates the header and the body length up front
 (via ``stat``, not by slurping the file) and then decodes records in
 fixed-size chunks, so memory stays constant in the number of samples.
+Chunk decode is batched — one :meth:`struct.Struct.iter_unpack` call per
+chunk (:meth:`RecordFileReader.iter_field_chunks`), so the per-record
+Python work is object construction only, and the streaming pipeline's
+fast path (:mod:`repro.pipeline.parallel`) can skip even that on
+resolution-cache hits.  A reader holds one open handle for its lifetime
+(it is a context manager); shard workers read disjoint record ranges of
+the same file via ``start_record``/``n_records``.
 """
 
 from __future__ import annotations
@@ -222,7 +229,7 @@ class RecordFileReader:
             fh = open(self.path, "rb")
         except OSError as e:
             raise SampleFormatError(f"{self.path}: unreadable: {e}") from None
-        with fh:
+        try:
             head = fh.read(_HEADER_FIXED.size)
             if len(head) < _HEADER_FIXED.size:
                 raise SampleFormatError(
@@ -254,42 +261,126 @@ class RecordFileReader:
                 )
             self.event_name = rest[:name_len].decode("utf-8")
             (self.period,) = _HEADER_PERIOD.unpack_from(rest, name_len)
+        except Exception:
+            fh.close()
+            raise
         self._data_start = _HEADER_FIXED.size + name_len + _HEADER_PERIOD.size
         body = size - self._data_start
         rsize = self.codec.record_size
         if body % rsize:
+            fh.close()
             torn_at = self._data_start + (body // rsize) * rsize
             raise SampleFormatError(
                 f"{self.path}: torn record at byte offset {torn_at} "
                 f"({body % rsize} trailing bytes, record size {rsize})"
             )
         self._n_records = body // rsize
+        # The header handle stays open for iteration; close() (or the
+        # context manager) releases it.  A busy handle (an iteration in
+        # flight) makes a concurrent iteration open its own.
+        self._fh: BinaryIO | None = fh
+        self._busy = False
 
     def __len__(self) -> int:
         return self._n_records
 
-    def __iter__(self) -> Iterator[SampleRecord]:
-        """Stream records; each call re-opens the file, so a reader can be
-        iterated more than once without holding the body in memory."""
-        codec = self.codec
-        rsize = codec.record_size
+    def close(self) -> None:
+        """Release the reader's file handle (idempotent; safe to call on
+        a reader whose constructor failed before the handle was kept —
+        failed constructors close their handle themselves)."""
+        fh = getattr(self, "_fh", None)
+        if fh is not None:
+            self._fh = None
+            if not fh.closed:
+                fh.close()
+
+    def __enter__(self) -> "RecordFileReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+    def iter_field_chunks(
+        self, start_record: int = 0, n_records: int | None = None
+    ) -> Iterator[list[tuple]]:
+        """Stream the body as lists of raw struct-field tuples.
+
+        Each yielded list is one decode chunk, materialized with a single
+        ``list(Struct.iter_unpack(chunk))`` — one C call per
+        ``_CHUNK_RECORDS`` records instead of one Python call per record.
+        ``start_record``/``n_records`` select a sub-range, which is how
+        shard workers split one large file without re-reading it whole.
+
+        The reader's own handle is reused (seek) when free; a second
+        concurrent iteration opens a private handle, so a reader can be
+        iterated more than once without holding the body in memory.
+        """
+        if start_record < 0 or start_record > self._n_records:
+            raise SampleFormatError(
+                f"{self.path}: shard start {start_record} outside "
+                f"0..{self._n_records}"
+            )
+        count = (
+            self._n_records - start_record
+            if n_records is None
+            else n_records
+        )
+        if count < 0 or start_record + count > self._n_records:
+            raise SampleFormatError(
+                f"{self.path}: shard range {start_record}+{count} outside "
+                f"{self._n_records} records"
+            )
+        unpack = self.codec.record_struct.iter_unpack
+        rsize = self.codec.record_size
         chunk_bytes = _CHUNK_RECORDS * rsize
-        remaining = self._n_records * rsize
-        with open(self.path, "rb") as fh:
-            fh.seek(self._data_start)
+        remaining = count * rsize
+        if self._fh is not None and not self._fh.closed and not self._busy:
+            fh, own = self._fh, False
+            self._busy = True
+        else:
+            fh, own = open(self.path, "rb"), True
+        try:
+            fh.seek(self._data_start + start_record * rsize)
             while remaining > 0:
                 chunk = fh.read(min(chunk_bytes, remaining))
                 if len(chunk) % rsize:
+                    torn_at = (
+                        self._data_start
+                        + (start_record + count) * rsize
+                        - remaining
+                        + (len(chunk) // rsize) * rsize
+                    )
                     raise SampleFormatError(
-                        f"{self.path}: torn record at byte offset "
-                        f"{self._data_start + self._n_records * rsize - remaining + (len(chunk) // rsize) * rsize} "
+                        f"{self.path}: torn record at byte offset {torn_at} "
                         f"(file shrank while reading)"
                     )
                 if not chunk:
                     break
                 remaining -= len(chunk)
-                for fields in codec.record_struct.iter_unpack(chunk):
-                    yield codec.unpack_fields(fields, self.event_name)
+                yield list(unpack(chunk))
+        finally:
+            if own:
+                fh.close()
+            else:
+                self._busy = False
+
+    def iter_records(
+        self, start_record: int = 0, n_records: int | None = None
+    ) -> Iterator[SampleRecord]:
+        """Stream decoded records for a record range (whole file by default)."""
+        codec = self.codec
+        unpack_fields = codec.unpack_fields
+        event_name = self.event_name
+        for fields_chunk in self.iter_field_chunks(start_record, n_records):
+            for fields in fields_chunk:
+                yield unpack_fields(fields, event_name)
+
+    def __iter__(self) -> Iterator[SampleRecord]:
+        """Stream every record; a reader can be iterated more than once."""
+        return self.iter_records()
 
 
 def open_sample_record_file(path: Path | str) -> RecordFileReader:

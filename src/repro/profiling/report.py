@@ -150,23 +150,69 @@ class StreamingAggregator:
         )
         self.samples_seen = 0
 
+    def add_counts(
+        self, event: str, image: str, symbol: str, n: int = 1
+    ) -> None:
+        """Fold ``n`` samples attributed to (image, symbol) under one
+        event — the object-free fast path the pipeline uses on
+        resolution-cache hits, and the primitive :meth:`add` and
+        :meth:`merge` are built on."""
+        self.samples_seen += n
+        if self._fixed_events is not None and event not in self._totals:
+            return
+        key = (image, symbol)
+        row = self._rows.get(key)
+        if row is None:
+            row = SymbolRow(image=image, symbol=symbol)
+            self._rows[key] = row
+        row.add(event, n)
+        self._totals[event] = self._totals.get(event, 0) + n
+
     def add(self, sample: ResolvedSample) -> None:
         """Fold one resolved sample into the aggregate."""
-        self.samples_seen += 1
-        ev = sample.raw.event_name
-        if self._fixed_events is not None and ev not in self._totals:
-            return
-        row = self._rows.get(sample.key)
-        if row is None:
-            row = SymbolRow(image=sample.image, symbol=sample.symbol)
-            self._rows[sample.key] = row
-        row.add(ev)
-        self._totals[ev] = self._totals.get(ev, 0) + 1
+        self.add_counts(sample.raw.event_name, sample.image, sample.symbol)
 
     def extend(self, samples: Iterable[ResolvedSample]) -> "StreamingAggregator":
         for s in samples:
             self.add(s)
         return self
+
+    def merge(self, other: "StreamingAggregator") -> "StreamingAggregator":
+        """Fold another aggregator (a later shard of the same stream) into
+        this one, in place.
+
+        Merging is *order-preserving*: the other aggregator's rows and
+        events are appended in their first-seen order, so merging shard
+        aggregates in shard order reproduces the sequential pass exactly —
+        row insertion order (the sort tie-break) included.  Aggregating a
+        concatenated stream and merging per-shard aggregates are therefore
+        byte-identical (property-tested).
+        """
+        if other._fixed_events != self._fixed_events:
+            from repro.errors import ProfilerError
+
+            raise ProfilerError(
+                f"cannot merge aggregators with different event selections: "
+                f"{self._fixed_events!r} vs {other._fixed_events!r}"
+            )
+        # samples_seen also counts samples dropped by the event filter,
+        # which add_counts would re-filter; account for the drops first.
+        dropped = other.samples_seen - sum(other._totals.values())
+        self.samples_seen += dropped
+        # Seed unseen events from the other's totals *in its key order*,
+        # which is its first-seen event order — row iteration below is
+        # row-major and must not dictate event column order.
+        for ev in other._totals:
+            if ev not in self._totals:
+                self._totals[ev] = 0
+        for row in other._rows.values():
+            for ev, n in row.counts.items():
+                self.add_counts(ev, row.image, row.symbol, n)
+        return self
+
+    def __add__(self, other: "StreamingAggregator") -> "StreamingAggregator":
+        out = StreamingAggregator(self._fixed_events)
+        return out.merge(self).merge(other)
 
     def report(self) -> ProfileReport:
         """Snapshot the aggregate as a :class:`ProfileReport`."""

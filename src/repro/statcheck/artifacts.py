@@ -176,15 +176,15 @@ def load_session(session_dir: Path | str) -> SessionArtifacts:
                 # Magic-sniffing reader: live sessions write the core
                 # format, Xen archives the domain-tagged one; the rules
                 # inspect the core record either way.
-                reader = open_sample_record_file(path)
-                sample_files.append(
-                    SampleArtifact(
-                        path=path,
-                        event_name=reader.event_name,
-                        period=reader.period,
-                        samples=tuple(r.sample for r in reader),
+                with open_sample_record_file(path) as reader:
+                    sample_files.append(
+                        SampleArtifact(
+                            path=path,
+                            event_name=reader.event_name,
+                            period=reader.period,
+                            samples=tuple(r.sample for r in reader),
+                        )
                     )
-                )
             except SampleFormatError as e:
                 report.add(
                     Severity.ERROR, RULE_MALFORMED, str(path), "-", str(e)

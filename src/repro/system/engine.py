@@ -217,25 +217,36 @@ class RunResult:
 
     # -- report builders -------------------------------------------------
 
-    def oprofile_report(self):
+    def oprofile_report(self, workers: int = 1, resolve_cache: bool = True):
         """Stock opreport over this run's sample files."""
         from repro.oprofile.opreport import OpReport
 
         if self.sample_dir is None:
             raise ConfigError("run was not profiled; no sample files")
-        return OpReport(self.kernel, self.sample_dir).generate()
+        return OpReport(
+            self.kernel, self.sample_dir, resolve_cache=resolve_cache
+        ).generate(workers=workers)
 
-    def viprof_report(self, backward_traversal: bool = True) -> "ViprofReportResult":
+    def viprof_report(
+        self,
+        backward_traversal: bool = True,
+        workers: int = 1,
+        resolve_cache: bool = True,
+    ) -> "ViprofReportResult":
         """VIProf post-processing (report + resolution statistics).
 
         ``backward_traversal=False`` runs the resolution ablation (own-epoch
-        map only)."""
+        map only).  ``workers`` shards resolution across processes;
+        ``resolve_cache=False`` disables PC memoization.  Neither changes
+        a byte of output — they are performance knobs."""
         if self.viprof_session is None:
             raise ConfigError("run was not profiled with VIProf")
         post = self.viprof_session.report(
-            self.boot.rvm_map, backward_traversal=backward_traversal
+            self.boot.rvm_map,
+            backward_traversal=backward_traversal,
+            resolve_cache=resolve_cache,
         )
-        report = post.generate()
+        report = post.generate(workers=workers)
         return ViprofReportResult(report=report, post=post)
 
 

@@ -27,6 +27,7 @@ without replaying the run.  Readers without the marker see a plain tier.
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
@@ -201,12 +202,27 @@ class CodeMap:
 
 
 class CodeMapIndex:
-    """All of a session's maps plus the backward-resolution algorithm."""
+    """All of a session's maps plus the backward-resolution algorithm.
+
+    The backward walk is memoized: once a session's maps are loaded they
+    are immutable, so the walk is a pure function of ``(top epoch, addr,
+    backward)`` and its result — including a miss — can never change.  A
+    bounded LRU memo short-circuits repeat walks for hot PCs, which is
+    most of a profile (``memo_hits`` counts the short-circuits;
+    ``fallback_steps`` counts only real walk steps).
+    """
+
+    #: Bound on memoized (top, addr, backward) walk results.
+    MEMO_CAPACITY = 1 << 13
 
     def __init__(self, maps: dict[int, CodeMap]):
         self._maps = maps
         self.lookups = 0
         self.fallback_steps = 0  # how far backward searches walked, total
+        self.memo_hits = 0
+        self._memo: "OrderedDict[tuple[int, int, bool], tuple[CodeMapRecord, int] | None]" = (
+            OrderedDict()
+        )
 
     @classmethod
     def load_dir(cls, map_dir: Path | str) -> "CodeMapIndex":
@@ -249,6 +265,13 @@ class CodeMapIndex:
             return None
         self.lookups += 1
         top = min(epoch, max(self._maps)) if epoch >= 0 else max(self._maps)
+        key = (top, addr, backward)
+        memo = self._memo
+        if key in memo:
+            self.memo_hits += 1
+            memo.move_to_end(key)
+            return memo[key]
+        result: tuple[CodeMapRecord, int] | None = None
         bottom = top if not backward else min(self._maps)
         for e in range(top, bottom - 1, -1):
             cm = self._maps.get(e)
@@ -256,6 +279,10 @@ class CodeMapIndex:
                 continue
             rec = cm.lookup(addr)
             if rec is not None:
-                return rec, e
+                result = (rec, e)
+                break
             self.fallback_steps += 1
-        return None
+        memo[key] = result
+        if len(memo) > self.MEMO_CAPACITY:
+            memo.popitem(last=False)
+        return result

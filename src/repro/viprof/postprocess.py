@@ -59,14 +59,16 @@ class ViprofReport(OpReport):
         rvm_map: RvmMap,
         registrations: tuple[VmRegistration, ...],
         backward_traversal: bool = True,
+        resolve_cache: bool = True,
     ) -> None:
         """``backward_traversal=False`` is the ablation: JIT samples only
-        consult their own epoch's map (no walk through earlier maps)."""
+        consult their own epoch's map (no walk through earlier maps);
+        ``resolve_cache=False`` disables the chain's PC memoization."""
         self.codemaps = codemaps
         self.rvm_map = rvm_map
         self.backward_traversal = backward_traversal
         self.registrations = tuple(registrations)
-        super().__init__(kernel, sample_dir)
+        super().__init__(kernel, sample_dir, resolve_cache=resolve_cache)
 
     def _build_chain(self) -> ResolverChain:
         """The vertically integrated chain: kernel, JIT epoch maps, RVM
@@ -81,7 +83,8 @@ class ViprofReport(OpReport):
                 ),
                 BootImageStage(self.kernel, self.rvm_map),
                 TaskVmaStage(self.kernel),
-            ]
+            ],
+            cache_size=self._cache_size,
         )
 
     @property

@@ -111,7 +111,10 @@ class ViprofSession:
     # ------------------------------------------------------------------
 
     def report(
-        self, rvm_map: RvmMap, backward_traversal: bool = True
+        self,
+        rvm_map: RvmMap,
+        backward_traversal: bool = True,
+        resolve_cache: bool = True,
     ) -> ViprofReport:
         """Build the extended post-processor over this session's artifacts."""
         codemaps = CodeMapIndex.load_dir(self.map_dir)
@@ -122,4 +125,5 @@ class ViprofSession:
             rvm_map=rvm_map,
             registrations=self.daemon.registrations,
             backward_traversal=backward_traversal,
+            resolve_cache=resolve_cache,
         )

@@ -1,0 +1,232 @@
+"""Merge properties: shard-and-merge must equal the sequential pass.
+
+Hypothesis-style property tests over seeded random streams and random
+split points (plain :mod:`random` — the CI image carries no property
+testing library): for every mergeable statistic in the pipeline,
+
+    merge(consume(shard_a), consume(shard_b)) == consume(shard_a + shard_b)
+
+holds exactly — counters, row order, event order, and rendered bytes.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ProfilerError
+from repro.pipeline.resolver import StageStats
+from repro.pipeline.stages import JitStageStats
+from repro.profiling.model import RawSample, ResolvedSample
+from repro.profiling.report import StreamingAggregator, build_report
+
+EVENTS = ("GLOBAL_POWER_EVENTS", "BSQ_CACHE_REFERENCE", "ITLB_MISS")
+IMAGES = ("vmlinux", "JIT.App", "RVM.map", "libc.so", "(unknown)")
+SYMBOLS = tuple(f"sym{i}" for i in range(12))
+
+
+def random_stream(rng: random.Random, n: int) -> list[ResolvedSample]:
+    out = []
+    for i in range(n):
+        out.append(
+            ResolvedSample(
+                raw=RawSample(
+                    pc=rng.randrange(1, 1 << 32),
+                    event_name=rng.choice(EVENTS),
+                    task_id=rng.randrange(1, 4),
+                    kernel_mode=rng.random() < 0.3,
+                    cycle=i,
+                    epoch=rng.randrange(-1, 4),
+                ),
+                image=rng.choice(IMAGES),
+                symbol=rng.choice(SYMBOLS),
+            )
+        )
+    return out
+
+
+def split_points(rng: random.Random, n: int, shards: int) -> list[int]:
+    cuts = sorted(rng.randrange(0, n + 1) for _ in range(shards - 1))
+    return [0, *cuts, n]
+
+
+def report_key(agg: StreamingAggregator):
+    """Everything observable about an aggregate, order included."""
+    rep = agg.report()
+    return (
+        rep.events,
+        rep.totals,
+        [(r.image, r.symbol, r.counts) for r in rep.rows],
+        rep.format_table(),
+        agg.samples_seen,
+    )
+
+
+class TestAggregatorMergeProperty:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_merge_of_shards_equals_concatenated_stream(self, seed):
+        rng = random.Random(seed)
+        stream = random_stream(rng, rng.randrange(0, 400))
+        shards = rng.randrange(2, 6)
+        cuts = split_points(rng, len(stream), shards)
+        fixed = (
+            None if rng.random() < 0.5 else tuple(EVENTS[:rng.randrange(1, 4)])
+        )
+
+        whole = StreamingAggregator(fixed).extend(stream)
+        merged = StreamingAggregator(fixed)
+        for lo, hi in zip(cuts, cuts[1:]):
+            merged.merge(StreamingAggregator(fixed).extend(stream[lo:hi]))
+        assert report_key(merged) == report_key(whole)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dunder_add_is_non_mutating(self, seed):
+        rng = random.Random(seed)
+        stream = random_stream(rng, 100)
+        a = StreamingAggregator().extend(stream[:40])
+        b = StreamingAggregator().extend(stream[40:])
+        before_a, before_b = report_key(a), report_key(b)
+        combined = a + b
+        assert report_key(a) == before_a
+        assert report_key(b) == before_b
+        assert report_key(combined) == report_key(
+            StreamingAggregator().extend(stream)
+        )
+
+    def test_event_filter_drops_count_toward_samples_seen(self):
+        stream = random_stream(random.Random(99), 200)
+        fixed = (EVENTS[0],)
+        whole = StreamingAggregator(fixed).extend(stream)
+        merged = StreamingAggregator(fixed)
+        merged.merge(StreamingAggregator(fixed).extend(stream[:77]))
+        merged.merge(StreamingAggregator(fixed).extend(stream[77:]))
+        assert merged.samples_seen == whole.samples_seen == 200
+
+    def test_mismatched_event_selection_rejected(self):
+        with pytest.raises(ProfilerError):
+            StreamingAggregator(("a",)).merge(StreamingAggregator(("b",)))
+
+    def test_build_report_matches_merged_report_bytes(self):
+        rng = random.Random(5)
+        stream = random_stream(rng, 300)
+        merged = StreamingAggregator()
+        merged.merge(StreamingAggregator().extend(stream[:150]))
+        merged.merge(StreamingAggregator().extend(stream[150:]))
+        assert (
+            merged.report().format_table()
+            == build_report(stream).format_table()
+        )
+
+
+class TestStageStatsMergeProperty:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_is_exact_sum(self, seed):
+        rng = random.Random(seed)
+        parts = [
+            StageStats("s", rng.randrange(1000), rng.randrange(1000))
+            for _ in range(rng.randrange(2, 6))
+        ]
+        acc = StageStats("s")
+        for p in parts:
+            acc.merge(p)
+        assert acc.hits == sum(p.hits for p in parts)
+        assert acc.misses == sum(p.misses for p in parts)
+        assert acc.offered == sum(p.offered for p in parts)
+
+    def test_dunder_add_is_non_mutating(self):
+        a = StageStats("s", 3, 4)
+        b = StageStats("s", 5, 6)
+        c = a + b
+        assert (a.hits, a.misses, b.hits, b.misses) == (3, 4, 5, 6)
+        assert (c.hits, c.misses) == (8, 10)
+
+
+class TestJitStatsMergeProperty:
+    def random_stats(self, rng: random.Random) -> JitStageStats:
+        s = JitStageStats()
+        s.resolved_in_own_epoch = rng.randrange(500)
+        s.resolved_in_earlier_epoch = rng.randrange(500)
+        s.unresolved = rng.randrange(500)
+        s.jit_samples = s.resolved + s.unresolved
+        return s
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_is_exact_sum(self, seed):
+        rng = random.Random(seed)
+        parts = [self.random_stats(rng) for _ in range(rng.randrange(2, 6))]
+        acc = JitStageStats()
+        for p in parts:
+            acc.merge(p)
+        for field in (
+            "jit_samples", "resolved_in_own_epoch",
+            "resolved_in_earlier_epoch", "unresolved",
+        ):
+            assert getattr(acc, field) == sum(
+                getattr(p, field) for p in parts
+            )
+        whole = sum(p.resolved for p in parts)
+        assert acc.resolved == whole
+        if acc.jit_samples:
+            assert acc.resolution_rate == whole / acc.jit_samples
+
+    def test_dunder_add_is_non_mutating(self):
+        rng = random.Random(0)
+        a, b = self.random_stats(rng), self.random_stats(rng)
+        snap = (a.jit_samples, b.jit_samples)
+        c = a + b
+        assert (a.jit_samples, b.jit_samples) == snap
+        assert c.jit_samples == a.jit_samples + b.jit_samples
+
+
+class TestChainShardMergeProperty:
+    """End-to-end: resolving random splits of a real session on chain
+    copies and absorbing their exported counters equals one sequential
+    pass — stage counters and JIT detail, exactly."""
+
+    @pytest.fixture(scope="class")
+    def post(self):
+        from repro.system.api import viprof_profile
+        from repro.workloads import by_name
+
+        return viprof_profile(
+            by_name("fop"), period=90_000, time_scale=0.12, seed=11
+        ).viprof_report().post
+
+    def stats_key(self, chain):
+        d = chain.stats_dict()
+        return (d["stages"], d["total_samples"])
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_absorbed_shards_equal_sequential(self, seed, post):
+        rng = random.Random(seed)
+        samples = list(post.source)
+        cuts = split_points(rng, len(samples), rng.randrange(2, 5))
+
+        sequential = post._build_chain()
+        for s in samples:
+            sequential.resolve(s)
+
+        parent = post._build_chain()
+        for lo, hi in zip(cuts, cuts[1:]):
+            worker = post._build_chain()
+            for s in samples[lo:hi]:
+                worker.resolve(s)
+            parent.absorb_stats(worker.export_stats())
+        assert self.stats_key(parent) == self.stats_key(sequential)
+
+    def test_export_stats_survives_pickle(self, post):
+        import pickle
+
+        chain = post._build_chain()
+        for s in post.source:
+            chain.resolve(s)
+        snapshot = pickle.loads(pickle.dumps(chain.export_stats()))
+        parent = post._build_chain()
+        parent.absorb_stats(snapshot)
+        assert self.stats_key(parent) == self.stats_key(chain)
+
+    def test_absorb_rejects_unknown_stage(self, post):
+        chain = post._build_chain()
+        with pytest.raises(ProfilerError):
+            chain.absorb_stats(
+                {"stages": [("nope", 1, 2, False)], "details": {}}
+            )

@@ -1,0 +1,174 @@
+"""Sharded multi-process resolution: shard planning and output parity.
+
+The contract under test (see :mod:`repro.pipeline.parallel`): sharding is
+a pure performance feature — ``workers=N`` must produce byte-identical
+reports *and* identical resolution statistics to the sequential pass, and
+a shard plan must cover the directory's record stream exactly once, in
+order, at aligned split points.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ProfilerError
+from repro.pipeline.parallel import (
+    SPLIT_ALIGN_RECORDS,
+    ShardChunk,
+    plan_shards,
+    run_parallel_pipeline,
+)
+from repro.profiling.model import RawSample
+from repro.profiling.record_codec import CORE_CODEC, RecordFileWriter
+from repro.system.api import viprof_profile
+from repro.workloads import by_name
+
+GOLDEN = Path(__file__).resolve().parents[1] / "fixtures" / "golden"
+
+
+def write_sample_file(path: Path, n_records: int, event: str = "EV") -> Path:
+    """Synthesize a core-format sample file with ``n_records`` records."""
+    with RecordFileWriter(path, CORE_CODEC, event, period=1000) as w:
+        for i in range(n_records):
+            w.write(
+                RawSample(
+                    pc=0x1000 + 8 * (i % 512), event_name=event,
+                    task_id=1, kernel_mode=False, cycle=i, epoch=0,
+                )
+            )
+    return path
+
+
+class TestPlanShards:
+    def plan(self, tmp_path, counts, workers):
+        paths = [
+            write_sample_file(tmp_path / f"{i:02d}.samples", n)
+            for i, n in enumerate(counts)
+        ]
+        return paths, plan_shards(paths, workers)
+
+    def test_covers_stream_exactly_once_in_order(self, tmp_path):
+        counts = [100, 10_000, 1, 5000]
+        paths, shards = self.plan(tmp_path, counts, 4)
+        # Flattening the shards in index order must reproduce the record
+        # stream: every file's records, in file order, each exactly once.
+        flat = [c for shard in shards for c in shard]
+        expected_order = [str(p) for p in paths]
+        seen: dict[str, int] = {str(p): 0 for p in paths}
+        file_cursor = 0
+        for chunk in flat:
+            # Chunks advance through files in sorted-path order.
+            while expected_order[file_cursor] != chunk.path:
+                file_cursor += 1
+            assert chunk.start_record == seen[chunk.path]
+            assert chunk.n_records > 0
+            seen[chunk.path] += chunk.n_records
+        assert seen == {str(p): n for p, n in zip(paths, counts)}
+
+    def test_intra_file_splits_are_aligned(self, tmp_path):
+        _, shards = self.plan(tmp_path, [20_000], 3)
+        assert len(shards) > 1
+        for shard in shards:
+            for chunk in shard:
+                assert chunk.start_record % SPLIT_ALIGN_RECORDS == 0
+
+    def test_no_empty_shards_when_workers_exceed_records(self, tmp_path):
+        _, shards = self.plan(tmp_path, [3], 8)
+        assert all(shard for shard in shards)
+        total = sum(c.n_records for shard in shards for c in shard)
+        assert total == 3
+
+    def test_empty_directory_plans_no_shards(self, tmp_path):
+        _, shards = self.plan(tmp_path, [0, 0], 2)
+        assert shards == []
+
+    def test_rejects_non_positive_worker_count(self, tmp_path):
+        with pytest.raises(ProfilerError):
+            plan_shards([], 0)
+
+    def test_shard_chunk_paths_are_strings(self, tmp_path):
+        # Chunks cross the worker pickle boundary; Path objects would
+        # pickle fine but cost more — the plan normalizes to str.
+        _, shards = self.plan(tmp_path, [10], 1)
+        assert all(
+            isinstance(c.path, str) for shard in shards for c in shard
+        )
+
+
+class TestParallelGoldenParity:
+    """``workers=N`` output must match the sequential golden fixtures."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return viprof_profile(
+            by_name("fop"), period=90_000, time_scale=0.1, seed=7
+        )
+
+    def render(self, run, workers):
+        vr = run.viprof_report(workers=workers)
+        s = vr.jit_stats
+        text = vr.report.format_table(limit=15) + "\n"
+        text += (
+            f"{s.jit_samples} JIT samples, "
+            f"{100 * s.resolution_rate:.1f}% resolved\n"
+        )
+        return text, vr.stage_stats
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_matches_golden_bytes(self, run, workers):
+        text, _ = self.render(run, workers)
+        assert text == (GOLDEN / "report_fop.txt").read_text()
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_statistics_match_sequential(self, run, workers):
+        _, seq = self.render(run, 1)
+        _, par = self.render(run, workers)
+        # Stage counters and detail merge exactly; cache hit/miss counts
+        # legitimately differ (each worker warms its own cache).
+        assert par["stages"] == seq["stages"]
+        assert par["total_samples"] == seq["total_samples"]
+
+    def test_opreport_parallel_matches_sequential(self, run):
+        seq = run.oprofile_report(workers=1)
+        par = run.oprofile_report(workers=2)
+        assert par.format_table() == seq.format_table()
+        assert par.totals == seq.totals
+
+    def test_excess_workers_still_exact(self, run):
+        text, _ = self.render(run, 32)
+        assert text == (GOLDEN / "report_fop.txt").read_text()
+
+
+class TestParallelGuards:
+    def test_rejects_in_memory_sources(self):
+        from repro.pipeline import ResolverChain
+
+        with pytest.raises(ProfilerError, match="directory-backed"):
+            run_parallel_pipeline(
+                iter([]), ResolverChain([]), events=None, workers=2
+            )
+
+    def test_pid_filter_is_sequential_only(self):
+        run = viprof_profile(
+            by_name("fop"), period=90_000, time_scale=0.1, seed=7
+        )
+        from repro.oprofile.opreport import OpReport
+
+        rep = OpReport(run.kernel, run.sample_dir)
+        with pytest.raises(ProfilerError, match="pid"):
+            rep.generate(pid=1, workers=2)
+
+    def test_consume_chunks_rejects_bad_range(self, tmp_path):
+        from repro.errors import SampleFormatError
+        from repro.pipeline import ResolverChain
+        from repro.pipeline.parallel import consume_chunks
+        from repro.profiling.report import StreamingAggregator
+
+        path = write_sample_file(tmp_path / "x.samples", 10)
+        chain = ResolverChain([])
+        with pytest.raises(SampleFormatError, match="shard"):
+            consume_chunks(
+                [ShardChunk(str(path), 5, 20)],
+                chain,
+                StreamingAggregator(),
+            )
