@@ -18,6 +18,20 @@ costs are where OProfile and VIProf genuinely differ:
 Costs are charged in cycles, and the engine replays them as execution of
 the daemon binary, so the profiler shows up in its own profiles — just like
 real ``oprofiled`` does.
+
+The drain path is batched: a wakeup takes the kernel buffer in bounded
+chunks, classifies each whole chunk in one partitioning pass
+(:meth:`OprofileDaemon.classify_chunk` — one process lookup per distinct
+task per chunk instead of one per sample), and hands per-image sample
+batches to buffered writers that flush in append order.  Batching is a
+wall-clock optimization of the *simulator*, never of the simulated
+machine: :class:`DaemonCosts` cycles are still charged per logical sample,
+grouped by consecutive category runs so every ``DaemonWork`` total,
+per-symbol breakdown (including dict insertion order, which fixes the
+replay order of daemon quanta), and :class:`DaemonStats` counter is
+identical to the per-sample path — and so are the session files, byte for
+byte.  ``batch=False`` keeps the historical per-sample loop for A/B
+measurement (``benchmarks/bench_collection_perf.py``).
 """
 
 from __future__ import annotations
@@ -35,6 +49,9 @@ from repro.profiling.model import RawSample
 from repro.profiling.samplefile import SampleFileWriter
 
 __all__ = ["DaemonCosts", "DaemonWork", "OprofileDaemon", "build_daemon_image"]
+
+#: Records the daemon takes from the kernel buffer per drain chunk.
+DRAIN_CHUNK_RECORDS = 4096
 
 
 def build_daemon_image() -> BinaryImage:
@@ -113,12 +130,19 @@ class OprofileDaemon:
         config: OprofileConfig,
         output_dir: Path | str,
         costs: DaemonCosts | None = None,
+        batch: bool = True,
+        write_buffer_bytes: int | None = None,
     ) -> None:
+        """``batch=False`` selects the historical sample-at-a-time drain
+        loop (same bytes, same cycles — kept for A/B measurement);
+        ``write_buffer_bytes`` is the per-image writer high-water mark."""
         self.kernel = kernel
         self.kmodule = kmodule
         self.config = config
         self.output_dir = Path(output_dir)
         self.costs = costs if costs is not None else DaemonCosts()
+        self.batch = batch
+        self.write_buffer_bytes = write_buffer_bytes
         self.stats = DaemonStats()
         self._writers: dict[str, SampleFileWriter] = {}
         self._started = False
@@ -132,7 +156,8 @@ class OprofileDaemon:
         for spec in self.config.events:
             path = self.output_dir / f"{spec.event_name}.samples"
             self._writers[spec.event_name] = SampleFileWriter(
-                path, spec.event_name, spec.period
+                path, spec.event_name, spec.period,
+                buffer_bytes=self.write_buffer_bytes,
             )
         self._started = True
 
@@ -165,21 +190,62 @@ class OprofileDaemon:
             return self.ANON
         return self.FILE
 
+    def classify_chunk(self, samples: list[RawSample]) -> list[str]:
+        """Classify a whole drained chunk in one partitioning pass.
+
+        Returns one category per sample, in order — agreeing with
+        per-sample :meth:`classify` — but looks each distinct task's
+        process up once per chunk instead of once per sample.
+        """
+        kernel = self.kernel
+        is_kaddr = kernel.is_kernel_address
+        procs: dict[int, object] = {}
+        cats: list[str] = []
+        append = cats.append
+        for s in samples:
+            if s.kernel_mode or is_kaddr(s.pc):
+                append(self.KERNEL)
+                continue
+            tid = s.task_id
+            try:
+                proc = procs[tid]
+            except KeyError:
+                proc = procs[tid] = kernel.process(tid)
+            if proc is None:
+                append(self.ANON)
+                continue
+            vma = proc.address_space.resolve(s.pc)
+            if vma is None or vma.kind is not VmaKind.FILE:
+                append(self.ANON)
+            else:
+                append(self.FILE)
+        return cats
+
     def _log_cost(self, category: str, work: DaemonWork) -> None:
+        self._log_cost_run(category, 1, work)
+
+    def _log_cost_run(self, category: str, count: int, work: DaemonWork) -> None:
+        """Charge ``count`` consecutive samples of one category.
+
+        Cycles stay per logical sample (``cost x count``); grouping by
+        run preserves the per-sample path's charge sequence, so
+        ``DaemonWork.by_symbol`` insertion order — which fixes the order
+        the engine replays daemon quanta in — cannot drift.
+        """
         c = self.costs
         if category == self.KERNEL:
-            work.charge("opd_process_samples", c.kernel_sample)
-            self.stats.kernel_samples += 1
+            work.charge("opd_process_samples", c.kernel_sample * count)
+            self.stats.kernel_samples += count
         elif category == self.FILE:
-            work.charge("opd_vma_lookup", c.resolve)
-            self.stats.file_samples += 1
+            work.charge("opd_vma_lookup", c.resolve * count)
+            self.stats.file_samples += count
         elif category == self.ANON:
-            work.charge("opd_vma_lookup", c.resolve)
-            work.charge("opd_anon_mapping_log", c.anon_extra)
-            self.stats.anon_samples += 1
+            work.charge("opd_vma_lookup", c.resolve * count)
+            work.charge("opd_anon_mapping_log", c.anon_extra * count)
+            self.stats.anon_samples += count
         elif category == self.JIT:
-            work.charge("opd_jit_heap_check", c.jit_classify)
-            self.stats.jit_samples += 1
+            work.charge("opd_jit_heap_check", c.jit_classify * count)
+            self.stats.jit_samples += count
         else:  # pragma: no cover - defensive
             raise ProfilerError(f"unknown sample category {category!r}")
 
@@ -189,20 +255,61 @@ class OprofileDaemon:
             raise ProfilerError("daemon not started")
         work = DaemonWork()
         work.charge("opd_main_loop", self.costs.wakeup)
-        samples = self.kmodule.buffer.drain()
         self.stats.wakeups += 1
-        if not samples:
-            return work
-        for s in samples:
-            category = self.classify(s)
-            self._log_cost(category, work)
-            writer = self._writers.get(s.event_name)
+        drained = False
+        if self.batch:
+            while True:
+                chunk = self.kmodule.buffer.drain(DRAIN_CHUNK_RECORDS)
+                if not chunk:
+                    break
+                drained = True
+                self._process_chunk(chunk, work)
+        else:
+            samples = self.kmodule.buffer.drain()
+            if samples:
+                drained = True
+                for s in samples:
+                    self._process_one(s, work)
+        if drained:
+            work.charge("opd_sfile_write", self.costs.flush)
+        return work
+
+    def _process_one(self, sample: RawSample, work: DaemonWork) -> None:
+        """The historical per-sample path: classify, charge, append."""
+        category = self.classify(sample)
+        self._log_cost(category, work)
+        writer = self._writers.get(sample.event_name)
+        if writer is None:
+            raise ProfilerError(
+                f"sample for unconfigured event {sample.event_name!r}"
+            )
+        writer.write(sample)
+        work.charge("opd_sfile_write", self.costs.write_per_sample)
+        self.stats.samples_logged += 1
+
+    def _process_chunk(self, chunk: list[RawSample], work: DaemonWork) -> None:
+        """Batched drain: one classification pass, per-sample cycle charges
+        grouped by category run, one bulk-encoded write per image file."""
+        cats = self.classify_chunk(chunk)
+        write_per_sample = self.costs.write_per_sample
+        i, n = 0, len(cats)
+        while i < n:
+            cat = cats[i]
+            j = i + 1
+            while j < n and cats[j] == cat:
+                j += 1
+            run = j - i
+            self._log_cost_run(cat, run, work)
+            work.charge("opd_sfile_write", write_per_sample * run)
+            i = j
+        by_event: dict[str, list[RawSample]] = {}
+        for s in chunk:
+            by_event.setdefault(s.event_name, []).append(s)
+        for event, batch in by_event.items():
+            writer = self._writers.get(event)
             if writer is None:
                 raise ProfilerError(
-                    f"sample for unconfigured event {s.event_name!r}"
+                    f"sample for unconfigured event {event!r}"
                 )
-            writer.write(s)
-            work.charge("opd_sfile_write", self.costs.write_per_sample)
-            self.stats.samples_logged += 1
-        work.charge("opd_sfile_write", self.costs.flush)
-        return work
+            writer.write_batch(batch)
+        self.stats.samples_logged += len(chunk)

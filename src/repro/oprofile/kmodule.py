@@ -49,10 +49,21 @@ class SampleBuffer:
         self.total_captured += 1
         return True
 
-    def drain(self) -> list[RawSample]:
-        """Atomically take every buffered sample."""
-        out = self._samples
-        self._samples = []
+    def drain(self, max_records: int | None = None) -> list[RawSample]:
+        """Atomically take buffered samples, oldest first.
+
+        ``max_records=None`` takes everything (the original behaviour);
+        otherwise at most ``max_records`` are removed, which is how the
+        daemon drains the buffer in bounded chunks per wakeup.
+        """
+        if max_records is None or max_records >= len(self._samples):
+            out = self._samples
+            self._samples = []
+        elif max_records <= 0:
+            out = []
+        else:
+            out = self._samples[:max_records]
+            del self._samples[:max_records]
         return out
 
     def __len__(self) -> int:

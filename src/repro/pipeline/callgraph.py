@@ -54,17 +54,24 @@ class CallGraphRecorder:
     self_samples: dict[NodeKey, dict[str, int]] = field(default_factory=dict)
 
     def record(
-        self, caller: NodeKey | None, callee: NodeKey, event_name: str
+        self,
+        caller: NodeKey | None,
+        callee: NodeKey,
+        event_name: str,
+        count: int = 1,
     ) -> None:
-        """Record one sample landing in ``callee`` while called from
-        ``caller`` (None for a root frame)."""
+        """Record ``count`` samples landing in ``callee`` while called from
+        ``caller`` (None for a root frame).  The engine emits whole runs of
+        identical witnesses in one call instead of looping per sample."""
+        if count <= 0:
+            return
         per_ev = self.self_samples.setdefault(callee, {})
-        per_ev[event_name] = per_ev.get(event_name, 0) + 1
+        per_ev[event_name] = per_ev.get(event_name, 0) + count
         if caller is None:
             return
         arc = CallArc(caller=caller, callee=callee)
         per_ev = self.arcs.setdefault(arc, {})
-        per_ev[event_name] = per_ev.get(event_name, 0) + 1
+        per_ev[event_name] = per_ev.get(event_name, 0) + count
 
     def top_arcs(self, event_name: str, limit: int = 10) -> list[tuple[CallArc, int]]:
         weighted = [
@@ -131,13 +138,20 @@ class CrossLayerCallGraph:
     _layers: dict[tuple[str, str], Layer] = field(default_factory=dict)
 
     def record(
-        self, caller: LayeredNode | None, callee: LayeredNode, event_name: str
+        self,
+        caller: LayeredNode | None,
+        callee: LayeredNode,
+        event_name: str,
+        count: int = 1,
     ) -> None:
         self._layers[callee.key] = callee.layer
         if caller is not None:
             self._layers[caller.key] = caller.layer
         self.recorder.record(
-            caller.key if caller is not None else None, callee.key, event_name
+            caller.key if caller is not None else None,
+            callee.key,
+            event_name,
+            count=count,
         )
 
     def layer_of(self, key: tuple[str, str]) -> Layer | None:

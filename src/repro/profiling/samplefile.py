@@ -17,7 +17,7 @@ report corruption with the file path and byte offset.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.profiling.model import RawSample
 from repro.profiling.record_codec import (
@@ -35,15 +35,20 @@ VERSION = CORE_CODEC.version
 class SampleFileWriter(RecordFileWriter):
     """Streams :class:`RawSample` records for one hardware event to disk."""
 
-    def __init__(self, path: Path | str, event_name: str, period: int) -> None:
-        super().__init__(path, CORE_CODEC, event_name, period)
+    def __init__(
+        self,
+        path: Path | str,
+        event_name: str,
+        period: int,
+        buffer_bytes: int | None = None,
+    ) -> None:
+        super().__init__(
+            path, CORE_CODEC, event_name, period, buffer_bytes=buffer_bytes
+        )
 
-    def write_many(self, samples: Iterator[RawSample]) -> int:
-        n = 0
-        for s in samples:
-            self.write(s)
-            n += 1
-        return n
+    def write_many(self, samples: Iterable[RawSample]) -> int:
+        """Write every sample of any iterable (bulk-encoded in one batch)."""
+        return self.write_batch(samples)
 
     def __enter__(self) -> "SampleFileWriter":
         return self

@@ -78,12 +78,16 @@ def _rec(
 
 
 def write_fixture_session(
-    dest: Path | str, corruption: str | None = None
+    dest: Path | str, corruption: str | None = None, batch: bool = False
 ) -> Path:
     """Write one fixture session into ``dest`` (created, must not exist).
 
     ``corruption=None`` writes the clean session; otherwise one of
     :data:`CORRUPTIONS` is seeded on top of the clean shape.
+    ``batch=True`` emits the sample file through the batched write path
+    (``write_batch``) instead of per-record ``write`` — the sample bytes
+    are identical either way (that is the batching contract), and the
+    session's ``meta.json`` records which path produced it.
     """
     if corruption is not None and corruption not in CORRUPTIONS:
         raise StatCheckError(
@@ -158,8 +162,11 @@ def write_fixture_session(
     with SampleFileWriter(
         sample_dir / f"{_EVENT}.samples", _EVENT, _PERIOD
     ) as w:
-        for sample in samples:
-            w.write(sample)
+        if batch:
+            w.write_batch(samples)
+        else:
+            for sample in samples:
+                w.write(sample)
 
     # --- metadata -----------------------------------------------------
     meta = {
@@ -169,6 +176,7 @@ def write_fixture_session(
         "seed": 7,
         "time_scale": 0.1,
         "wall_cycles": 10_000,
+        "write_path": "batched" if batch else "per-record",
         "registration": {
             "task_id": _TASK_ID,
             "heap_low": _HEAP_LOW,
@@ -179,12 +187,12 @@ def write_fixture_session(
     return dest
 
 
-def write_all_fixtures(dest: Path | str) -> dict[str, Path]:
+def write_all_fixtures(dest: Path | str, batch: bool = False) -> dict[str, Path]:
     """Write ``clean/`` plus one directory per corruption under ``dest``."""
     dest = Path(dest)
-    out = {"clean": write_fixture_session(dest / "clean")}
+    out = {"clean": write_fixture_session(dest / "clean", batch=batch)}
     for c in CORRUPTIONS:
-        out[c] = write_fixture_session(dest / c, corruption=c)
+        out[c] = write_fixture_session(dest / c, corruption=c, batch=batch)
     return out
 
 
@@ -240,12 +248,16 @@ def main(argv: list[str] | None = None) -> int:
         "--selftest", action="store_true",
         help="generate into a temp dir, lint, verify verdicts, clean up",
     )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="emit sample files through the batched write path",
+    )
     args = parser.parse_args(argv)
     if args.selftest:
         return selftest()
     if args.dest is None:
         parser.error("dest is required unless --selftest")
-    sessions = write_all_fixtures(args.dest)
+    sessions = write_all_fixtures(args.dest, batch=args.batch)
     for name, path in sessions.items():
         print(f"{name:<22} {path}")
     return 0

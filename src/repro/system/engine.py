@@ -618,11 +618,11 @@ class SystemEngine:
                     if caller is not None
                     else None
                 )
-                for _ in range(new_samples):
-                    self.callgraph.record(
-                        caller_node, callee,
-                        self.config.profile_config.events[0].event_name,
-                    )
+                self.callgraph.record(
+                    caller_node, callee,
+                    self.config.profile_config.events[0].event_name,
+                    count=new_samples,
+                )
 
     def _exec_step(self, step: VmStep) -> None:
         misses = self._misses_for(step.working_set, step.accesses)

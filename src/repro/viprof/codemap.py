@@ -127,10 +127,10 @@ class CodeMapWriter:
         self._epochs_seen.add(epoch)
         path = self.path_for(epoch)
         recs = sorted(records)
+        lines = [f"# viprof code map epoch {epoch}"]
+        lines.extend(r.to_line() for r in recs)
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write(f"# viprof code map epoch {epoch}\n")
-            for r in recs:
-                fh.write(r.to_line() + "\n")
+            fh.write("\n".join(lines) + "\n")
         self.maps_written += 1
         self.records_written += len(recs)
         return path

@@ -90,3 +90,42 @@ class ViprofRuntimeProfiler(OprofileDaemon):
             if reg is not None and reg.covers(sample.pc):
                 return self.JIT
         return super().classify(sample)
+
+    def classify_chunk(self, samples: list[RawSample]) -> list[str]:
+        """Heap-bounds check over whole runs before stock classification.
+
+        Samples arrive in capture order, so consecutive records usually
+        share a task; the registration lookup is done once per run of
+        same-task samples, and only the samples that miss the heap fall
+        through to the stock chunk classifier.
+        """
+        if not self.jit_fast_path or not self._registrations:
+            return super().classify_chunk(samples)
+        regs = self._registrations
+        cats: list[str | None] = [None] * len(samples)
+        rest: list[RawSample] = []
+        rest_idx: list[int] = []
+        i, n = 0, len(samples)
+        while i < n:
+            tid = samples[i].task_id
+            j = i + 1
+            while j < n and samples[j].task_id == tid:
+                j += 1
+            reg = regs.get(tid)
+            if reg is None:
+                for k in range(i, j):
+                    rest.append(samples[k])
+                    rest_idx.append(k)
+            else:
+                for k in range(i, j):
+                    s = samples[k]
+                    if not s.kernel_mode and reg.covers(s.pc):
+                        cats[k] = self.JIT
+                    else:
+                        rest.append(s)
+                        rest_idx.append(k)
+            i = j
+        if rest:
+            for k, cat in zip(rest_idx, super().classify_chunk(rest)):
+                cats[k] = cat
+        return cats  # type: ignore[return-value]

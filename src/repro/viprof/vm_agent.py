@@ -166,13 +166,15 @@ class ViprofVmAgent(VmHooks):
 
         Partial mode (the paper's design): buffered compiles plus methods
         flagged by the previous GC, at their current addresses.  Full-rewrite
-        mode (ablation): every live body the agent has ever seen.
+        mode (ablation): every live body the agent has ever seen.  Either
+        way the flush hands the writer one batch — a single file write per
+        closing epoch, never a write per record.
         """
         if self.full_map_rewrite:
             return self._write_full_map(epoch, base_cost)
-        records: dict[tuple[int, str], CodeMapRecord] = {}
-        for rec in self._pending:
-            records[(rec.address, rec.name)] = rec
+        records: dict[tuple[int, str], CodeMapRecord] = {
+            (rec.address, rec.name): rec for rec in self._pending
+        }
         for body in self._flagged.values():
             # Obsolete bodies are written too: a body moved at the start of
             # this epoch and recompiled later still received samples at its

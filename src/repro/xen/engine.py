@@ -104,7 +104,7 @@ class MultiStackResult:
         for event, samples in sorted(by_event.items()):
             path = self.session_dir / f"xenoprof.{event}.samples"
             with XenoSampleFileWriter(path, event, period=self.period) as w:
-                w.write_many(samples)
+                w.write_batch(samples)
             paths.append(path)
         return paths
 

@@ -32,8 +32,16 @@ XENO_VERSION = DOMAIN_CODEC.version
 class XenoSampleFileWriter:
     """Streams domain-tagged samples to disk."""
 
-    def __init__(self, path: Path | str, event_name: str, period: int) -> None:
-        self._writer = RecordFileWriter(path, DOMAIN_CODEC, event_name, period)
+    def __init__(
+        self,
+        path: Path | str,
+        event_name: str,
+        period: int,
+        buffer_bytes: int | None = None,
+    ) -> None:
+        self._writer = RecordFileWriter(
+            path, DOMAIN_CODEC, event_name, period, buffer_bytes=buffer_bytes
+        )
         self.path = self._writer.path
         self.event_name = event_name
         self.period = period
@@ -45,12 +53,19 @@ class XenoSampleFileWriter:
     def write(self, sample: XenoSample) -> None:
         self._writer.write(sample.raw, domain_id=sample.domain_id)
 
+    def write_batch(self, samples: Iterable[XenoSample]) -> int:
+        """Bulk-encode a batch (byte-identical to per-sample ``write``)."""
+        if not isinstance(samples, (list, tuple)):
+            samples = list(samples)
+        return self._writer.write_batch(
+            [s.raw for s in samples], [s.domain_id for s in samples]
+        )
+
     def write_many(self, samples: Iterable[XenoSample]) -> int:
-        n = 0
-        for s in samples:
-            self.write(s)
-            n += 1
-        return n
+        return self.write_batch(samples)
+
+    def flush(self) -> None:
+        self._writer.flush()
 
     def close(self) -> None:
         self._writer.close()

@@ -145,6 +145,86 @@ class TestWakeup:
             daemon.start()
 
 
+class TestBatchedDrain:
+    def _mixed_stream(self, machine, n=40):
+        kernel, proc, libc_vma, heap_vma, *_ = machine
+        kpc = kernel.kernel_pc("schedule")
+        out = []
+        for i in range(n):
+            if i % 4 == 0:
+                out.append(raw(kpc, proc.pid, kernel_mode=True))
+            elif i % 4 == 1:
+                out.append(raw(libc_vma.start + 16 * i, proc.pid))
+            elif i % 4 == 2:
+                out.append(raw(heap_vma.start + 8 * i, proc.pid))
+            else:
+                out.append(
+                    raw(libc_vma.start + i, proc.pid, "BSQ_CACHE_REFERENCE")
+                )
+        return out
+
+    def test_classify_chunk_agrees_with_classify(self, machine):
+        *_, daemon = machine
+        stream = self._mixed_stream(machine)
+        assert daemon.classify_chunk(stream) == [
+            daemon.classify(s) for s in stream
+        ]
+
+    def test_batched_drain_matches_sequential(self, machine, tmp_path):
+        kernel, *_ , km, daemon = machine
+        stream = self._mixed_stream(machine)
+        results = []
+        for batch in (False, True):
+            km2 = OprofileKernelModule(config())
+            d = OprofileDaemon(
+                kernel, km2, config(), tmp_path / f"batch-{batch}",
+                batch=batch,
+            )
+            for s in stream:
+                km2.buffer.append(s)
+            d.start()
+            work = d.wakeup()
+            d.stop()
+            files = {
+                ev: d.sample_file(ev).read_bytes()
+                for ev in ("GLOBAL_POWER_EVENTS", "BSQ_CACHE_REFERENCE")
+            }
+            results.append((work.total, list(work.by_symbol.items()),
+                            d.stats, files))
+        assert results[0] == results[1]
+
+    def test_chunked_drain_crosses_chunk_boundary(self, machine, tmp_path):
+        """A buffer larger than one drain chunk is fully drained in one
+        wakeup, with per-sample costs intact."""
+        import repro.oprofile.daemon as daemon_mod
+        kernel, proc, libc_vma, *_ = machine
+        km2 = OprofileKernelModule(
+            OprofileConfig(
+                events=(EventSpec("GLOBAL_POWER_EVENTS", 90_000),),
+                buffer_capacity=64,
+            )
+        )
+        d = OprofileDaemon(
+            kernel, km2, km2.config, tmp_path / "chunked", batch=True
+        )
+        old_chunk = daemon_mod.DRAIN_CHUNK_RECORDS
+        daemon_mod.DRAIN_CHUNK_RECORDS = 8
+        try:
+            for i in range(20):
+                km2.buffer.append(raw(libc_vma.start + i, proc.pid))
+            d.start()
+            work = d.wakeup()
+            d.stop()
+        finally:
+            daemon_mod.DRAIN_CHUNK_RECORDS = old_chunk
+        assert len(km2.buffer) == 0
+        assert d.stats.samples_logged == 20
+        c = d.costs
+        assert work.total == (
+            c.wakeup + c.resolve * 20 + c.write_per_sample * 20 + c.flush
+        )
+
+
 class TestDaemonImage:
     def test_symbols_present(self):
         img = build_daemon_image()

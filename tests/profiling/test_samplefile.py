@@ -48,6 +48,26 @@ class TestRoundTrip:
         assert n == 2
         assert len(SampleFileReader(p)) == 2
 
+    def test_write_many_accepts_any_iterable(self, tmp_path):
+        originals = [sample(pc=0x1000 + i) for i in range(8)]
+        a, b = tmp_path / "list.samples", tmp_path / "gen.samples"
+        with SampleFileWriter(a, "GLOBAL_POWER_EVENTS", 1000) as w:
+            assert w.write_many(originals) == len(originals)
+        with SampleFileWriter(b, "GLOBAL_POWER_EVENTS", 1000) as w:
+            assert w.write_many(s for s in originals) == len(originals)
+        assert a.read_bytes() == b.read_bytes()
+        assert list(SampleFileReader(a)) == originals
+
+    def test_context_exit_flushes_buffered_records(self, tmp_path):
+        p = tmp_path / "buffered.samples"
+        with SampleFileWriter(p, "GLOBAL_POWER_EVENTS", 1000) as w:
+            w.write(sample())
+            header_and_nothing = p.stat().st_size
+        # The record was buffered (file held only the header inside the
+        # block) and the context exit flushed it.
+        assert p.stat().st_size > header_and_nothing
+        assert len(SampleFileReader(p)) == 1
+
     def test_large_pc_values(self, tmp_path):
         p = tmp_path / "s.samples"
         with SampleFileWriter(p, "GLOBAL_POWER_EVENTS", 90_000) as w:

@@ -64,6 +64,50 @@ class TestSeededCorruptionFixtures:
         assert len(report) == 0, report.format_text()
 
 
+class TestBatchedFixtures:
+    """Sessions emitted through the batched write path behave identically
+    under every artifact rule — the write path is not an observable."""
+
+    def test_batched_clean_session_has_no_findings(self, tmp_path):
+        sess = write_fixture_session(tmp_path / "clean", batch=True)
+        report = lint_session(sess)
+        assert len(report) == 0, report.format_text()
+
+    @pytest.mark.parametrize("corruption", CORRUPTIONS)
+    def test_batched_corruption_detected(self, tmp_path, corruption):
+        sess = write_fixture_session(
+            tmp_path / corruption, corruption, batch=True
+        )
+        report = lint_session(sess)
+        assert report.rule_ids == (EXPECTED_RULE[corruption],), (
+            report.format_text()
+        )
+
+    def test_batched_sample_bytes_match_per_record(self, tmp_path):
+        a = write_fixture_session(tmp_path / "seq")
+        b = write_fixture_session(tmp_path / "bat", batch=True)
+        name = "GLOBAL_POWER_EVENTS.samples"
+        assert (a / "samples" / name).read_bytes() == (
+            b / "samples" / name
+        ).read_bytes()
+        assert json.loads((b / "meta.json").read_text())[
+            "write_path"
+        ] == "batched"
+
+    def test_checked_in_batched_fixture_session_is_clean(self):
+        # CI lints this session too; regenerate with
+        # ``python -m repro.statcheck.fixtures --batch`` semantics
+        # (write_fixture_session(..., batch=True)).
+        sess = (
+            Path(__file__).resolve().parents[1]
+            / "fixtures" / "lint-session-batched"
+        )
+        report = lint_session(sess)
+        assert len(report) == 0, report.format_text()
+        meta = json.loads((sess / "meta.json").read_text())
+        assert meta["write_path"] == "batched"
+
+
 class TestTolerantLoading:
     def test_not_a_session_dir(self, tmp_path):
         with pytest.raises(StatCheckError, match="not a VIProf session"):

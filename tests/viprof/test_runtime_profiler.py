@@ -101,3 +101,41 @@ class TestClassification:
         assert rp.stats.jit_samples == 1
         assert rp.stats.anon_samples == 0
         rp.stop()
+
+    def _mixed_stream(self, rig, n=30):
+        kernel, proc, libc_vma, heap_vma, *_ = rig
+        other = kernel.spawn("other")
+        kpc = kernel.kernel_pc("schedule")
+        out = []
+        for i in range(n):
+            which = i % 5
+            if which == 0:
+                out.append(raw(heap_vma.start + 8 * i, proc.pid))
+            elif which == 1:
+                out.append(raw(libc_vma.start + 16 * i, proc.pid))
+            elif which == 2:
+                out.append(raw(kpc, proc.pid, kernel_mode=True))
+            elif which == 3:
+                out.append(raw(heap_vma.start + 8 * i, other.pid))
+            else:
+                out.append(raw(heap_vma.start - 1, proc.pid))
+        return out
+
+    def test_classify_chunk_agrees_with_classify(self, rig):
+        _, proc, _, heap_vma, _, rp = rig
+        rp.register_vm(proc.pid, (heap_vma.start, heap_vma.end))
+        stream = self._mixed_stream(rig)
+        assert rp.classify_chunk(stream) == [
+            rp.classify(s) for s in stream
+        ]
+
+    def test_classify_chunk_without_fast_path_delegates(self, rig, tmp_path):
+        kernel, proc, _, heap_vma, km, _ = rig
+        rp = ViprofRuntimeProfiler(
+            kernel, km, config(), tmp_path / "ablate", jit_fast_path=False
+        )
+        rp.register_vm(proc.pid, (heap_vma.start, heap_vma.end))
+        stream = self._mixed_stream(rig)
+        cats = rp.classify_chunk(stream)
+        assert rp.JIT not in cats
+        assert cats == [rp.classify(s) for s in stream]
