@@ -12,6 +12,7 @@ Subcommands::
     viprof pgo ps                        # profile-guided optimization demo
     viprof xen fop ps                    # multi-stack XenoProf demo
     viprof lint SESSION_DIR              # static artifact integrity check
+    viprof recover SESSION_DIR           # salvage a crash-damaged session
 """
 
 from __future__ import annotations
@@ -52,12 +53,19 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _format_stage_stats(stats: dict) -> str:
-    """Render a resolver chain's per-stage counters as aligned rows."""
+    """Render a resolver chain's per-stage counters as aligned rows.
+
+    Stages running in degraded (post-salvage) mode get one extra row per
+    degradation counter, so a recovered session's losses are visible in
+    the same table as its hits.
+    """
     lines = [f"{'stage':<16}{'hits':>8}{'misses':>8}"]
     for entry in stats["stages"]:
         lines.append(
             f"{entry['stage']:<16}{entry['hits']:>8}{entry['misses']:>8}"
         )
+        for key, value in (entry.get("degraded") or {}).items():
+            lines.append(f"  degraded: {key} = {value}")
     return "\n".join(lines)
 
 
@@ -199,6 +207,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return analyzer.run(args)
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.viprof.salvage import salvage_session
+
+    try:
+        manifest = salvage_session(args.session_dir, dry_run=args.dry_run)
+    except ReproError as e:
+        print(f"viprof recover: {e}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(manifest.to_dict(), indent=2, sort_keys=True))
+        return 0
+    verb = "would salvage" if args.dry_run else "salvaged"
+    print(f"{verb} {args.session_dir}")
+    for f in manifest.sample_files:
+        line = f"  {f.path}: {f.action}, {f.records_kept} records kept"
+        if f.bytes_dropped:
+            line += f", {f.bytes_dropped} bytes dropped"
+        print(line)
+    for m in manifest.maps:
+        line = f"  {m.path}: {m.action} (epoch {m.epoch})"
+        if m.reason:
+            line += f" -- {m.reason}"
+        print(line)
+    print(f"  top epoch: {manifest.top_epoch}")
+    quarantined = (
+        ", ".join(str(e) for e in manifest.quarantined_epochs) or "none"
+    )
+    print(f"  quarantined epochs: {quarantined}")
+    if not manifest.damaged:
+        print("  session was intact; nothing repaired")
+    return 0
+
+
 def _cmd_xen(args: argparse.Namespace) -> int:
     from repro.xen import GuestSpec, MultiStackEngine
 
@@ -283,6 +327,17 @@ def main(argv: list[str] | None = None) -> int:
 
     _lint_analyzer.configure_parser(p)
 
+    p = sub.add_parser(
+        "recover",
+        help="salvage a crash-damaged session directory (truncate torn "
+        "sample files, quarantine malformed maps, write salvage.json)",
+    )
+    p.add_argument("session_dir")
+    p.add_argument("--dry-run", action="store_true",
+                   help="diagnose only; do not modify the session")
+    p.add_argument("--json", action="store_true",
+                   help="emit the salvage manifest as JSON")
+
     p = sub.add_parser("timeline", help="phase-behaviour timeline")
     p.add_argument("benchmark")
     p.add_argument("--window", type=int, default=2_000_000,
@@ -304,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
         "xen": _cmd_xen,
         "timeline": _cmd_timeline,
         "lint": _cmd_lint,
+        "recover": _cmd_recover,
     }[args.command]
     try:
         return handler(args)

@@ -23,6 +23,7 @@ __all__ = [
     "CodeMapError",
     "WorkloadError",
     "StatCheckError",
+    "InjectedFault",
 ]
 
 
@@ -86,3 +87,18 @@ class StatCheckError(ReproError):
     """Static artifact/source analysis could not run (bad session dir,
     unreadable artifact, unknown rule id, ...).  Findings are *results*,
     not errors; this is raised only when the analyzer itself fails."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic crash raised by an armed fault plan
+    (:mod:`repro.faults`).  Simulates the process dying at a named
+    failure point: whatever damage the point's effect wrote to disk is
+    exactly what a real crash there would have left behind.  Never raised
+    unless a test armed the injector."""
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(
+            f"injected fault at {point!r} (hit #{hit})"
+        )
+        self.point = point
+        self.hit = hit

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the collection/resolution stacks.
+
+See :mod:`repro.faults.injector` for the model and
+``docs/robustness.md`` for the registry of failure points and the
+recovery guarantees tested against them.
+"""
+
+from repro.faults.injector import (
+    ALL_FAULT_POINT_NAMES,
+    AGENT_MAP_EMIT,
+    CODEMAP_WRITE,
+    DAEMON_DRAIN,
+    FAULT_POINTS,
+    SESSION_TEARDOWN,
+    WRITER_SPILL,
+    FaultInjector,
+    FaultPlan,
+    FaultPoint,
+    arm,
+    armed,
+    current,
+    fire,
+    point_named,
+)
+
+__all__ = [
+    "ALL_FAULT_POINT_NAMES",
+    "AGENT_MAP_EMIT",
+    "CODEMAP_WRITE",
+    "DAEMON_DRAIN",
+    "FAULT_POINTS",
+    "SESSION_TEARDOWN",
+    "WRITER_SPILL",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPoint",
+    "arm",
+    "armed",
+    "current",
+    "fire",
+    "point_named",
+]

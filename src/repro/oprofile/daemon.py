@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import ProfilerError
+from repro.faults import injector as faults
 from repro.os.binary import BinaryImage, Symbol
 from repro.os.kernel import Kernel
 from repro.oprofile.kmodule import OprofileKernelModule
@@ -172,6 +173,23 @@ class OprofileDaemon:
     def sample_file(self, event_name: str) -> Path:
         return self.output_dir / f"{event_name}.samples"
 
+    def _abandon_writers(self) -> None:
+        """Fault effect: the daemon process dies — every sample writer's
+        buffered records are lost, leaving record-aligned prefixes on
+        disk.  Only fault-injection effects call this."""
+        for w in self._writers.values():
+            w.abandon()
+
+    def crash(self) -> None:
+        """Finish simulating the daemon's death after an injected fault:
+        drop whatever the writers still buffer and release the sample
+        files exactly as the kernel would on process exit — no final
+        drain, no flush.  Salvage runs against the result."""
+        self._abandon_writers()
+        for w in self._writers.values():
+            w.close()
+        self._started = False
+
     # ------------------------------------------------------------------
 
     def classify(self, sample: RawSample) -> str:
@@ -264,12 +282,24 @@ class OprofileDaemon:
                     break
                 drained = True
                 self._process_chunk(chunk, work)
+                if faults.armed():
+                    # Crash point between drain chunks: records handed to
+                    # the writers but still buffered die with the process.
+                    faults.fire(
+                        faults.DAEMON_DRAIN,
+                        effect=lambda rng: self._abandon_writers(),
+                    )
         else:
             samples = self.kmodule.buffer.drain()
             if samples:
                 drained = True
                 for s in samples:
                     self._process_one(s, work)
+                if faults.armed():
+                    faults.fire(
+                        faults.DAEMON_DRAIN,
+                        effect=lambda rng: self._abandon_writers(),
+                    )
         if drained:
             work.charge("opd_sfile_write", self.costs.flush)
         return work

@@ -256,9 +256,12 @@ class ResolverChain:
 
     def stats_dict(self) -> dict[str, object]:
         """JSON-able snapshot of the chain's counters, including any
-        stage-specific detail (e.g. the JIT epoch split), the resolution
-        cache's hit rate, and ``total_samples`` as the denominator."""
+        stage-specific detail (e.g. the JIT epoch split), degradation
+        counters for stages running in degraded (post-salvage) mode, the
+        resolution cache's hit rate, and ``total_samples`` as the
+        denominator."""
         stages: list[dict[str, object]] = []
+        degraded_any = False
         for st in self.stats():
             entry: dict[str, object] = {
                 "stage": st.name,
@@ -271,10 +274,17 @@ class ResolverChain:
             detail = getattr(stage, "detail_dict", None)
             if callable(detail):
                 entry["detail"] = detail()
+            degraded = getattr(stage, "degraded_dict", None)
+            if callable(degraded):
+                counters = degraded()
+                if counters is not None:
+                    entry["degraded"] = counters
+                    degraded_any = True
             stages.append(entry)
         return {
             "stages": stages,
             "total_samples": self.total_samples,
+            "degraded": degraded_any,
             "cache": (
                 self.cache.stats_dict() if self.cache is not None else None
             ),

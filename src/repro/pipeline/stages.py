@@ -144,6 +144,9 @@ class JitStageStats:
         self.resolved_in_own_epoch = 0
         self.resolved_in_earlier_epoch = 0
         self.unresolved = 0
+        #: degraded mode only: samples whose backward walk hit a
+        #: quarantined epoch and were remapped to ``(unresolved jit)``
+        self.blocked_at_quarantine = 0
 
     @property
     def resolved(self) -> int:
@@ -159,6 +162,7 @@ class JitStageStats:
             "resolved_in_own_epoch": self.resolved_in_own_epoch,
             "resolved_in_earlier_epoch": self.resolved_in_earlier_epoch,
             "unresolved": self.unresolved,
+            "blocked_at_quarantine": self.blocked_at_quarantine,
             "resolution_rate": self.resolution_rate,
         }
 
@@ -170,6 +174,7 @@ class JitStageStats:
         self.resolved_in_own_epoch += other.resolved_in_own_epoch
         self.resolved_in_earlier_epoch += other.resolved_in_earlier_epoch
         self.unresolved += other.unresolved
+        self.blocked_at_quarantine += other.blocked_at_quarantine
         return self
 
     def __add__(self, other: "JitStageStats") -> "JitStageStats":
@@ -181,6 +186,7 @@ class JitStageStats:
         self.resolved_in_own_epoch = 0
         self.resolved_in_earlier_epoch = 0
         self.unresolved = 0
+        self.blocked_at_quarantine = 0
 
 
 class JitEpochStage(ResolverStage):
@@ -192,6 +198,13 @@ class JitEpochStage(ResolverStage):
 
     ``backward=False`` is the paper's ablation: only the sample's own
     epoch map is consulted.
+
+    ``strict=False`` is degraded (post-salvage) mode: a walk blocked by a
+    quarantined epoch (:data:`~repro.viprof.codemap.RESOLVE_BLOCKED`) is
+    remapped to ``(unresolved jit)`` and counted in
+    ``stats.blocked_at_quarantine`` — never attributed to a possibly-stale
+    record.  In strict mode (the default) a blocked walk is an error: a
+    strict pipeline must not silently consume a salvaged session.
     """
 
     name = "jit-epoch"
@@ -201,20 +214,39 @@ class JitEpochStage(ResolverStage):
         codemaps: "CodeMapIndex",
         registrations: Iterable["VmRegistration"],
         backward: bool = True,
+        strict: bool = True,
     ) -> None:
         self.codemaps = codemaps
         self.backward = backward
+        self.strict = strict
         self._registrations = {r.task_id: r for r in registrations}
         self.stats = JitStageStats()
         self._last_outcome: str | None = None
 
     def resolve(self, sample: "PipelineSample") -> ResolvedSample | None:
+        from repro.viprof.codemap import RESOLVE_BLOCKED
+
         raw = sample.raw
         reg = self._registrations.get(raw.task_id)
         if reg is None or not reg.covers(raw.pc):
             return None
         self.stats.jit_samples += 1
         hit = self.codemaps.resolve(raw.epoch, raw.pc, backward=self.backward)
+        if hit is RESOLVE_BLOCKED:
+            if self.strict:
+                from repro.errors import ProfilerError
+
+                raise ProfilerError(
+                    f"epoch walk for pc {raw.pc:#x} (epoch {raw.epoch}) "
+                    "blocked by a quarantined code map; rerun the pipeline "
+                    "in degraded mode (strict=False) to account for "
+                    "salvaged sessions"
+                )
+            self.stats.blocked_at_quarantine += 1
+            self._last_outcome = "blocked"
+            return ResolvedSample(
+                raw=raw, image=JIT_APP_IMAGE_LABEL, symbol=UNRESOLVED_JIT
+            )
         if hit is None:
             self.stats.unresolved += 1
             self._last_outcome = "unresolved"
@@ -236,6 +268,15 @@ class JitEpochStage(ResolverStage):
     def detail_dict(self) -> dict[str, int | float]:
         return self.stats.as_dict()
 
+    def degraded_dict(self) -> dict[str, int] | None:
+        """Degradation counters for the chain's ``degraded`` stats entry
+        (None in strict mode — a strict stage cannot degrade)."""
+        if self.strict:
+            return None
+        return {
+            "blocked_at_quarantine": self.stats.blocked_at_quarantine,
+        }
+
     # -- cache replay / shard merging ----------------------------------
 
     def claim_token(self) -> object | None:
@@ -247,6 +288,8 @@ class JitEpochStage(ResolverStage):
             self.stats.resolved_in_own_epoch += 1
         elif token == "earlier":
             self.stats.resolved_in_earlier_epoch += 1
+        elif token == "blocked":
+            self.stats.blocked_at_quarantine += 1
         else:
             self.stats.unresolved += 1
 
@@ -261,6 +304,7 @@ class JitEpochStage(ResolverStage):
         other.resolved_in_own_epoch = state["resolved_in_own_epoch"]
         other.resolved_in_earlier_epoch = state["resolved_in_earlier_epoch"]
         other.unresolved = state["unresolved"]
+        other.blocked_at_quarantine = state.get("blocked_at_quarantine", 0)
         self.stats.merge(other)
 
     def reset_state(self) -> None:

@@ -43,16 +43,29 @@ OS in large contiguous writes.  Batching is strictly a throughput knob:
 ``tests/profiling/test_batch_write.py``), and a writer is a context
 manager symmetric with the reader — exit flushes and closes, so a closed
 file never holds back buffered records.
+
+Spills are **record-aligned and crash-safe**: the writer holds a raw
+(unbuffered) handle, so the only byte boundaries the OS ever sees are the
+writer's own, and if an OS write fails mid-spill the file is truncated
+back to the last whole record before the error propagates — an exception
+escaping between a watermark spill and ``flush()`` can no longer leave a
+partial record on disk (regression-tested in
+``tests/profiling/test_writer_recovery.py``).  The one producer of torn
+files left is a genuine crash *during* a spill, which is exactly what the
+``writer.spill`` fault point (:mod:`repro.faults`) simulates and
+:func:`probe_sample_file` + ``viprof recover`` repair.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Iterator
 
 from repro.errors import SampleFormatError
+from repro.faults import injector as faults
 from repro.profiling.model import RawSample
 
 __all__ = [
@@ -65,6 +78,8 @@ __all__ = [
     "RecordFileWriter",
     "RecordFileReader",
     "open_sample_record_file",
+    "probe_sample_file",
+    "SampleFileProbe",
     "DEFAULT_WRITE_BUFFER_BYTES",
 ]
 
@@ -262,11 +277,19 @@ class RecordFileWriter:
             else max(0, buffer_bytes)
         )
         self._pending = bytearray()
-        self._fh: BinaryIO = open(self.path, "wb")
+        self._crashed = False
+        # Raw (unbuffered) handle: every write below is a real OS write,
+        # so the only byte boundaries that can ever land on disk are the
+        # writer's own — a prerequisite for record-aligned crash safety.
+        self._fh: BinaryIO = open(self.path, "wb", buffering=0)
         name = event_name.encode("utf-8")
-        self._fh.write(_HEADER_FIXED.pack(codec.magic, codec.version, len(name)))
-        self._fh.write(name)
-        self._fh.write(_HEADER_PERIOD.pack(period))
+        header = bytearray(
+            _HEADER_FIXED.pack(codec.magic, codec.version, len(name))
+        )
+        header += name
+        header += _HEADER_PERIOD.pack(period)
+        self._fh.write(bytes(header))
+        self._data_start = len(header)
         self.samples_written = 0
 
     def write(self, sample: RawSample, domain_id: int | None = None) -> None:
@@ -311,17 +334,72 @@ class RecordFileWriter:
         return n_records
 
     def _spill(self) -> None:
-        """Hand the pending buffer to the file object (ordered).  The
-        watermark path spills without forcing the OS-level flush, so
-        ``buffer_bytes=0`` reproduces the per-record write pattern exactly."""
-        if self._pending:
-            self._fh.write(self._pending)
+        """Hand the pending buffer to the OS in whole records (ordered).
+
+        Crash-safe: if the underlying write raises partway through, the
+        file is truncated back to the last whole record before the error
+        propagates, so an exception escaping between a watermark spill
+        and :meth:`flush` never leaves a partial record on disk.
+        """
+        if self._crashed:
+            # A simulated crash already abandoned this writer: buffered
+            # records die with the process, exactly like a real kill.
             self._pending = bytearray()
+            return
+        if not self._pending:
+            return
+        data, self._pending = self._pending, bytearray()
+        if faults.armed():
+            faults.fire(
+                faults.WRITER_SPILL,
+                effect=lambda rng: self._torn_spill(data, rng),
+            )
+        view = memoryview(data)
+        written = 0
+        try:
+            while written < len(data):
+                n = self._fh.write(view[written:])
+                written += n if n is not None else 0
+        except OSError:
+            self._truncate_to_record_boundary()
+            raise
+
+    def _truncate_to_record_boundary(self) -> None:
+        """Drop any partial trailing record left by a failed OS write."""
+        try:
+            fd = self._fh.fileno()
+            size = os.fstat(fd).st_size
+            excess = (size - self._data_start) % self.codec.record_size
+            if excess:
+                os.ftruncate(fd, size - excess)
+            self._fh.seek(0, os.SEEK_END)
+        except OSError:  # pragma: no cover - double-fault: keep original
+            pass
+
+    def _torn_spill(self, data: bytearray, rng) -> None:
+        """Fault effect (``writer.spill``): the crash lands mid-``write``,
+        so a prefix of the pending buffer — cut *inside* a record — is
+        what reaches the file.  Poisons the writer so no later flush can
+        repair the tear (the process is considered dead)."""
+        rsize = self.codec.record_size
+        cut = rng.randrange(1, len(data)) if len(data) > 1 else 1
+        if cut % rsize == 0:
+            cut = cut + 1 if cut + 1 <= len(data) else cut - 1
+        self._fh.write(bytes(data[:cut]))
+        self.abandon()
+
+    def abandon(self) -> None:
+        """Simulate this writer's process dying: buffered records are
+        dropped and every later spill/flush/close is a no-op apart from
+        releasing the handle.  Only fault effects call this."""
+        self._crashed = True
+        self._pending = bytearray()
 
     def flush(self) -> None:
         """Spill the pending buffer and flush to the OS (idempotent)."""
         self._spill()
-        self._fh.flush()
+        if not self._crashed:
+            self._fh.flush()
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -387,7 +465,13 @@ class RecordFileReader:
                     f"{self.path}: truncated header at byte offset "
                     f"{_HEADER_FIXED.size + len(rest)}"
                 )
-            self.event_name = rest[:name_len].decode("utf-8")
+            try:
+                self.event_name = rest[:name_len].decode("utf-8")
+            except UnicodeDecodeError as e:
+                raise SampleFormatError(
+                    f"{self.path}: undecodable event name at byte offset "
+                    f"{_HEADER_FIXED.size}: {e}"
+                ) from None
             (self.period,) = _HEADER_PERIOD.unpack_from(rest, name_len)
         except Exception:
             fh.close()
@@ -514,3 +598,92 @@ class RecordFileReader:
 def open_sample_record_file(path: Path | str) -> RecordFileReader:
     """Open a sample file of *any* registered format by sniffing its magic."""
     return RecordFileReader(path, codec=None)
+
+
+@dataclass(frozen=True, slots=True)
+class SampleFileProbe:
+    """Torn-record diagnosis of one sample file (either magic).
+
+    ``n_records`` whole records survive; ``trailing_bytes`` is the length
+    of the partial record after them (0 for a clean file).  Truncating the
+    file to ``truncate_to`` makes it a valid record-aligned prefix.
+    """
+
+    path: Path
+    magic: bytes
+    event_name: str
+    period: int
+    record_size: int
+    data_start: int
+    n_records: int
+    trailing_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        return self.trailing_bytes > 0
+
+    @property
+    def truncate_to(self) -> int:
+        return self.data_start + self.n_records * self.record_size
+
+
+def probe_sample_file(path: Path | str) -> SampleFileProbe:
+    """Diagnose a possibly-torn sample file without rejecting the tear.
+
+    Validates the header exactly like :class:`RecordFileReader` — header
+    damage still raises :class:`~repro.errors.SampleFormatError` (such a
+    file identifies no codec, so nothing can be salvaged from it) — but a
+    torn *body* is returned as a measurement instead of an error.  This is
+    the detection half of ``viprof recover``: the salvager truncates torn
+    files at ``truncate_to``, the last whole-record boundary.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            head = fh.read(_HEADER_FIXED.size)
+            if len(head) < _HEADER_FIXED.size:
+                raise SampleFormatError(
+                    f"{path}: truncated header at byte offset {len(head)} "
+                    f"(fixed header is {_HEADER_FIXED.size} bytes)"
+                )
+            magic, version, name_len = _HEADER_FIXED.unpack(head)
+            codec = codec_for_magic(magic)
+            if codec is None:
+                raise SampleFormatError(
+                    f"{path}: bad magic {magic!r} at byte offset 0"
+                )
+            if version != codec.version:
+                raise SampleFormatError(
+                    f"{path}: version {version}, expected "
+                    f"{codec.version} (magic {magic!r})"
+                )
+            rest = fh.read(name_len + _HEADER_PERIOD.size)
+            if len(rest) < name_len + _HEADER_PERIOD.size:
+                raise SampleFormatError(
+                    f"{path}: truncated header at byte offset "
+                    f"{_HEADER_FIXED.size + len(rest)}"
+                )
+            try:
+                event_name = rest[:name_len].decode("utf-8")
+            except UnicodeDecodeError as e:
+                raise SampleFormatError(
+                    f"{path}: undecodable event name at byte offset "
+                    f"{_HEADER_FIXED.size}: {e}"
+                ) from None
+            (period,) = _HEADER_PERIOD.unpack_from(rest, name_len)
+    except OSError as e:
+        raise SampleFormatError(f"{path}: unreadable: {e}") from None
+    data_start = _HEADER_FIXED.size + name_len + _HEADER_PERIOD.size
+    body = size - data_start
+    rsize = codec.record_size
+    return SampleFileProbe(
+        path=path,
+        magic=magic,
+        event_name=event_name,
+        period=period,
+        record_size=rsize,
+        data_start=data_start,
+        n_records=body // rsize,
+        trailing_bytes=body % rsize,
+    )

@@ -13,6 +13,13 @@ Understood layouts (live session dirs and ``SessionStore`` archives)::
     <session>/jit-maps/jit-map.NNNNN    per-epoch partial code maps
     <session>/samples/<EVENT>.samples   packed sample files
     <session>/meta.json                 archive metadata (optional)
+    <session>/salvage.json              crash-recovery manifest (optional,
+                                        written by ``viprof recover``)
+    <session>/*/quarantine/             artifacts salvage set aside
+
+The salvage manifest is loaded as a raw dict (``SessionArtifacts.salvage``)
+so the VP107–VP109 rules can validate its *structure* as well as its
+claims; a session that was never salvaged has ``salvage is None``.
 """
 
 from __future__ import annotations
@@ -44,6 +51,8 @@ RULE_MALFORMED = "VP100"
 MAP_DIR_NAME = "jit-maps"
 SAMPLE_DIR_NAME = "samples"
 META_NAME = "meta.json"
+SALVAGE_NAME = "salvage.json"
+QUARANTINE_DIR_NAME = "quarantine"
 
 _MAP_FILE_RE = re.compile(r"^jit-map\.(\d{5})$")
 _MAP_HEADER_RE = re.compile(r"^# viprof code map epoch (\d+)$")
@@ -78,11 +87,24 @@ class SessionArtifacts:
     meta: dict | None = None
     registration: VmRegistration | None = None
     boot_map: RvmMap | None = None
+    salvage: dict | None = None
     load_findings: list[Finding] = field(default_factory=list)
 
     @property
     def epochs(self) -> tuple[int, ...]:
         return tuple(sorted(self.maps))
+
+    @property
+    def quarantined_epochs(self) -> tuple[int, ...]:
+        """Epochs the salvage manifest fenced off (empty when the session
+        was never salvaged or the manifest is malformed — VP107 reports
+        the latter)."""
+        if not isinstance(self.salvage, dict):
+            return ()
+        q = self.salvage.get("quarantined_epochs")
+        if not isinstance(q, list):
+            return ()
+        return tuple(e for e in q if isinstance(e, int))
 
     def map_label(self, epoch: int) -> str:
         """Artifact label for findings against one epoch's map."""
@@ -214,6 +236,18 @@ def load_session(session_dir: Path | str) -> SessionArtifacts:
                     "registration",
                     f"bad VM registration record: {reg!r}",
                 )
+
+    salvage_path = session_dir / SALVAGE_NAME
+    if salvage_path.is_file():
+        try:
+            arts.salvage = json.loads(
+                salvage_path.read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError) as e:
+            report.add(
+                Severity.ERROR, RULE_MALFORMED, str(salvage_path), "-",
+                f"unreadable salvage manifest: {e}",
+            )
 
     arts.boot_map = build_boot_image().rvm_map
     arts.load_findings = list(report)

@@ -25,6 +25,28 @@ VP106  epoch-tag              Sample epoch tags come from a monotonic GC
                               regress as time advances, and should not
                               exceed the newest map's epoch (a missing
                               final flush).
+VP107  salvage-manifest       A salvage manifest must agree with the
+                              filesystem: every artifact it names exists
+                              in the state it claims, every artifact on
+                              disk is accounted for, and quarantine
+                              directories never exist without a manifest.
+VP108  quarantine-isolation   Quarantined epochs must be exactly the
+                              epochs in 0..top_epoch without a healthy
+                              map, and a quarantined map must never be
+                              shadowed by a healthy map for the same
+                              epoch.
+VP109  loss-accounting        The manifest's loss numbers must add up:
+                              a truncation drops a strict sub-record
+                              tail, ``torn_at`` sits at the record
+                              boundary it claims, and ``top_epoch``
+                              covers every epoch the surviving artifacts
+                              mention.
+
+A session with a salvage manifest is *expected* to have gaps, so the
+damage rules report salvage-accounted losses at INFO instead of
+WARNING/ERROR (VP102 gaps covered by quarantined epochs, VP103 walks
+blocked at a quarantine barrier, VP106 tags beyond the newest surviving
+map but within ``top_epoch``).  Unaccounted damage keeps its severity.
 
 Rules operate on :class:`~repro.statcheck.artifacts.SessionArtifacts`
 (raw records, no runtime validation) so that corrupt data reaches them
@@ -33,10 +55,18 @@ instead of raising on load.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Iterator
 
 from repro.os.intervals import Interval, IntervalIndex
-from repro.statcheck.artifacts import SessionArtifacts
+from repro.profiling.record_codec import probe_sample_file
+from repro.statcheck.artifacts import (
+    MAP_DIR_NAME,
+    QUARANTINE_DIR_NAME,
+    SAMPLE_DIR_NAME,
+    SessionArtifacts,
+    _MAP_FILE_RE,
+)
 from repro.statcheck.findings import Finding, Severity
 from repro.statcheck.rules import rule
 from repro.viprof.codemap import CodeMapRecord
@@ -48,6 +78,9 @@ __all__ = [
     "check_signature_collision",
     "check_stale_moved_flag",
     "check_epoch_tags",
+    "check_salvage_manifest",
+    "check_quarantine_isolation",
+    "check_loss_accounting",
 ]
 
 
@@ -89,9 +122,26 @@ def check_map_overlap(arts: SessionArtifacts) -> Iterator[Finding]:
 )
 def check_epoch_gap(arts: SessionArtifacts) -> Iterator[Finding]:
     epochs = arts.epochs
+    quarantined = set(arts.quarantined_epochs)
     for prev, cur in zip(epochs, epochs[1:]):
         if cur != prev + 1:
             missing = cur - prev - 1
+            gap = set(range(prev + 1, cur))
+            if gap <= quarantined:
+                # Salvage already fenced these epochs off; the loss is
+                # accounted, not a new integrity problem.
+                yield Finding(
+                    severity=Severity.INFO,
+                    rule_id="VP102",
+                    artifact=str(arts.session_dir),
+                    location=f"epochs {prev}..{cur}",
+                    message=(
+                        f"epoch chain jumps from {prev} to {cur}: "
+                        f"{missing} map(s) quarantined by salvage "
+                        "(accounted in salvage.json)"
+                    ),
+                )
+                continue
             yield Finding(
                 severity=Severity.WARNING,
                 rule_id="VP102",
@@ -128,8 +178,10 @@ def check_orphan_samples(arts: SessionArtifacts) -> Iterator[Finding]:
         return
     indexes = _epoch_indexes(arts)
     epochs_desc = sorted(indexes, reverse=True)
-    max_epoch = epochs_desc[0]
+    quarantined = set(arts.quarantined_epochs)
+    max_epoch = max(epochs_desc[0], max(quarantined, default=-1))
     for sf in arts.sample_files:
+        blocked = 0
         for i, s in enumerate(sf.samples):
             if s.kernel_mode or s.task_id != reg.task_id:
                 continue
@@ -137,12 +189,30 @@ def check_orphan_samples(arts: SessionArtifacts) -> Iterator[Finding]:
                 continue
             top = max_epoch if s.epoch < 0 else min(s.epoch, max_epoch)
             hit = None
-            for e in epochs_desc:
-                if e > top:
-                    continue
-                hit = indexes[e].first_covering(s.pc)
-                if hit is not None:
-                    break
+            blocked_here = False
+            if quarantined:
+                # Salvaged session: mirror the degraded pipeline's
+                # barrier walk — a quarantined epoch ends the search.
+                for e in range(top, -1, -1):
+                    if e in quarantined:
+                        blocked_here = True
+                        break
+                    idx = indexes.get(e)
+                    if idx is None:
+                        continue
+                    hit = idx.first_covering(s.pc)
+                    if hit is not None:
+                        break
+            else:
+                for e in epochs_desc:
+                    if e > top:
+                        continue
+                    hit = indexes[e].first_covering(s.pc)
+                    if hit is not None:
+                        break
+            if blocked_here:
+                blocked += 1
+                continue
             if hit is None:
                 yield Finding(
                     severity=Severity.ERROR,
@@ -154,6 +224,19 @@ def check_orphan_samples(arts: SessionArtifacts) -> Iterator[Finding]:
                         "resolves in no code map via the backward walk"
                     ),
                 )
+        if blocked:
+            yield Finding(
+                severity=Severity.INFO,
+                rule_id="VP103",
+                artifact=str(sf.path),
+                location="-",
+                message=(
+                    f"{blocked} heap sample(s) blocked at a quarantined "
+                    "epoch during the backward walk (accounted by "
+                    "salvage.json; resolved as (unresolved jit) in "
+                    "degraded reports)"
+                ),
+            )
 
 
 @rule(
@@ -211,10 +294,16 @@ def check_stale_moved_flag(arts: SessionArtifacts) -> Iterator[Finding]:
 )
 def check_epoch_tags(arts: SessionArtifacts) -> Iterator[Finding]:
     max_epoch = max(arts.epochs) if arts.maps else None
+    salvage_top = None
+    if isinstance(arts.salvage, dict):
+        top = arts.salvage.get("top_epoch")
+        if isinstance(top, int):
+            salvage_top = top
     for sf in arts.sample_files:
         prev_epoch: int | None = None
         prev_cycle = 0
         beyond = 0
+        beyond_max = -1
         for i, s in enumerate(sf.samples):
             if s.epoch < -1:
                 yield Finding(
@@ -247,7 +336,24 @@ def check_epoch_tags(arts: SessionArtifacts) -> Iterator[Finding]:
             prev_epoch, prev_cycle = s.epoch, s.cycle
             if max_epoch is not None and s.epoch > max_epoch:
                 beyond += 1
+                beyond_max = max(beyond_max, s.epoch)
         if beyond:
+            if salvage_top is not None and beyond_max <= salvage_top:
+                # The lost tail epochs are inside the salvage manifest's
+                # fenced range: the loss is accounted, not a surprise.
+                yield Finding(
+                    severity=Severity.INFO,
+                    rule_id="VP106",
+                    artifact=str(sf.path),
+                    location="-",
+                    message=(
+                        f"{beyond} sample(s) tagged with epochs beyond "
+                        f"the newest surviving map (epoch {max_epoch}) "
+                        f"but within the salvaged top epoch "
+                        f"({salvage_top}); accounted by salvage.json"
+                    ),
+                )
+                continue
             yield Finding(
                 severity=Severity.WARNING,
                 rule_id="VP106",
@@ -257,5 +363,318 @@ def check_epoch_tags(arts: SessionArtifacts) -> Iterator[Finding]:
                     f"{beyond} sample(s) tagged with epochs beyond the "
                     f"newest map (epoch {max_epoch}): final map flush "
                     "may be missing"
+                ),
+            )
+
+
+# ----------------------------------------------------------------------
+# Salvage-manifest rules (VP107-VP109): validate `viprof recover` output.
+# ----------------------------------------------------------------------
+
+_SALVAGE_ACTIONS = ("intact", "truncated", "quarantined")
+
+
+def _salvage_entries(
+    arts: SessionArtifacts,
+) -> tuple[list[dict], list[dict]] | None:
+    """The manifest's (sample_files, maps) entry lists, or None when the
+    manifest is absent or structurally unusable (VP107 reports the
+    latter; the other salvage rules just skip)."""
+    if not isinstance(arts.salvage, dict):
+        return None
+    samples = arts.salvage.get("sample_files")
+    maps = arts.salvage.get("maps")
+    if not isinstance(samples, list) or not isinstance(maps, list):
+        return None
+    if not all(isinstance(e, dict) for e in samples + maps):
+        return None
+    return samples, maps
+
+
+def _quarantine_files(arts: SessionArtifacts) -> list[Path]:
+    """Every file sitting in a quarantine subdirectory."""
+    found: list[Path] = []
+    for sub in (SAMPLE_DIR_NAME, MAP_DIR_NAME):
+        qdir = arts.session_dir / sub / QUARANTINE_DIR_NAME
+        if qdir.is_dir():
+            found.extend(p for p in sorted(qdir.iterdir()) if p.is_file())
+    return found
+
+
+@rule(
+    "VP107", "salvage-manifest", Severity.ERROR,
+    "a salvage manifest must agree with the on-disk session state",
+)
+def check_salvage_manifest(arts: SessionArtifacts) -> Iterator[Finding]:
+    manifest_label = str(arts.session_dir / "salvage.json")
+    if arts.salvage is None:
+        # No manifest: quarantine directories must not exist — an
+        # artifact was set aside with no record of why.
+        for p in _quarantine_files(arts):
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP107",
+                artifact=str(p),
+                location="-",
+                message=(
+                    "quarantined artifact without a salvage manifest: "
+                    "no record of what was lost or why"
+                ),
+            )
+        return
+    entries = _salvage_entries(arts)
+    if entries is None:
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP107",
+            artifact=manifest_label,
+            location="-",
+            message="malformed salvage manifest structure",
+        )
+        return
+    samples, maps = entries
+    version = arts.salvage.get("version")
+    if version != 1:
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP107",
+            artifact=manifest_label,
+            location="version",
+            message=f"unsupported salvage manifest version {version!r}",
+        )
+    listed: set[Path] = set()
+    for i, e in enumerate(samples + maps):
+        rel = e.get("path")
+        loc = f"entry {i}"
+        if not isinstance(rel, str):
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP107",
+                artifact=manifest_label, location=loc,
+                message=f"entry has no usable path: {e!r}",
+            )
+            continue
+        path = arts.session_dir / rel
+        listed.add(path)
+        if not path.is_file():
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP107",
+                artifact=manifest_label, location=loc,
+                message=f"manifest names {rel!r} but no such file exists",
+            )
+        if e.get("action") not in _SALVAGE_ACTIONS:
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP107",
+                artifact=manifest_label, location=loc,
+                message=f"unknown salvage action {e.get('action')!r}",
+            )
+    # Every artifact on disk must be accounted for.
+    on_disk: list[Path] = list(_quarantine_files(arts))
+    sample_dir = arts.session_dir / SAMPLE_DIR_NAME
+    if sample_dir.is_dir():
+        on_disk.extend(sorted(sample_dir.glob("*.samples")))
+    map_dir = arts.session_dir / MAP_DIR_NAME
+    if map_dir.is_dir():
+        on_disk.extend(
+            p for p in sorted(map_dir.iterdir())
+            if p.is_file() and _MAP_FILE_RE.match(p.name)
+        )
+    for p in on_disk:
+        if p not in listed:
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP107",
+                artifact=str(p),
+                location="-",
+                message="artifact not accounted for by the salvage manifest",
+            )
+    # Survivor claims must hold: a salvaged (non-quarantined) sample file
+    # is record-aligned and holds exactly the record count claimed.
+    for e in samples:
+        rel, action = e.get("path"), e.get("action")
+        if not isinstance(rel, str) or action not in ("intact", "truncated"):
+            continue
+        path = arts.session_dir / rel
+        if not path.is_file():
+            continue
+        try:
+            probe = probe_sample_file(path)
+        except Exception as exc:  # SampleFormatError: header damage
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP107",
+                artifact=str(path), location="-",
+                message=(
+                    f"manifest claims {action!r} but the file does not "
+                    f"parse: {exc}"
+                ),
+            )
+            continue
+        if probe.trailing_bytes:
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP107",
+                artifact=str(path), location="-",
+                message=(
+                    f"manifest claims {action!r} but the file still ends "
+                    f"in a torn record ({probe.trailing_bytes} trailing "
+                    "bytes)"
+                ),
+            )
+        kept = e.get("records_kept")
+        if isinstance(kept, int) and probe.n_records != kept:
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP107",
+                artifact=str(path), location="-",
+                message=(
+                    f"manifest claims {kept} records kept but the file "
+                    f"holds {probe.n_records}"
+                ),
+            )
+
+
+@rule(
+    "VP108", "quarantine-isolation", Severity.ERROR,
+    "quarantined epochs must exactly cover the gaps salvage fenced off",
+)
+def check_quarantine_isolation(arts: SessionArtifacts) -> Iterator[Finding]:
+    entries = _salvage_entries(arts)
+    if entries is None:
+        return
+    manifest_label = str(arts.session_dir / "salvage.json")
+    _, maps = entries
+    quarantined = set(arts.quarantined_epochs)
+    healthy = set(arts.maps)
+    # A quarantined map must never be shadowed by a healthy map for the
+    # same epoch: resolution would silently trust a survivor that the
+    # manifest says is suspect.
+    for e in maps:
+        epoch, action = e.get("epoch"), e.get("action")
+        if not isinstance(epoch, int):
+            continue
+        if action == "quarantined" and epoch in healthy:
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP108",
+                artifact=arts.map_label(epoch),
+                location=f"epoch {epoch}",
+                message=(
+                    f"epoch {epoch} has both a quarantined map and a "
+                    "healthy map: quarantine is not isolated"
+                ),
+            )
+        if action == "quarantined" and epoch not in quarantined:
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP108",
+                artifact=manifest_label,
+                location=f"epoch {epoch}",
+                message=(
+                    f"map for epoch {epoch} was quarantined but the epoch "
+                    "is not in quarantined_epochs: the backward walk "
+                    "would not treat it as a barrier"
+                ),
+            )
+    top = arts.salvage.get("top_epoch") if isinstance(arts.salvage, dict) \
+        else None
+    if isinstance(top, int):
+        expected = {e for e in range(top + 1) if e not in healthy}
+        if quarantined != expected:
+            missing = sorted(expected - quarantined)
+            extra = sorted(quarantined - expected)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"spurious {extra}")
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP108",
+                artifact=manifest_label,
+                location="quarantined_epochs",
+                message=(
+                    "quarantined_epochs must be exactly the epochs in "
+                    f"0..{top} without a healthy map: {'; '.join(detail)}"
+                ),
+            )
+
+
+@rule(
+    "VP109", "loss-accounting", Severity.ERROR,
+    "the salvage manifest's loss numbers must add up exactly",
+)
+def check_loss_accounting(arts: SessionArtifacts) -> Iterator[Finding]:
+    entries = _salvage_entries(arts)
+    if entries is None:
+        return
+    manifest_label = str(arts.session_dir / "salvage.json")
+    samples, _ = entries
+    for i, e in enumerate(samples):
+        rel, action = e.get("path"), e.get("action")
+        kept = e.get("records_kept")
+        dropped = e.get("bytes_dropped")
+        loc = f"sample entry {i} ({rel})"
+        if action == "intact" and dropped not in (0, None):
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP109",
+                artifact=manifest_label, location=loc,
+                message=f"intact file claims {dropped} bytes dropped",
+            )
+        if action == "quarantined" and kept not in (0, None):
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP109",
+                artifact=manifest_label, location=loc,
+                message=(
+                    f"quarantined file claims {kept} records kept; "
+                    "nothing survives a quarantine"
+                ),
+            )
+        if action != "truncated" or not isinstance(rel, str):
+            continue
+        path = arts.session_dir / rel
+        if not path.is_file():
+            continue  # VP107 reports the missing file
+        try:
+            probe = probe_sample_file(path)
+        except Exception:
+            continue  # VP107 reports the unparseable file
+        rsize = probe.record_size
+        if not isinstance(dropped, int) or not 1 <= dropped < rsize:
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP109",
+                artifact=manifest_label, location=loc,
+                message=(
+                    f"a truncation drops a strict sub-record tail: "
+                    f"bytes_dropped={dropped!r} is not in 1..{rsize - 1}"
+                ),
+            )
+        torn_at = e.get("torn_at")
+        expected_cut = probe.data_start + probe.n_records * rsize
+        if torn_at != expected_cut:
+            yield Finding(
+                severity=Severity.ERROR, rule_id="VP109",
+                artifact=manifest_label, location=loc,
+                message=(
+                    f"torn_at={torn_at!r} does not sit at the last "
+                    f"whole-record boundary ({expected_cut})"
+                ),
+            )
+    top = arts.salvage.get("top_epoch") if isinstance(arts.salvage, dict) \
+        else None
+    if isinstance(top, int):
+        max_map = max(arts.epochs, default=-1)
+        max_tag = -1
+        for sf in arts.sample_files:
+            for s in sf.samples:
+                if s.epoch > max_tag:
+                    max_tag = s.epoch
+        evident = max(max_map, max_tag)
+        if evident > top:
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP109",
+                artifact=manifest_label,
+                location="top_epoch",
+                message=(
+                    f"surviving artifacts mention epoch {evident} but "
+                    f"top_epoch is {top}: losses above top_epoch are "
+                    "unaccounted"
                 ),
             )

@@ -11,10 +11,18 @@ Usage::
 
     python -m repro.statcheck.fixtures DEST      # write all six sessions
     python -m repro.statcheck.fixtures --selftest  # generate + verify
+    python -m repro.statcheck.fixtures --damaged DEST  # salvaged session
 
 The session shape mirrors a real (tiny) run: three epochs of partial
 code maps with a compile, two GC moves, address reuse, and a sample file
 whose heap samples all resolve via the paper's backward walk.
+
+The *damaged* fixture starts from the clean shape, applies two
+deterministic injuries (a sample file cut mid-record, one code map torn
+inside a hex field) and then runs ``salvage_session`` over the wreck, so
+the checked-in copy carries a real ``salvage.json`` and quarantine
+directory for the VP107–VP109 rules to validate.  It must lint with no
+findings above INFO: the damage is fully accounted for by the manifest.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ __all__ = [
     "EXPECTED_RULE",
     "write_fixture_session",
     "write_all_fixtures",
+    "write_damaged_fixture_session",
     "main",
 ]
 
@@ -187,6 +196,62 @@ def write_fixture_session(
     return dest
 
 
+#: How many bytes the damaged fixture chops off its sample file.  Must
+#: be a strict sub-record amount (the core record is 29 bytes) so the
+#: cut lands *inside* the final record and salvage must truncate.
+_DAMAGE_CHOP_BYTES = 10
+
+
+def write_damaged_fixture_session(dest: Path | str) -> Path:
+    """Write the clean session, injure it deterministically, salvage it.
+
+    Injuries (mirroring the fault-injection crash shapes):
+
+    * the sample file loses its last :data:`_DAMAGE_CHOP_BYTES` bytes —
+      a torn final record, as a crash between watermark spill and flush
+      would leave;
+    * the epoch-1 code map is cut three characters into its first record
+      line (``0x6``…), as a crash mid ``CodeMapWriter.write`` would
+      leave.
+
+    ``salvage_session`` then truncates the sample file at the last whole
+    record, quarantines the torn map, and writes ``salvage.json`` with
+    ``quarantined_epochs == (1,)``.  The result lints with nothing above
+    INFO severity.
+    """
+    from repro.viprof.salvage import salvage_session
+
+    dest = write_fixture_session(dest)
+
+    sample_path = dest / "samples" / f"{_EVENT}.samples"
+    data = sample_path.read_bytes()
+    sample_path.write_bytes(data[: -_DAMAGE_CHOP_BYTES])
+
+    map_path = dest / "jit-maps" / "jit-map.00001"
+    text = map_path.read_text(encoding="utf-8")
+    header, _, body = text.partition("\n")
+    map_path.write_text(header + "\n" + body[:3], encoding="utf-8")
+
+    salvage_session(dest)
+
+    # Make the checked-in copy machine-independent: the manifest's
+    # free-text reasons embed the absolute session path at salvage time.
+    manifest_path = dest / "salvage.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    for entry in manifest["maps"] + manifest["sample_files"]:
+        if isinstance(entry.get("reason"), str):
+            entry["reason"] = (
+                entry["reason"]
+                .replace(str(dest.resolve()), ".")
+                .replace(str(dest), ".")
+            )
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return dest
+
+
 def write_all_fixtures(dest: Path | str, batch: bool = False) -> dict[str, Path]:
     """Write ``clean/`` plus one directory per corruption under ``dest``."""
     dest = Path(dest)
@@ -225,6 +290,15 @@ def selftest() -> int:
                 )
             if report.exit_code(fail_on=Severity.WARNING) == 0:
                 failures.append(f"{c}: analyzer exit code was 0")
+        damaged = write_damaged_fixture_session(tmp / "damaged")
+        report = lint_session(damaged)
+        if report.exit_code(fail_on=Severity.WARNING) != 0:
+            failures.append(
+                "damaged session has unaccounted damage:\n"
+                f"{report.format_text()}"
+            )
+        if not (damaged / "salvage.json").is_file():
+            failures.append("damaged session has no salvage manifest")
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
     if failures:
@@ -252,11 +326,18 @@ def main(argv: list[str] | None = None) -> int:
         "--batch", action="store_true",
         help="emit sample files through the batched write path",
     )
+    parser.add_argument(
+        "--damaged", action="store_true",
+        help="write only the damaged-and-salvaged session into dest",
+    )
     args = parser.parse_args(argv)
     if args.selftest:
         return selftest()
     if args.dest is None:
         parser.error("dest is required unless --selftest")
+    if args.damaged:
+        print(f"{'damaged':<22} {write_damaged_fixture_session(args.dest)}")
+        return 0
     sessions = write_all_fixtures(args.dest, batch=args.batch)
     for name, path in sessions.items():
         print(f"{name:<22} {path}")

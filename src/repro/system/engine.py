@@ -116,6 +116,11 @@ class EngineConfig:
     viprof_full_maps: bool = False
     viprof_eager_move_log: bool = False
     viprof_anon_path: bool = False
+    #: sample-file write-buffer watermark passed to the VIProf session
+    #: (None = writer default).  Small values force frequent mid-run
+    #: spills — the crash-recovery tests rely on that to land faults
+    #: while sample data is on disk.
+    viprof_write_buffer_bytes: int | None = None
     #: optional factory for the VM's adaptive optimization system (used by
     #: the profile-guided-optimization extension, :mod:`repro.pgo`)
     adaptive_factory: object | None = None
@@ -352,6 +357,7 @@ class SystemEngine:
                     full_map_rewrite=cfg.viprof_full_maps,
                     eager_move_logging=cfg.viprof_eager_move_log,
                     jit_fast_path=not cfg.viprof_anon_path,
+                    write_buffer_bytes=cfg.viprof_write_buffer_bytes,
                 )
                 self.kmodule = self.viprof.kmodule
                 self.daemon = self.viprof.daemon

@@ -33,9 +33,16 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.errors import CodeMapError
+from repro.faults import injector as faults
 from repro.os.intervals import Interval, IntervalIndex
 
-__all__ = ["CodeMapRecord", "CodeMapWriter", "CodeMap", "CodeMapIndex"]
+__all__ = [
+    "CodeMapRecord",
+    "CodeMapWriter",
+    "CodeMap",
+    "CodeMapIndex",
+    "RESOLVE_BLOCKED",
+]
 
 #: Tier-field suffix marking a record logged because the previous GC moved it.
 MOVED_MARKER = "/M"
@@ -129,11 +136,43 @@ class CodeMapWriter:
         recs = sorted(records)
         lines = [f"# viprof code map epoch {epoch}"]
         lines.extend(r.to_line() for r in recs)
+        content = "\n".join(lines) + "\n"
+        if faults.armed():
+            faults.fire(
+                faults.CODEMAP_WRITE,
+                effect=lambda rng: self._torn_write(path, content, rng),
+            )
         with open(path, "w", encoding="utf-8") as fh:
-            fh.write("\n".join(lines) + "\n")
+            fh.write(content)
         self.maps_written += 1
         self.records_written += len(recs)
         return path
+
+    @staticmethod
+    def _torn_write(path: Path, content: str, rng) -> None:
+        """Fault effect (``codemap.write``): the crash lands mid-write, so
+        a prefix of the map text reaches the file.
+
+        The cut is constrained to land inside the *address field* of a
+        record line (or inside the header when the map has no records), so
+        the damage is always detectable as a malformed file.  A cut at a
+        line boundary would leave a well-formed shorter map — a loss the
+        text format fundamentally cannot detect (no record count, no
+        checksum; ``docs/robustness.md`` documents the limitation) — so
+        the harness does not pretend to test it.
+        """
+        lines = content.splitlines(keepends=True)
+        if len(lines) == 1:
+            # Header-only map: tear inside the header line.
+            cut = rng.randrange(1, max(2, len(lines[0]) - 1))
+        else:
+            victim = rng.randrange(1, len(lines))
+            prefix = sum(len(ln) for ln in lines[:victim])
+            # Cut inside the first hex field ("0x......"), which cannot
+            # parse as a full record line.
+            cut = prefix + rng.randrange(1, 9)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content[:cut])
 
 
 class CodeMap:
@@ -201,6 +240,22 @@ class CodeMap:
         return cls(epoch, records, source=path)
 
 
+class _Blocked:
+    """Singleton sentinel: the backward walk hit a quarantined epoch
+    before any map contained the address (see
+    :meth:`CodeMapIndex.resolve`)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RESOLVE_BLOCKED"
+
+
+#: Returned by :meth:`CodeMapIndex.resolve` when a quarantined epoch
+#: blocks the walk.  Distinct from None (no map ever held the address).
+RESOLVE_BLOCKED = _Blocked()
+
+
 class CodeMapIndex:
     """All of a session's maps plus the backward-resolution algorithm.
 
@@ -210,25 +265,51 @@ class CodeMapIndex:
     bounded LRU memo short-circuits repeat walks for hot PCs, which is
     most of a profile (``memo_hits`` counts the short-circuits;
     ``fallback_steps`` counts only real walk steps).
+
+    ``quarantined`` marks epochs whose maps existed but were damaged and
+    set aside by salvage (``viprof recover``).  A quarantined epoch is a
+    **barrier**: the walk cannot see what the lost map recorded, and the
+    copying collector recycles addresses across epochs, so continuing
+    past it could silently attribute a PC to an *older* occupant of the
+    address.  The walk therefore returns :data:`RESOLVE_BLOCKED` instead
+    — the degraded pipeline counts those samples as unresolved, keeping
+    every resolution it *does* make a subset of the undamaged run's
+    (property-tested in ``tests/viprof/test_epoch_walk_properties.py``).
+    An epoch absent from both ``maps`` and ``quarantined`` is skipped
+    exactly as before (pre-salvage behaviour is unchanged).
     """
 
     #: Bound on memoized (top, addr, backward) walk results.
     MEMO_CAPACITY = 1 << 13
 
-    def __init__(self, maps: dict[int, CodeMap]):
+    def __init__(
+        self,
+        maps: dict[int, CodeMap],
+        quarantined: Iterable[int] = (),
+    ):
         self._maps = maps
+        self.quarantined = frozenset(quarantined)
+        overlap = self.quarantined & set(maps)
+        if overlap:
+            raise CodeMapError(
+                f"epochs {sorted(overlap)} both loaded and quarantined"
+            )
         self.lookups = 0
         self.fallback_steps = 0  # how far backward searches walked, total
         self.memo_hits = 0
-        self._memo: "OrderedDict[tuple[int, int, bool], tuple[CodeMapRecord, int] | None]" = (
+        self._memo: "OrderedDict[tuple[int, int, bool], tuple[CodeMapRecord, int] | _Blocked | None]" = (
             OrderedDict()
         )
 
     @classmethod
-    def load_dir(cls, map_dir: Path | str) -> "CodeMapIndex":
+    def load_dir(
+        cls, map_dir: Path | str, quarantined: Iterable[int] = ()
+    ) -> "CodeMapIndex":
         map_dir = Path(map_dir)
         maps: dict[int, CodeMap] = {}
         for path in sorted(map_dir.iterdir()):
+            if not path.is_file():
+                continue
             m = _FILE_RE.match(path.name)
             if m is None:
                 continue
@@ -238,7 +319,7 @@ class CodeMapIndex:
                     f"{path}: filename epoch {m.group(1)} != header epoch {cm.epoch}"
                 )
             maps[cm.epoch] = cm
-        return cls(maps)
+        return cls(maps, quarantined=quarantined)
 
     @property
     def epochs(self) -> tuple[int, ...]:
@@ -249,7 +330,7 @@ class CodeMapIndex:
 
     def resolve(
         self, epoch: int, addr: int, backward: bool = True
-    ) -> tuple[CodeMapRecord, int] | None:
+    ) -> tuple[CodeMapRecord, int] | _Blocked | None:
         """Resolve ``addr`` for a sample taken during ``epoch``.
 
         Searches the sample's epoch first, then walks strictly backwards.
@@ -257,10 +338,17 @@ class CodeMapIndex:
         address (e.g. the method was compiled after the last map write and
         the final flush is missing).
 
+        With a non-empty ``quarantined`` set the walk stops at the first
+        quarantined epoch it meets and returns :data:`RESOLVE_BLOCKED`:
+        the damaged map could have held the address, so any hit below the
+        barrier might be a stale occupant.
+
         ``backward=False`` is the ablation: consult only the sample's own
         epoch map, which loses every sample whose method was compiled or
         moved in an earlier epoch.
         """
+        if self.quarantined:
+            return self._resolve_guarded(epoch, addr, backward)
         if not self._maps:
             return None
         self.lookups += 1
@@ -274,6 +362,45 @@ class CodeMapIndex:
         result: tuple[CodeMapRecord, int] | None = None
         bottom = top if not backward else min(self._maps)
         for e in range(top, bottom - 1, -1):
+            cm = self._maps.get(e)
+            if cm is None:
+                continue
+            rec = cm.lookup(addr)
+            if rec is not None:
+                result = (rec, e)
+                break
+            self.fallback_steps += 1
+        memo[key] = result
+        if len(memo) > self.MEMO_CAPACITY:
+            memo.popitem(last=False)
+        return result
+
+    def _resolve_guarded(
+        self, epoch: int, addr: int, backward: bool
+    ) -> tuple[CodeMapRecord, int] | _Blocked | None:
+        """The barrier walk used when some epochs are quarantined.
+
+        Identical to the plain walk except a quarantined epoch ends the
+        search with :data:`RESOLVE_BLOCKED`, and clamping/bottoming use
+        healthy *and* quarantined epochs (a lost newest map must not make
+        later samples silently consult older maps).
+        """
+        self.lookups += 1
+        known = self._maps.keys() | self.quarantined
+        known_top = max(known)
+        top = min(epoch, known_top) if epoch >= 0 else known_top
+        key = (top, addr, backward)
+        memo = self._memo
+        if key in memo:
+            self.memo_hits += 1
+            memo.move_to_end(key)
+            return memo[key]
+        result: tuple[CodeMapRecord, int] | _Blocked | None = None
+        bottom = top if not backward else min(known)
+        for e in range(top, bottom - 1, -1):
+            if e in self.quarantined:
+                result = RESOLVE_BLOCKED
+                break
             cm = self._maps.get(e)
             if cm is None:
                 continue

@@ -60,13 +60,18 @@ class ViprofReport(OpReport):
         registrations: tuple[VmRegistration, ...],
         backward_traversal: bool = True,
         resolve_cache: bool = True,
+        strict: bool = True,
     ) -> None:
         """``backward_traversal=False`` is the ablation: JIT samples only
         consult their own epoch's map (no walk through earlier maps);
-        ``resolve_cache=False`` disables the chain's PC memoization."""
+        ``resolve_cache=False`` disables the chain's PC memoization;
+        ``strict=False`` is degraded mode for salvaged sessions — epoch
+        walks blocked by quarantined maps are remapped to
+        ``(unresolved jit)`` and counted instead of raising."""
         self.codemaps = codemaps
         self.rvm_map = rvm_map
         self.backward_traversal = backward_traversal
+        self.strict = strict
         self.registrations = tuple(registrations)
         super().__init__(kernel, sample_dir, resolve_cache=resolve_cache)
 
@@ -80,6 +85,7 @@ class ViprofReport(OpReport):
                     self.codemaps,
                     self.registrations,
                     backward=self.backward_traversal,
+                    strict=self.strict,
                 ),
                 BootImageStage(self.kernel, self.rvm_map),
                 TaskVmaStage(self.kernel),

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.errors import ProfilerError
+from repro.faults import injector as faults
 from repro.hardware.cpu import CPU
 from repro.jvm.bootimage import RvmMap
 from repro.oprofile.daemon import DaemonCosts, DaemonWork
@@ -26,6 +27,7 @@ from repro.os.kernel import Kernel
 from repro.viprof.codemap import CodeMapIndex, CodeMapWriter
 from repro.viprof.postprocess import ViprofReport
 from repro.viprof.runtime_profiler import ViprofRuntimeProfiler
+from repro.viprof.salvage import SalvageManifest, load_manifest, salvage_session
 from repro.viprof.vm_agent import AgentCosts, ViprofVmAgent
 
 __all__ = ["ViprofSession"]
@@ -108,6 +110,13 @@ class ViprofSession:
         """Final daemon drain + kernel-module shutdown."""
         if not self._active:
             raise ProfilerError("session not started")
+        if faults.armed():
+            # Crash point at teardown, before the final drain: the
+            # undrained kernel buffer and writer-buffered records are lost.
+            faults.fire(
+                faults.SESSION_TEARDOWN,
+                effect=lambda rng: self.daemon._abandon_writers(),
+            )
         work = self.daemon.stop()
         self.kmodule.shutdown()
         self._active = False
@@ -131,4 +140,59 @@ class ViprofSession:
             registrations=self.daemon.registrations,
             backward_traversal=backward_traversal,
             resolve_cache=resolve_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def salvage(self, dry_run: bool = False) -> SalvageManifest:
+        """Repair this session's directory after a simulated crash.
+
+        Completes the process death first if the session is still marked
+        active (dropping writer-buffered records, releasing the sample
+        files, shutting the kernel module down), then delegates to
+        :func:`repro.viprof.salvage.salvage_session`.
+        """
+        if self._active:
+            self.daemon.crash()
+            self.kmodule.shutdown()
+            self._active = False
+        return salvage_session(
+            self.session_dir,
+            sample_dir_name=self.sample_dir.name,
+            map_dir_name=self.map_dir.name,
+            dry_run=dry_run,
+        )
+
+    def recovered_report(
+        self,
+        rvm_map: RvmMap,
+        manifest: SalvageManifest | None = None,
+        backward_traversal: bool = True,
+        resolve_cache: bool = True,
+    ) -> ViprofReport:
+        """Build the degraded (``strict=False``) post-processor over a
+        salvaged session: quarantined epochs act as barriers in the
+        backward walk, and blocked samples show up in the ``degraded``
+        stats instead of being misattributed."""
+        if manifest is None:
+            manifest = load_manifest(self.session_dir)
+        if manifest is None:
+            raise ProfilerError(
+                f"{self.session_dir}: no salvage manifest — run salvage() "
+                "first"
+            )
+        codemaps = CodeMapIndex.load_dir(
+            self.map_dir, quarantined=manifest.quarantined_epochs
+        )
+        return ViprofReport(
+            kernel=self.kernel,
+            sample_dir=self.sample_dir,
+            codemaps=codemaps,
+            rvm_map=rvm_map,
+            registrations=self.daemon.registrations,
+            backward_traversal=backward_traversal,
+            resolve_cache=resolve_cache,
+            strict=False,
         )

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from repro.faults import injector as faults
 from repro.jvm.compiler import CodeBody
 from repro.jvm.machine import VmHooks
 from repro.viprof.codemap import CodeMapRecord, CodeMapWriter
@@ -170,6 +171,14 @@ class ViprofVmAgent(VmHooks):
         way the flush hands the writer one batch — a single file write per
         closing epoch, never a write per record.
         """
+        if faults.armed():
+            # Crash point before the epoch's map is emitted: the whole map
+            # is lost (missing epoch), and the dying process takes the
+            # daemon's buffered sample records with it.
+            faults.fire(
+                faults.AGENT_MAP_EMIT,
+                effect=lambda rng: self._lose_process(),
+            )
         if self.full_map_rewrite:
             return self._write_full_map(epoch, base_cost)
         records: dict[tuple[int, str], CodeMapRecord] = {
@@ -195,6 +204,12 @@ class ViprofVmAgent(VmHooks):
         self._pending.clear()
         self._flagged.clear()
         return cost
+
+    def _lose_process(self) -> None:
+        """Fault effect (``agent.map-emit``): the simulated process dies, so
+        every sample writer's buffered records die with it."""
+        if self.runtime_profiler is not None:
+            self.runtime_profiler._abandon_writers()
 
     def _write_full_map(self, epoch: int, base_cost: int) -> int:
         """Ablation path: dump every live body.  Costs scale with the whole

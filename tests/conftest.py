@@ -2,7 +2,20 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+# Property-test profiles.  CI's fault-matrix job runs the fuzz and
+# crash-recovery suites under "fault-matrix": derandomized (fixed seed,
+# so a red run is reproducible locally with the same profile) and with a
+# deeper example budget than the default interactive profile.
+settings.register_profile("ci", max_examples=60, deadline=None)
+settings.register_profile(
+    "fault-matrix", max_examples=200, deadline=None, derandomize=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 from repro.hardware.memory import WorkingSet
 from repro.jvm.bootimage import build_boot_image

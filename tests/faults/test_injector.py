@@ -1,0 +1,119 @@
+"""Unit tests for the fault-injection core: arming, counting, firing."""
+
+import random
+
+import pytest
+
+from repro.errors import InjectedFault, ProfilerError
+from repro.faults import (
+    ALL_FAULT_POINT_NAMES,
+    FAULT_POINTS,
+    WRITER_SPILL,
+    CODEMAP_WRITE,
+    FaultPlan,
+    arm,
+    armed,
+    current,
+    fire,
+    point_named,
+)
+
+
+class TestRegistry:
+    def test_every_point_has_site_and_description(self):
+        for p in FAULT_POINTS:
+            assert p.name and p.site and p.description
+
+    def test_names_are_unique(self):
+        assert len(set(ALL_FAULT_POINT_NAMES)) == len(FAULT_POINTS)
+
+    def test_point_named_round_trips(self):
+        for name in ALL_FAULT_POINT_NAMES:
+            assert point_named(name).name == name
+
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ProfilerError, match="unknown fault point"):
+            point_named("made.up")
+
+    def test_plan_validates_point_and_hit(self):
+        with pytest.raises(ProfilerError, match="unknown fault point"):
+            FaultPlan("made.up")
+        with pytest.raises(ProfilerError, match="hit must be >= 1"):
+            FaultPlan(WRITER_SPILL, hit=0)
+
+
+class TestDisarmed:
+    def test_disarmed_is_the_default(self):
+        assert not armed()
+        assert current() is None
+
+    def test_fire_is_a_noop_when_disarmed(self):
+        fire(WRITER_SPILL)  # must not raise or count anything
+        assert current() is None
+
+
+class TestObserveMode:
+    def test_counts_without_firing(self):
+        with arm() as inj:
+            for _ in range(3):
+                fire(WRITER_SPILL)
+            fire(CODEMAP_WRITE)
+            assert inj.hits == {WRITER_SPILL: 3, CODEMAP_WRITE: 1}
+            assert inj.fired is None
+        assert not armed()
+
+    def test_effects_never_run_in_observe_mode(self):
+        ran = []
+        with arm():
+            fire(WRITER_SPILL, effect=lambda rng: ran.append(rng))
+        assert ran == []
+
+
+class TestFiring:
+    def test_fires_at_exactly_the_target_hit(self):
+        with arm(FaultPlan(WRITER_SPILL, hit=3)) as inj:
+            fire(WRITER_SPILL)
+            fire(WRITER_SPILL)
+            with pytest.raises(InjectedFault) as exc:
+                fire(WRITER_SPILL)
+            assert exc.value.point == WRITER_SPILL
+            assert exc.value.hit == 3
+            assert inj.fired is exc.value
+
+    def test_other_points_do_not_trip_the_plan(self):
+        with arm(FaultPlan(WRITER_SPILL, hit=1)) as inj:
+            for _ in range(5):
+                fire(CODEMAP_WRITE)
+            assert inj.fired is None
+
+    def test_effect_runs_once_with_seeded_rng(self):
+        draws = []
+        with arm(FaultPlan(WRITER_SPILL, hit=1, seed=99)):
+            with pytest.raises(InjectedFault):
+                fire(WRITER_SPILL, effect=lambda rng: draws.append(
+                    rng.randrange(1 << 30)
+                ))
+        assert draws == [random.Random(99).randrange(1 << 30)]
+
+    def test_fires_at_most_once(self):
+        # A site may be reached again while the harness unwinds; the
+        # injector must not raise a second time.
+        with arm(FaultPlan(WRITER_SPILL, hit=1)) as inj:
+            with pytest.raises(InjectedFault):
+                fire(WRITER_SPILL)
+            fire(WRITER_SPILL)
+            assert inj.hits[WRITER_SPILL] == 2
+            assert inj.fired is not None
+
+    def test_nested_arming_rejected(self):
+        with arm():
+            with pytest.raises(ProfilerError, match="already armed"):
+                with arm():
+                    pass  # pragma: no cover
+        assert not armed()
+
+    def test_disarmed_after_exception(self):
+        with pytest.raises(InjectedFault):
+            with arm(FaultPlan(WRITER_SPILL)):
+                fire(WRITER_SPILL)
+        assert not armed()

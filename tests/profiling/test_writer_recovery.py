@@ -1,0 +1,140 @@
+"""Regression: a failed OS write mid-spill must not leave a torn record.
+
+``RecordFileWriter`` with ``buffer_bytes > 0`` used to be able to leave a
+partial record on disk when an exception escaped between a watermark
+spill and ``flush()`` — the OS write could land a prefix of the pending
+buffer cut inside a record, and nothing repaired it.  Spills are now
+record-aligned and crash-safe: the writer holds a raw handle and, when an
+OS write fails partway, truncates the file back to the last whole-record
+boundary before re-raising.
+"""
+
+import pytest
+
+from repro.profiling.model import RawSample
+from repro.profiling.record_codec import (
+    CORE_CODEC,
+    RecordFileWriter,
+    open_sample_record_file,
+    probe_sample_file,
+)
+
+_EVENT = "GLOBAL_POWER_EVENTS"
+
+
+def _sample(i: int) -> RawSample:
+    return RawSample(
+        pc=0x6080_0000 + i * 8, event_name=_EVENT, task_id=42,
+        kernel_mode=False, cycle=1_000 + i, epoch=i % 3,
+    )
+
+
+class _FlakyFile:
+    """Wraps the writer's raw handle: the next write lands ``partial``
+    bytes and then dies with OSError, like a disk-full or a kill during
+    a large write."""
+
+    def __init__(self, fh, partial: int) -> None:
+        self._fh = fh
+        self._partial = partial
+        self._tripped = False
+
+    def write(self, data) -> int:
+        if self._tripped:
+            return self._fh.write(data)
+        self._tripped = True
+        self._fh.write(bytes(data)[: self._partial])
+        raise OSError(28, "No space left on device")
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+
+def _arm_flaky(writer: RecordFileWriter, partial: int) -> None:
+    writer._fh = _FlakyFile(writer._fh, partial)
+
+
+class TestFailedSpill:
+    @pytest.mark.parametrize("partial", [1, 13, 29, 30, 57, 100])
+    def test_failed_spill_is_record_aligned(self, tmp_path, partial):
+        path = tmp_path / "t.samples"
+        writer = RecordFileWriter(
+            path, CORE_CODEC, _EVENT, 1000, buffer_bytes=1 << 20
+        )
+        for i in range(10):
+            writer.write(_sample(i))
+        _arm_flaky(writer, partial)
+        with pytest.raises(OSError):
+            writer.flush()
+
+        probe = probe_sample_file(path)
+        assert not probe.torn, (
+            f"partial write of {partial} bytes left "
+            f"{probe.trailing_bytes} trailing bytes on disk"
+        )
+        # The surviving prefix parses cleanly and is the stream's head.
+        with open_sample_record_file(path) as reader:
+            records = [r.sample for r in reader]
+        assert records == [_sample(i) for i in range(len(records))]
+        assert len(records) == partial // CORE_CODEC.record_size
+
+    def test_watermark_spill_failure_mid_run(self, tmp_path):
+        # The original bug shape: the exception escapes from a watermark
+        # spill inside write(), not from an explicit flush.
+        path = tmp_path / "t.samples"
+        writer = RecordFileWriter(
+            path, CORE_CODEC, _EVENT, 1000,
+            buffer_bytes=4 * CORE_CODEC.record_size,
+        )
+        for i in range(3):
+            writer.write(_sample(i))
+        _arm_flaky(writer, partial=CORE_CODEC.record_size + 7)
+        with pytest.raises(OSError):
+            writer.write(_sample(3))  # crosses the watermark
+
+        probe = probe_sample_file(path)
+        assert not probe.torn
+        assert probe.n_records == 1
+
+    def test_close_after_failure_keeps_file_clean(self, tmp_path):
+        path = tmp_path / "t.samples"
+        writer = RecordFileWriter(
+            path, CORE_CODEC, _EVENT, 1000, buffer_bytes=1 << 20
+        )
+        for i in range(5):
+            writer.write(_sample(i))
+        _arm_flaky(writer, partial=10)
+        with pytest.raises(OSError):
+            writer.flush()
+        writer.close()
+        assert not probe_sample_file(path).torn
+
+    def test_unbuffered_writer_also_protected(self, tmp_path):
+        # buffer_bytes=0 spills after every append; a failure there must
+        # be just as aligned.
+        path = tmp_path / "t.samples"
+        writer = RecordFileWriter(
+            path, CORE_CODEC, _EVENT, 1000, buffer_bytes=0
+        )
+        writer.write(_sample(0))
+        _arm_flaky(writer, partial=11)
+        with pytest.raises(OSError):
+            writer.write(_sample(1))
+        probe = probe_sample_file(path)
+        assert not probe.torn
+        assert probe.n_records == 1
+
+
+class TestAbandon:
+    def test_abandoned_writer_drops_buffered_records(self, tmp_path):
+        path = tmp_path / "t.samples"
+        writer = RecordFileWriter(
+            path, CORE_CODEC, _EVENT, 1000, buffer_bytes=1 << 20
+        )
+        for i in range(4):
+            writer.write(_sample(i))
+        writer.abandon()
+        writer.close()  # must not resurrect the buffered records
+        probe = probe_sample_file(path)
+        assert probe.n_records == 0
+        assert not probe.torn

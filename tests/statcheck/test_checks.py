@@ -294,3 +294,186 @@ class TestOverlapViaWriter:
         ])
         report = lint_session(sess, rule_ids=["VP101"])
         assert report.by_rule("VP101")
+
+
+class TestSalvageRules:
+    """VP107-VP109: the salvage manifest must be honest about its losses."""
+
+    @pytest.fixture
+    def salvaged(self, tmp_path):
+        from repro.statcheck.fixtures import write_damaged_fixture_session
+
+        return write_damaged_fixture_session(tmp_path / "damaged")
+
+    @staticmethod
+    def _edit_manifest(sess, mutate):
+        path = sess / "salvage.json"
+        manifest = json.loads(path.read_text())
+        mutate(manifest)
+        path.write_text(json.dumps(manifest))
+
+    def test_honest_salvage_has_no_errors(self, salvaged):
+        report = lint_session(salvaged)
+        assert report.exit_code(fail_on=Severity.WARNING) == 0, (
+            report.format_text()
+        )
+        # The damage itself is still *visible*, at INFO.
+        assert report.by_rule("VP102") and report.by_rule("VP103")
+        assert all(f.severity is Severity.INFO for f in report)
+
+    def test_checked_in_damaged_fixture_is_accounted(self):
+        sess = (
+            Path(__file__).resolve().parents[1]
+            / "fixtures" / "lint-session-damaged"
+        )
+        report = lint_session(sess)
+        assert report.exit_code(fail_on=Severity.WARNING) == 0, (
+            report.format_text()
+        )
+        assert (sess / "salvage.json").is_file()
+        assert (sess / "jit-maps" / "quarantine").is_dir()
+
+    def test_quarantine_without_manifest_is_vp107(self, salvaged):
+        (salvaged / "salvage.json").unlink()
+        report = lint_session(salvaged, rule_ids=["VP107"])
+        assert any(
+            "without a salvage manifest" in f.message
+            for f in report.by_rule("VP107")
+        )
+
+    def test_manifest_naming_missing_file_is_vp107(self, salvaged):
+        self._edit_manifest(
+            salvaged,
+            lambda m: m["sample_files"].append(
+                {"path": "samples/GHOST.samples", "action": "intact"}
+            ),
+        )
+        report = lint_session(salvaged, rule_ids=["VP107"])
+        assert any(
+            "no such file" in f.message for f in report.by_rule("VP107")
+        )
+
+    def test_unaccounted_artifact_is_vp107(self, salvaged):
+        with SampleFileWriter(
+            salvaged / "samples" / "EXTRA.samples", "EXTRA", 1000
+        ) as w:
+            w.write(RawSample(
+                pc=0xC000_1000, event_name="EXTRA", task_id=42,
+                kernel_mode=True, cycle=1_000, epoch=0,
+            ))
+        report = lint_session(salvaged, rule_ids=["VP107"])
+        assert any(
+            "not accounted for" in f.message for f in report.by_rule("VP107")
+        )
+
+    def test_survivor_record_count_mismatch_is_vp107(self, salvaged):
+        self._edit_manifest(
+            salvaged,
+            lambda m: m["sample_files"][0].__setitem__("records_kept", 99),
+        )
+        report = lint_session(salvaged, rule_ids=["VP107"])
+        assert any(
+            "99 records kept" in f.message for f in report.by_rule("VP107")
+        )
+
+    def test_survivor_still_torn_is_vp107(self, salvaged):
+        path = salvaged / "samples" / "GLOBAL_POWER_EVENTS.samples"
+        path.write_bytes(path.read_bytes() + b"\x01\x02\x03")
+        report = lint_session(salvaged, rule_ids=["VP107"])
+        assert any(
+            "torn record" in f.message for f in report.by_rule("VP107")
+        )
+
+    def test_unknown_version_is_vp107(self, salvaged):
+        self._edit_manifest(
+            salvaged, lambda m: m.__setitem__("version", 99)
+        )
+        report = lint_session(salvaged, rule_ids=["VP107"])
+        assert any(
+            "version 99" in f.message for f in report.by_rule("VP107")
+        )
+
+    def test_malformed_manifest_structure_is_vp107(self, salvaged):
+        self._edit_manifest(
+            salvaged, lambda m: m.__setitem__("sample_files", "nope")
+        )
+        report = lint_session(salvaged, rule_ids=["VP107"])
+        assert any(
+            "malformed salvage manifest" in f.message
+            for f in report.by_rule("VP107")
+        )
+
+    def test_quarantined_epochs_mismatch_is_vp108(self, salvaged):
+        self._edit_manifest(
+            salvaged, lambda m: m.__setitem__("quarantined_epochs", [])
+        )
+        report = lint_session(salvaged, rule_ids=["VP108"])
+        assert any(
+            "quarantined_epochs" in f.message
+            for f in report.by_rule("VP108")
+        )
+
+    def test_healthy_map_shadowing_quarantine_is_vp108(self, salvaged):
+        # A healthy epoch-1 map reappears while the manifest still says
+        # epoch 1 is quarantined: resolution would trust a suspect epoch.
+        CodeMapWriter(salvaged / "jit-maps").write(1, [
+            CodeMapRecord(
+                address=0x6081_0000, size=0x100, tier="base", name="X.y"
+            ),
+        ])
+        report = lint_session(salvaged, rule_ids=["VP108"])
+        assert any(
+            "not isolated" in f.message for f in report.by_rule("VP108")
+        )
+
+    def test_wrong_torn_at_is_vp109(self, salvaged):
+        self._edit_manifest(
+            salvaged,
+            lambda m: m["sample_files"][0].__setitem__(
+                "torn_at", m["sample_files"][0]["torn_at"] + 1
+            ),
+        )
+        report = lint_session(salvaged, rule_ids=["VP109"])
+        assert any(
+            "torn_at" in f.message for f in report.by_rule("VP109")
+        )
+
+    def test_whole_record_drop_claim_is_vp109(self, salvaged):
+        # A truncation by construction drops 1..record_size-1 bytes;
+        # claiming 0 (or a whole record) means the math does not add up.
+        self._edit_manifest(
+            salvaged,
+            lambda m: m["sample_files"][0].__setitem__("bytes_dropped", 0),
+        )
+        report = lint_session(salvaged, rule_ids=["VP109"])
+        assert any(
+            "bytes_dropped" in f.message for f in report.by_rule("VP109")
+        )
+
+    def test_intact_with_losses_is_vp109(self, salvaged):
+        def mutate(m):
+            m["sample_files"][0]["action"] = "intact"
+            m["sample_files"][0]["bytes_dropped"] = 7
+
+        self._edit_manifest(salvaged, mutate)
+        report = lint_session(salvaged, rule_ids=["VP109"])
+        assert any(
+            "intact file claims" in f.message
+            for f in report.by_rule("VP109")
+        )
+
+    def test_top_epoch_underclaim_is_vp109(self, salvaged):
+        self._edit_manifest(
+            salvaged, lambda m: m.__setitem__("top_epoch", 0)
+        )
+        report = lint_session(salvaged, rule_ids=["VP109"])
+        assert any(
+            "top_epoch" in f.location for f in report.by_rule("VP109")
+        )
+
+    def test_unsalvaged_session_skips_salvage_rules(self, tmp_path):
+        sess = write_fixture_session(tmp_path / "clean")
+        report = lint_session(
+            sess, rule_ids=["VP107", "VP108", "VP109"]
+        )
+        assert len(report) == 0

@@ -67,3 +67,61 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "phase transitions" in out and "window" in out
+
+
+class TestRecoverCli:
+    @pytest.fixture
+    def damaged_session(self, tmp_path):
+        """A fixture session with a mid-record tear in its sample file."""
+        from repro.statcheck.fixtures import write_fixture_session
+
+        sess = write_fixture_session(tmp_path / "sess")
+        victim = sess / "samples" / "GLOBAL_POWER_EVENTS.samples"
+        victim.write_bytes(victim.read_bytes()[:-10])
+        return sess
+
+    def test_recover_salvages(self, damaged_session, capsys):
+        assert main(["recover", str(damaged_session)]) == 0
+        out = capsys.readouterr().out
+        assert "salvaged" in out and "truncated" in out
+        assert (damaged_session / "salvage.json").is_file()
+
+    def test_recover_dry_run_is_read_only(self, damaged_session, capsys):
+        before = {
+            p: p.read_bytes()
+            for p in damaged_session.rglob("*") if p.is_file()
+        }
+        assert main(["recover", "--dry-run", str(damaged_session)]) == 0
+        out = capsys.readouterr().out
+        assert "would salvage" in out
+        assert not (damaged_session / "salvage.json").exists()
+        after = {
+            p: p.read_bytes()
+            for p in damaged_session.rglob("*") if p.is_file()
+        }
+        assert before == after
+
+    def test_recover_json_output(self, damaged_session, capsys):
+        import json as json_mod
+
+        assert main(["recover", "--json", str(damaged_session)]) == 0
+        manifest = json_mod.loads(capsys.readouterr().out)
+        assert manifest["version"] == 1
+        assert manifest["sample_files"][0]["action"] == "truncated"
+
+    def test_recover_refuses_second_run(self, damaged_session, capsys):
+        assert main(["recover", str(damaged_session)]) == 0
+        capsys.readouterr()
+        assert main(["recover", str(damaged_session)]) == 2
+        assert "viprof recover:" in capsys.readouterr().err
+
+    def test_recover_intact_session(self, tmp_path, capsys):
+        from repro.statcheck.fixtures import write_fixture_session
+
+        sess = write_fixture_session(tmp_path / "sess")
+        assert main(["recover", str(sess)]) == 0
+        assert "session was intact" in capsys.readouterr().out
+
+    def test_recover_not_a_session(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "nothing")]) == 2
+        assert "viprof recover:" in capsys.readouterr().err

@@ -145,3 +145,108 @@ def test_ablation_own_epoch_only_loses_samples(tmp_path, seed):
                 own += 1
     assert own <= full
     assert full == sum(len(s) for s in world.snapshots)
+
+
+# ----------------------------------------------------------------------
+# Quarantine barriers (crash recovery): resolving over a salvaged map
+# subset must never *invent* an attribution the full walk would not make.
+# ----------------------------------------------------------------------
+
+import re
+import shutil
+
+from repro.viprof.codemap import RESOLVE_BLOCKED
+
+_MAP_NAME_RE = re.compile(r"^jit-map\.(\d{5})$")
+
+
+def _guarded_index(map_dir, dest, quarantine):
+    """The salvaged view: quarantined epochs' maps removed from disk,
+    their epochs fenced off as barriers."""
+    dest.mkdir()
+    for p in sorted(map_dir.iterdir()):
+        m = _MAP_NAME_RE.match(p.name)
+        if m and int(m.group(1)) not in quarantine:
+            shutil.copy(p, dest / p.name)
+    return CodeMapIndex.load_dir(dest, quarantined=quarantine)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_quarantined_walk_agrees_with_full_walk_or_blocks(tmp_path, seed):
+    """For every ground-truth sample: the guarded walk either returns
+    exactly the full walk's answer, or RESOLVE_BLOCKED — never a
+    different (in particular never an *older* occupant of a recycled
+    address, which is how a missing map could lie)."""
+    world = EpochWorld(seed)
+    full = world.run(tmp_path / "maps")
+    rng = random.Random(seed ^ 0xA5A5)
+    quarantine = frozenset(
+        e for e in range(world.epochs) if rng.random() < 0.3
+    )
+    guarded = _guarded_index(tmp_path / "maps", tmp_path / "q", quarantine)
+
+    agreed = blocked = 0
+    for epoch, snapshot in enumerate(world.snapshots):
+        for name, addr in snapshot.items():
+            pc = addr + rng.randrange(BODY_SIZE)
+            want = full.resolve(epoch, pc)
+            assert want is not None  # truth coverage (tested above)
+            got = guarded.resolve(epoch, pc)
+            if got is RESOLVE_BLOCKED:
+                blocked += 1
+                # A barrier is only justified by a quarantined epoch
+                # between the full walk's hit and the sample's epoch.
+                _, found_epoch = want
+                assert any(
+                    found_epoch <= q <= epoch for q in quarantine
+                ), (
+                    f"epoch {epoch}: pc {pc:#x} blocked with no "
+                    f"quarantined epoch in [{found_epoch}, {epoch}]"
+                )
+                continue
+            agreed += 1
+            assert got is not None
+            assert got[0].name == want[0].name == name
+            assert got[1] == want[1] <= epoch
+    if not quarantine:
+        assert blocked == 0
+    assert agreed > 0
+
+
+@pytest.mark.parametrize("seed", [0, 2, 6])
+def test_sample_in_quarantined_epoch_always_blocks(tmp_path, seed):
+    """A sample tagged with a quarantined epoch hits the barrier
+    immediately: its own epoch's compilations are unknowable, so *any*
+    answer could be a newer method the lost map would have named."""
+    world = EpochWorld(seed)
+    world.run(tmp_path / "maps")
+    victim = world.epochs // 2
+    guarded = _guarded_index(
+        tmp_path / "maps", tmp_path / "q", frozenset({victim})
+    )
+    snapshot = world.snapshots[victim]
+    for name, addr in snapshot.items():
+        assert guarded.resolve(victim, addr) is RESOLVE_BLOCKED
+
+
+@pytest.mark.parametrize("seed", [1, 5])
+def test_quarantine_never_widens_resolution(tmp_path, seed):
+    """Counting check across random subsets: guarded hits are a subset
+    of full hits — fencing epochs off can only lose attributions, never
+    create ones the full walk would not have made."""
+    world = EpochWorld(seed)
+    full = world.run(tmp_path / "maps")
+    rng = random.Random(seed * 31 + 7)
+    for trial in range(4):
+        quarantine = frozenset(
+            e for e in range(world.epochs) if rng.random() < 0.4
+        )
+        guarded = _guarded_index(
+            tmp_path / "maps", tmp_path / f"q{trial}", quarantine
+        )
+        for epoch, snapshot in enumerate(world.snapshots):
+            for _, addr in snapshot.items():
+                got = guarded.resolve(epoch, addr)
+                if got is RESOLVE_BLOCKED or got is None:
+                    continue
+                assert got == full.resolve(epoch, addr)
