@@ -11,7 +11,10 @@ Subcommands::
     viprof diff ps --period 45000 90000  # profile diff across two configs
     viprof pgo ps                        # profile-guided optimization demo
     viprof xen fop ps                    # multi-stack XenoProf demo
-    viprof lint SESSION_DIR              # static artifact integrity check
+    viprof lint SESSION...               # static artifact integrity check
+                                         #   (dirs/globs, --workers N,
+                                         #    --cache F, --baseline F,
+                                         #    --fail-on SEV, --format sarif)
     viprof recover SESSION_DIR           # salvage a crash-damaged session
 """
 

@@ -81,6 +81,8 @@ __all__ = [
     "probe_sample_file",
     "SampleFileProbe",
     "DEFAULT_WRITE_BUFFER_BYTES",
+    "CORE_RECORD_SIZE",
+    "DOMAIN_RECORD_SIZE",
 ]
 
 _HEADER_FIXED = struct.Struct("<4sHH")
@@ -90,6 +92,14 @@ _HEADER_PERIOD = struct.Struct("<Q")
 _CORE_RECORD_FORMAT = "<QIBQq"
 #: The optional trailing domain-id column.
 _DOMAIN_COLUMN = "H"
+#: Full layout of a domain-tagged record (``XPRS``).
+_DOMAIN_RECORD_FORMAT = _CORE_RECORD_FORMAT + _DOMAIN_COLUMN
+
+#: Declared record sizes, cross-checked against the formats above by the
+#: SL207 codec-consistency lint.  Deliberately prime (PR 5): any slicing
+#: stride that silently agrees with a power-of-two assumption breaks.
+CORE_RECORD_SIZE = 29
+DOMAIN_RECORD_SIZE = 31
 
 #: Records decoded per read when streaming a file body.
 _CHUNK_RECORDS = 4096
@@ -124,7 +134,7 @@ class RecordCodec:
     def __post_init__(self) -> None:
         if len(self.magic) != 4:
             raise SampleFormatError(f"codec magic must be 4 bytes: {self.magic!r}")
-        fmt = _CORE_RECORD_FORMAT + (_DOMAIN_COLUMN if self.has_domain else "")
+        fmt = _DOMAIN_RECORD_FORMAT if self.has_domain else _CORE_RECORD_FORMAT
         object.__setattr__(self, "_record", struct.Struct(fmt))
 
     @property
@@ -473,7 +483,10 @@ class RecordFileReader:
                     f"{_HEADER_FIXED.size}: {e}"
                 ) from None
             (self.period,) = _HEADER_PERIOD.unpack_from(rest, name_len)
-        except Exception:
+        except (OSError, SampleFormatError):
+            # Header parsing can only fail with a read error or one of
+            # the format errors raised above; anything else would mask a
+            # real bug behind a closed handle.
             fh.close()
             raise
         self._data_start = _HEADER_FIXED.size + name_len + _HEADER_PERIOD.size

@@ -1,0 +1,150 @@
+"""Lint baselines: record today's findings, suppress exactly them later.
+
+A fleet rolling ``viprof lint`` out over thousands of existing sessions
+cannot fix every historical finding on day one.  The baseline workflow
+makes the rollout monotone instead: ``--write-baseline FILE`` records
+the current findings as *known*, and later runs with ``--baseline FILE``
+suppress exactly those — anything new still fails the build.
+
+Findings are identified by a fingerprint over (rule id, artifact,
+location, message) with the session directory prefix normalized to
+``<session>``, so a baseline recorded against one checkout/mount point
+still matches when the same sessions are linted from another path.
+Severity is deliberately excluded: re-classifying a rule must not
+un-suppress its recorded findings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import StatCheckError
+from repro.statcheck.findings import Finding, FindingReport
+
+__all__ = [
+    "BASELINE_VERSION",
+    "normalize_artifact",
+    "finding_fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+_PLACEHOLDER = "<session>"
+
+
+def _prefixes(session_dirs: Sequence[Path | str]) -> list[str]:
+    out: set[str] = set()
+    for d in session_dirs:
+        p = Path(d)
+        out.add(p.as_posix())
+        try:
+            out.add(p.resolve().as_posix())
+        except OSError:
+            pass
+    # Longest first, so nested session dirs match their own prefix.
+    return sorted(out, key=len, reverse=True)
+
+
+def normalize_artifact(
+    artifact: str, session_dirs: Sequence[Path | str] = ()
+) -> str:
+    """Replace a finding artifact's session-dir prefix with a stable
+    placeholder, so fingerprints survive the sessions moving on disk."""
+    art = artifact.replace("\\", "/")
+    for prefix in _prefixes(session_dirs):
+        if art == prefix:
+            return _PLACEHOLDER
+        if art.startswith(prefix + "/"):
+            return _PLACEHOLDER + art[len(prefix):]
+    return art
+
+
+def finding_fingerprint(
+    finding: Finding, session_dirs: Sequence[Path | str] = ()
+) -> str:
+    """A stable content id for one finding (severity excluded)."""
+    art = normalize_artifact(finding.artifact, session_dirs)
+    payload = "|".join(
+        (finding.rule_id, art, finding.location, finding.message)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def write_baseline(
+    path: Path | str,
+    report: FindingReport,
+    session_dirs: Sequence[Path | str] = (),
+) -> int:
+    """Record the report's findings as the new baseline; returns how
+    many were recorded.  The file keeps the normalized finding next to
+    each fingerprint so humans can review what was waived."""
+    entries = []
+    seen: set[str] = set()
+    for f in report.sorted():
+        fp = finding_fingerprint(f, session_dirs)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append(
+            {
+                "fingerprint": fp,
+                "rule_id": f.rule_id,
+                "artifact": normalize_artifact(f.artifact, session_dirs),
+                "location": f.location,
+                "message": f.message,
+            }
+        )
+    doc = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path | str) -> set[str]:
+    """Load a baseline file's fingerprints; typed errors on junk."""
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as e:
+        raise StatCheckError(f"{p}: cannot read baseline: {e}") from None
+    except json.JSONDecodeError as e:
+        raise StatCheckError(f"{p}: baseline is not JSON: {e}") from None
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise StatCheckError(
+            f"{p}: not a version-{BASELINE_VERSION} baseline file"
+        )
+    entries = doc.get("findings")
+    if not isinstance(entries, list):
+        raise StatCheckError(f"{p}: baseline 'findings' must be a list")
+    fingerprints: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("fingerprint"), str
+        ):
+            raise StatCheckError(
+                f"{p}: baseline entries need a string 'fingerprint'"
+            )
+        fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def apply_baseline(
+    report: FindingReport,
+    fingerprints: Iterable[str],
+    session_dirs: Sequence[Path | str] = (),
+) -> tuple[FindingReport, int]:
+    """Drop exactly the baselined findings; returns (kept, suppressed)."""
+    known = set(fingerprints)
+    kept = FindingReport()
+    suppressed = 0
+    for f in report:
+        if finding_fingerprint(f, session_dirs) in known:
+            suppressed += 1
+        else:
+            kept.findings.append(f)
+    return kept, suppressed

@@ -58,6 +58,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterator
 
+from repro.errors import SampleFormatError
 from repro.os.intervals import Interval, IntervalIndex
 from repro.profiling.record_codec import probe_sample_file
 from repro.statcheck.artifacts import (
@@ -498,7 +499,7 @@ def check_salvage_manifest(arts: SessionArtifacts) -> Iterator[Finding]:
             continue
         try:
             probe = probe_sample_file(path)
-        except Exception as exc:  # SampleFormatError: header damage
+        except SampleFormatError as exc:  # header damage / torn header
             yield Finding(
                 severity=Severity.ERROR, rule_id="VP107",
                 artifact=str(path), location="-",
@@ -633,7 +634,7 @@ def check_loss_accounting(arts: SessionArtifacts) -> Iterator[Finding]:
             continue  # VP107 reports the missing file
         try:
             probe = probe_sample_file(path)
-        except Exception:
+        except SampleFormatError:
             continue  # VP107 reports the unparseable file
         rsize = probe.record_size
         if not isinstance(dropped, int) or not 1 <= dropped < rsize:

@@ -1,0 +1,409 @@
+"""Per-function control-flow graphs and forward dataflow analysis.
+
+This is the engine behind the dataflow self-lint rules (SL205/SL206 in
+:mod:`repro.statcheck.selflint`): a function body is lowered to basic
+blocks connected by explicit control-flow edges, and a generic worklist
+solver propagates *facts* (e.g. "file handle ``fh`` opened at line 40 is
+still open") forward until a fixed point.  A rule supplies only its
+transfer function; path enumeration, loops, exception routing and
+``finally`` threading live here once.
+
+Design choices, chosen so the rules stay precise on this repository's
+real code without modelling full CPython semantics:
+
+* **Exception edges are statement-granular and carry pre-state.**
+  Inside a ``try`` body every statement gets its own block with a
+  *pre-edge* to each handler entry: a pre-edge propagates the state
+  *before* the statement, because an exception raised mid-statement
+  means the statement's own binding never happened (``fh = open(...)``
+  raising must not make ``fh`` look open inside the handler).
+* **Only explicit ``raise`` statements leave a function exceptionally.**
+  Implicit raise potential (any call can raise) is modelled *only* as
+  the handler pre-edges above; we do not add an exit edge from every
+  statement, which would drown must-hold analyses in infeasible paths.
+* **Abrupt exits thread the innermost ``finally``.**  ``return`` /
+  ``raise`` / ``break`` / ``continue`` inside ``try .. finally`` are
+  routed through the ``finally`` entry block, and the ``finally`` exit
+  then fans out to every continuation that was routed through it.  The
+  approximation (all abrupt paths share one ``finally`` body) is the
+  standard conservative one.
+* The solver is a **may-analysis** (union meet): a fact holds at a
+  point if it holds on *some* path there.  "Open on some path reaching
+  the exit" is exactly the resource-leak question.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterator
+
+__all__ = [
+    "Header",
+    "Block",
+    "CFG",
+    "build_cfg",
+    "run_forward",
+    "iter_functions",
+]
+
+#: Facts are opaque hashable values owned by the rule.
+Fact = Hashable
+
+
+@dataclass(frozen=True)
+class Header:
+    """The header of a compound statement, placed in the block that
+    evaluates it.
+
+    ``node`` is the compound statement (``If``/``While``/``For``/
+    ``With``...); ``exprs`` are exactly the expressions the header
+    evaluates (test, iterable, context managers, loop target), so a
+    transfer function can scan them for uses without ever seeing the
+    statement's body — the body lives in its own blocks.
+    """
+
+    node: ast.stmt
+    exprs: tuple[ast.AST, ...]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+#: A block element: a simple statement, or a compound-statement header.
+Element = "ast.stmt | Header"
+
+
+@dataclass
+class Block:
+    """One basic block: elements executed in order, then a branch."""
+
+    idx: int
+    elements: list = field(default_factory=list)
+    #: Normal edges: the state *after* this block flows to these blocks.
+    succs: set = field(default_factory=set)
+    #: Exception edges: the state *before* this block flows to these
+    #: blocks (see module docstring).  Only try-body blocks have them,
+    #: and try-body blocks hold at most one element.
+    pre_succs: set = field(default_factory=set)
+    #: For a ``finally`` entry block: the finally body's statements, so
+    #: a rule can apply cleanup-trust (e.g. "a ``close()`` anywhere in
+    #: this finally counts as closing") before the path-sensitive walk.
+    finally_body: list | None = None
+
+
+class CFG:
+    """A function's control-flow graph.  ``entry`` starts the body;
+    every path ends at the single empty ``exit`` block."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.entry: int = 0
+        self.exit: int = 0
+
+    def new_block(self) -> Block:
+        b = Block(idx=len(self.blocks))
+        self.blocks.append(b)
+        return b
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+
+@dataclass
+class _FinallyFrame:
+    """One enclosing ``try .. finally`` while building its body."""
+
+    entry: int
+    loop_depth: int
+    pending: set = field(default_factory=set)
+
+
+class _Builder:
+    """Lowers one function body to a :class:`CFG`."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.current: Block | None = self.cfg.new_block()
+        self.cfg.entry = self.current.idx
+        exit_block = self.cfg.new_block()
+        self.cfg.exit = exit_block.idx
+        #: Handler entry ids per enclosing try-with-handlers, innermost last.
+        self._handlers: list[list[int]] = []
+        #: Enclosing try-finally frames, innermost last.
+        self._finallies: list[_FinallyFrame] = []
+        #: (head_idx, after_idx) per enclosing loop, innermost last.
+        self._loops: list[tuple[int, int]] = []
+
+    # -- primitives ----------------------------------------------------
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.blocks[src].succs.add(dst)
+
+    def _emit(self, element) -> None:
+        """Append an element to the current block; inside a try body,
+        give it its own block with pre-edges to every enclosing handler."""
+        if self.current is None:  # unreachable code (after return/raise)
+            self.current = self.cfg.new_block()
+        blk = self.current
+        blk.elements.append(element)
+        if self._handlers:
+            for handlers in self._handlers:
+                blk.pre_succs.update(handlers)
+            nxt = self.cfg.new_block()
+            self._edge(blk.idx, nxt.idx)
+            self.current = nxt
+
+    def _terminate(self) -> None:
+        """Mark everything after the current statement unreachable."""
+        self.current = None
+
+    def _route_abrupt(self, target: int, exits_loops: bool = False) -> None:
+        """Route an abrupt exit (return/raise/break/continue) from the
+        current block to ``target``, threading the innermost ``finally``
+        that the exit actually leaves.  ``exits_loops`` is False for
+        break/continue, which stay inside their loop and therefore skip
+        ``finally`` frames entered outside it."""
+        if self.current is None:
+            return
+        src = self.current.idx
+        frame: _FinallyFrame | None = None
+        if self._finallies:
+            innermost = self._finallies[-1]
+            if exits_loops or innermost.loop_depth >= len(self._loops):
+                frame = innermost
+        if frame is not None:
+            self._edge(src, frame.entry)
+            frame.pending.add(target)
+        else:
+            self._edge(src, target)
+        self._terminate()
+
+    # -- statement lowering --------------------------------------------
+
+    def build_body(self, stmts: list) -> None:
+        for stmt in stmts:
+            self._build_stmt(stmt)
+
+    def _build_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.If):
+            self._build_if(node)
+        elif isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            self._build_loop(node)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            self._build_with(node)
+        elif isinstance(node, ast.Try):
+            self._build_try(node)
+        elif isinstance(node, ast.Return):
+            self._emit(node)
+            self._route_abrupt(self.cfg.exit, exits_loops=True)
+        elif isinstance(node, ast.Raise):
+            self._emit(node)
+            if self._handlers:
+                # Inside a try-with-handlers the raise lands in a
+                # handler (the pre-edges added at emit time carry the
+                # state there); a handler whose type does not match
+                # would let it escape, which is out of model — see the
+                # module docstring's precision stance.
+                self._terminate()
+            else:
+                self._route_abrupt(self.cfg.exit, exits_loops=True)
+        elif isinstance(node, ast.Break):
+            if self._loops:
+                self._route_abrupt(self._loops[-1][1])
+            else:  # malformed code; keep the walk total
+                self._terminate()
+        elif isinstance(node, ast.Continue):
+            if self._loops:
+                self._route_abrupt(self._loops[-1][0])
+            else:
+                self._terminate()
+        else:
+            # Simple statements — and any compound statement we do not
+            # model (e.g. ``match``), which a rule then sees whole and
+            # must treat conservatively.
+            self._emit(node)
+
+    def _build_if(self, node: ast.If) -> None:
+        self._emit(Header(node, (node.test,)))
+        head = self.current
+        after = self.cfg.new_block()
+        self.current = self.cfg.new_block()
+        self._edge(head.idx, self.current.idx)
+        self.build_body(node.body)
+        if self.current is not None:
+            self._edge(self.current.idx, after.idx)
+        if node.orelse:
+            self.current = self.cfg.new_block()
+            self._edge(head.idx, self.current.idx)
+            self.build_body(node.orelse)
+            if self.current is not None:
+                self._edge(self.current.idx, after.idx)
+        else:
+            self._edge(head.idx, after.idx)
+        self.current = after
+
+    def _build_loop(self, node) -> None:
+        if isinstance(node, ast.While):
+            exprs: tuple = (node.test,)
+        else:  # For / AsyncFor: the target is (re)bound each iteration
+            exprs = (node.iter, node.target)
+        head = self.cfg.new_block()
+        if self.current is not None:
+            self._edge(self.current.idx, head.idx)
+        self.current = head
+        self._emit(Header(node, exprs))
+        head = self.current  # _emit may have split inside a try body
+        after = self.cfg.new_block()
+        body = self.cfg.new_block()
+        self._edge(head.idx, body.idx)
+        self._loops.append((head.idx, after.idx))
+        self.current = body
+        self.build_body(node.body)
+        if self.current is not None:
+            self._edge(self.current.idx, head.idx)
+        self._loops.pop()
+        if node.orelse:
+            self.current = self.cfg.new_block()
+            self._edge(head.idx, self.current.idx)
+            self.build_body(node.orelse)
+            if self.current is not None:
+                self._edge(self.current.idx, after.idx)
+        else:
+            self._edge(head.idx, after.idx)
+        self.current = after
+
+    def _build_with(self, node) -> None:
+        exprs: list[ast.AST] = []
+        for item in node.items:
+            exprs.append(item.context_expr)
+            if item.optional_vars is not None:
+                exprs.append(item.optional_vars)
+        self._emit(Header(node, tuple(exprs)))
+        self.build_body(node.body)
+
+    def _build_try(self, node: ast.Try) -> None:
+        after = self.cfg.new_block()
+        fin_frame: _FinallyFrame | None = None
+        if node.finalbody:
+            fin_entry = self.cfg.new_block()
+            fin_entry.finally_body = list(node.finalbody)
+            fin_frame = _FinallyFrame(
+                entry=fin_entry.idx, loop_depth=len(self._loops)
+            )
+            self._finallies.append(fin_frame)
+
+        handler_entries = [self.cfg.new_block() for _ in node.handlers]
+
+        # Body: statement-granular blocks with pre-edges to the handlers.
+        if node.handlers:
+            self._handlers.append([b.idx for b in handler_entries])
+        self.build_body(node.body)
+        if node.handlers:
+            self._handlers.pop()
+        if self.current is not None and node.orelse:
+            self.build_body(node.orelse)
+        normal_exit = self.current
+
+        def route_to_after(blk: Block | None) -> None:
+            if blk is None:
+                return
+            if fin_frame is not None:
+                self._edge(blk.idx, fin_frame.entry)
+                fin_frame.pending.add(after.idx)
+            else:
+                self._edge(blk.idx, after.idx)
+
+        route_to_after(normal_exit)
+
+        for handler, entry in zip(node.handlers, handler_entries):
+            self.current = entry
+            self.build_body(handler.body)
+            route_to_after(self.current)
+
+        if fin_frame is not None:
+            self._finallies.pop()
+            self.current = self.cfg.blocks[fin_frame.entry]
+            self.build_body(node.finalbody)
+            fin_exit = self.current
+            if fin_exit is not None:
+                # Normal completion falls through to ``after`` even when
+                # nothing was routed (e.g. body ends in ``return``).
+                fin_frame.pending.add(after.idx)
+                for target in fin_frame.pending:
+                    self._edge(fin_exit.idx, target)
+        self.current = after
+
+
+def build_cfg(fn) -> CFG:
+    """Build the CFG of one ``FunctionDef``/``AsyncFunctionDef``."""
+    b = _Builder()
+    b.build_body(fn.body)
+    if b.current is not None:  # falling off the end returns None
+        b._edge(b.current.idx, b.cfg.exit)
+    return b.cfg
+
+
+# ----------------------------------------------------------------------
+# the solver
+# ----------------------------------------------------------------------
+
+#: A transfer function: (block, facts-at-entry) -> facts-at-exit.  Must
+#: be monotone (growing input never shrinks output) for termination.
+Transfer = Callable[[Block, frozenset], frozenset]
+
+
+def run_forward(
+    cfg: CFG,
+    transfer: Transfer,
+    entry_facts: frozenset = frozenset(),
+) -> dict[int, frozenset]:
+    """Forward may-analysis to a fixed point; returns IN facts per block.
+
+    The meet is set union: a fact reaches a block if it reaches it along
+    any path.  Normal edges propagate a block's OUT (post-transfer)
+    facts; pre-edges (exception edges) propagate its IN facts.  Only
+    blocks reachable from the entry participate: dead code after a
+    ``return``/``raise`` contributes nothing.
+    """
+    n = len(cfg.blocks)
+    reachable = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        blk = cfg.blocks[stack.pop()]
+        for s in (*blk.succs, *blk.pre_succs):
+            if s not in reachable:
+                reachable.add(s)
+                stack.append(s)
+    ins: list[set] = [set() for _ in range(n)]
+    ins[cfg.entry] = set(entry_facts)
+    outs: list[frozenset] = [frozenset()] * n
+    work = sorted(reachable)
+    seen_in: list[int] = [-1] * n  # len of IN when OUT was computed
+    while work:
+        idx = work.pop()
+        if seen_in[idx] == len(ins[idx]) and seen_in[idx] != -1:
+            continue
+        seen_in[idx] = len(ins[idx])
+        blk = cfg.blocks[idx]
+        out = transfer(blk, frozenset(ins[idx]))
+        outs[idx] = out
+        for s in blk.succs:
+            before = len(ins[s])
+            ins[s] |= out
+            if len(ins[s]) != before:
+                work.append(s)
+        for s in blk.pre_succs:
+            before = len(ins[s])
+            ins[s] |= ins[idx]
+            if len(ins[s]) != before:
+                work.append(s)
+    return {i: frozenset(ins[i]) for i in range(n)}
+
+
+def iter_functions(tree: ast.AST) -> Iterator:
+    """Every function definition in a module, methods included."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

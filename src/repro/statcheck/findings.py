@@ -11,10 +11,11 @@ location (epoch, line, record, ...), and a message.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum
 from typing import Iterable, Iterator
 
+from repro.errors import StatCheckError
 
 __all__ = ["Severity", "Finding", "FindingReport"]
 
@@ -35,6 +36,17 @@ class Severity(Enum):
 
     def __le__(self, other: "Severity") -> bool:
         return self.rank <= other.rank
+
+    @classmethod
+    def parse(cls, value: str) -> "Severity":
+        """Parse a serialized severity; typed error on junk input."""
+        try:
+            return cls(value)
+        except ValueError:
+            known = ", ".join(s.value for s in cls)
+            raise StatCheckError(
+                f"unknown severity {value!r} (known: {known})"
+            ) from None
 
 
 _SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
@@ -64,6 +76,36 @@ class Finding:
             "location": self.location,
             "message": self.message,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` — ``Finding -> dict -> Finding`` is
+        lossless.  Malformed input (missing keys, junk severity) raises
+        :class:`~repro.errors.StatCheckError`, since findings cross
+        process and cache boundaries in the fleet lint path."""
+        if not isinstance(data, dict):
+            raise StatCheckError(
+                f"finding must be a dict, got {type(data).__name__}"
+            )
+        expected = {f.name for f in fields(cls)}
+        missing = expected - data.keys()
+        if missing:
+            raise StatCheckError(
+                f"finding dict missing key(s): {', '.join(sorted(missing))}"
+            )
+        str_keys = expected - {"severity"}
+        bad = [k for k in str_keys if not isinstance(data[k], str)]
+        if bad:
+            raise StatCheckError(
+                f"finding key(s) not strings: {', '.join(sorted(bad))}"
+            )
+        return cls(
+            severity=Severity.parse(data["severity"]),
+            rule_id=data["rule_id"],
+            artifact=data["artifact"],
+            location=data["location"],
+            message=data["message"],
+        )
 
 
 @dataclass

@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the one format CI
+platforms ingest natively — code-scanning annotations, artifact upload,
+cross-run result tracking — so both lint front ends (``viprof lint``
+and the source selflint) can emit it via ``--format sarif``.  Only the
+small stable core of the spec is produced: one run, the tool's rule
+catalog, and one result per finding with a physical location and an
+optional stable fingerprint for baseline-style dedup on the CI side.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+from repro.statcheck.findings import Finding, FindingReport, Severity
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "report_to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: SARIF result levels per severity (SARIF has no "info" level).
+_LEVEL = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+_LINE_RE = re.compile(r"\bline (\d+)\b")
+
+
+def _result(
+    finding: Finding,
+    rule_index: dict[str, int],
+    fingerprint: Callable[[Finding], str] | None,
+) -> dict:
+    location: dict = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.artifact.replace("\\", "/")}
+        }
+    }
+    message = finding.message
+    m = _LINE_RE.search(finding.location)
+    if m:
+        location["physicalLocation"]["region"] = {
+            "startLine": int(m.group(1))
+        }
+    elif finding.location not in ("", "-"):
+        # Free-form locations (epoch, record index, dotted site) have no
+        # physical region; keep them visible in the message instead.
+        message = f"{finding.location}: {message}"
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVEL[finding.severity],
+        "message": {"text": message},
+        "locations": [location],
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if fingerprint is not None:
+        result["partialFingerprints"] = {
+            "viprofFingerprint/v1": fingerprint(finding)
+        }
+    return result
+
+
+def report_to_sarif(
+    report: FindingReport,
+    tool_name: str,
+    rules_meta: Iterable[dict],
+    fingerprint: Callable[[Finding], str] | None = None,
+) -> dict:
+    """Render a report as a SARIF 2.1.0 log (a JSON-serializable dict).
+
+    ``rules_meta`` describes the tool's rule catalog: dicts with ``id``,
+    ``name``, ``description`` and a default :class:`Severity`.
+    ``fingerprint``, when given, stamps each result with a stable
+    partial fingerprint (the same one ``--baseline`` files use)."""
+    driver_rules = []
+    rule_index: dict[str, int] = {}
+    for meta in rules_meta:
+        rule_index[meta["id"]] = len(driver_rules)
+        driver_rules.append(
+            {
+                "id": meta["id"],
+                "name": meta["name"],
+                "shortDescription": {"text": meta["description"]},
+                "defaultConfiguration": {
+                    "level": _LEVEL[meta["severity"]]
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": [
+                    _result(f, rule_index, fingerprint)
+                    for f in report.sorted()
+                ],
+            }
+        ],
+    }

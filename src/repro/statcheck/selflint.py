@@ -1,9 +1,11 @@
 """Repo-invariant source lint (``python -m repro.statcheck.selflint``).
 
 An ``ast``-based pass over our own sources enforcing invariants that
-general-purpose linters cannot know:
+general-purpose linters cannot know.  SL201–SL204 are single-walk
+syntactic rules; SL205–SL209 (in :mod:`repro.statcheck.flowchecks`) run
+on per-function control-flow graphs and module-level constant folding:
 
-SL201  int-address          Addresses, PCs, offsets, sizes, epochs and
+SL201  int-quantities       Addresses, PCs, offsets, sizes, epochs and
                             cycle counts are exact machine quantities —
                             annotating or defaulting one as ``float``
                             invites rounding a PC.
@@ -15,6 +17,17 @@ SL203  no-naked-except      ``except:`` swallows ``KeyboardInterrupt``
 SL204  public-annotations   Public functions in ``repro/viprof/`` and
                             ``repro/profiling/`` are the paper-facing
                             API; they carry full type annotations.
+SL205  resource-leak        Locally-opened record/sample handles reach
+                            ``close()`` or a ``with`` on every path.
+SL206  fork-shared-state    Shard-pool worker functions read no mutable
+                            module-level state (fork-divergence races).
+SL207  codec-consistency    Struct formats parse; ``*_RECORD_SIZE``
+                            matches ``calcsize(*_RECORD_FORMAT)``;
+                            magics are 4 bytes.
+SL208  counter-accounting   Stats classes merge and export every
+                            counter they maintain.
+SL209  fault-point-coverage The fault registry and ``fire()`` call
+                            sites are in bijection.
 
 Findings reuse :mod:`repro.statcheck.findings`; exit code 1 when any
 ERROR-severity finding exists, so CI can gate on it directly.
@@ -24,15 +37,65 @@ from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 from pathlib import Path
-from typing import Iterator
+from typing import Iterable, Iterator
 
 import repro.errors as _errors
 from repro.errors import StatCheckError
+from repro.statcheck import flowchecks
 from repro.statcheck.findings import Finding, FindingReport, Severity
 
-__all__ = ["lint_source", "lint_tree", "main"]
+__all__ = ["SL_RULES", "lint_source", "lint_tree", "main"]
+
+#: The selflint rule catalog: id -> (name, one-line description).  All
+#: rules report at ERROR severity except where a finding is inherently
+#: advisory (SL209 emits WARNING for unresolvable ``fire()`` args).
+SL_RULES: dict[str, tuple[str, str]] = {
+    "SL201": (
+        "int-quantities",
+        "addresses/PCs/offsets/sizes/epochs must be exact ints, "
+        "never float-annotated or float-defaulted",
+    ),
+    "SL202": (
+        "errors-hierarchy",
+        "exceptions raised in repro.* derive from repro.errors",
+    ),
+    "SL203": (
+        "no-naked-except",
+        "no bare 'except:' clauses",
+    ),
+    "SL204": (
+        "public-annotations",
+        "public functions in the paper-facing packages are fully "
+        "annotated",
+    ),
+    "SL205": (
+        "resource-leak",
+        "locally-opened record/sample handles reach close() or a "
+        "'with' on every path (CFG reaching analysis)",
+    ),
+    "SL206": (
+        "fork-shared-state",
+        "process-pool worker functions read no module-level mutable "
+        "state",
+    ),
+    "SL207": (
+        "codec-consistency",
+        "struct formats parse and *_RECORD_SIZE constants match "
+        "calcsize(*_RECORD_FORMAT); record magics are 4 bytes",
+    ),
+    "SL208": (
+        "counter-accounting",
+        "stats classes merge() and export every counter they maintain",
+    ),
+    "SL209": (
+        "fault-point-coverage",
+        "fault-injection registry names and fire() call sites are in "
+        "bijection",
+    ),
+}
 
 #: Identifier segments that denote exact machine quantities (SL201).
 _INT_SEGMENTS = {
@@ -58,6 +121,20 @@ _ALLOWED_RAISES = set(_errors.__all__) | {
 _ANNOTATION_SCOPE = ("viprof", "profiling", "pipeline")
 
 
+def _select_rules(rules: Iterable[str] | None) -> frozenset[str]:
+    if rules is None:
+        return frozenset(SL_RULES)
+    selected = frozenset(rules)
+    unknown = selected - SL_RULES.keys()
+    if unknown:
+        known = ", ".join(sorted(SL_RULES))
+        raise StatCheckError(
+            f"unknown selflint rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {known})"
+        )
+    return selected
+
+
 def _is_int_quantity_name(name: str) -> bool:
     return any(seg in _INT_SEGMENTS for seg in name.lower().split("_"))
 
@@ -67,18 +144,27 @@ def _is_float_annotation(node: ast.expr | None) -> bool:
 
 
 class _SelfLint(ast.NodeVisitor):
-    """One file's worth of lint passes, sharing a single AST walk."""
+    """The single-walk rules (SL201–SL204), sharing one AST traversal."""
 
-    def __init__(self, path: Path, rel: str, check_annotations: bool):
+    def __init__(
+        self,
+        path: Path,
+        rel: str,
+        check_annotations: bool,
+        enabled: frozenset[str],
+    ):
         self.path = path
         self.rel = rel
         self.check_annotations = check_annotations
+        self.enabled = enabled
         self.findings: list[Finding] = []
         self._depth = 0  # nesting depth of function definitions
 
     def _add(
         self, severity: Severity, rule_id: str, lineno: int, msg: str
     ) -> None:
+        if rule_id not in self.enabled:
+            return
         self.findings.append(
             Finding(
                 severity=severity,
@@ -208,20 +294,55 @@ class _SelfLint(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(path: Path, root: Path | None = None) -> list[Finding]:
-    """Lint one Python source file; returns its findings."""
+def _lint_file(
+    path: Path, root: Path | None, selected: frozenset[str]
+) -> tuple[list[Finding], dict[str, int] | None]:
+    """Lint one file; returns its findings plus the fault-point names it
+    fires (for the cross-file SL209 pass; None when SL209 is off)."""
     rel = str(path.relative_to(root)) if root is not None else str(path)
     try:
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     except (OSError, SyntaxError) as e:
         raise StatCheckError(f"{path}: cannot lint: {e}") from None
-    posix = path.as_posix()
-    check_annotations = any(
-        f"/{frag}/" in posix for frag in _ANNOTATION_SCOPE
-    )
-    linter = _SelfLint(path, rel, check_annotations)
-    linter.visit(tree)
-    return linter.findings
+    findings: list[Finding] = []
+
+    if selected & {"SL201", "SL202", "SL203", "SL204"}:
+        posix = path.as_posix()
+        check_annotations = any(
+            f"/{frag}/" in posix for frag in _ANNOTATION_SCOPE
+        )
+        linter = _SelfLint(path, rel, check_annotations, selected)
+        linter.visit(tree)
+        findings.extend(linter.findings)
+
+    if "SL205" in selected:
+        findings.extend(flowchecks.check_resource_leaks(tree, rel))
+    if "SL206" in selected:
+        findings.extend(flowchecks.check_fork_shared_state(tree, rel))
+    if "SL207" in selected:
+        findings.extend(flowchecks.check_codec_consistency(tree, rel))
+    if "SL208" in selected:
+        findings.extend(flowchecks.check_counter_accounting(tree, rel))
+
+    fired: dict[str, int] | None = None
+    if "SL209" in selected:
+        fired, fire_findings = flowchecks.collect_fire_calls(tree, rel)
+        findings.extend(fire_findings)
+    return findings, fired
+
+
+def lint_source(
+    path: Path,
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one Python source file; returns its findings.
+
+    Single-file linting runs every selected rule except the cross-file
+    half of SL209 (site coverage needs the whole tree; use
+    :func:`lint_tree`)."""
+    findings, _fired = _lint_file(path, root, _select_rules(rules))
+    return findings
 
 
 def _iter_sources(root: Path) -> Iterator[Path]:
@@ -231,17 +352,35 @@ def _iter_sources(root: Path) -> Iterator[Path]:
     yield from sorted(root.rglob("*.py"))
 
 
-def lint_tree(roots: list[Path | str]) -> FindingReport:
+def lint_tree(
+    roots: list[Path | str],
+    rules: Iterable[str] | None = None,
+) -> FindingReport:
     """Lint every ``.py`` file under the given roots."""
+    selected = _select_rules(rules)
     report = FindingReport()
+    fires_by_file: dict[str, tuple[str, dict[str, int]]] = {}
     for root in roots:
         root = Path(root)
         if not root.exists():
             raise StatCheckError(f"{root}: no such file or directory")
         base = root if root.is_dir() else root.parent
         for path in _iter_sources(root):
-            report.extend(lint_source(path, root=base))
+            rel = str(path.relative_to(base))
+            findings, fired = _lint_file(path, base, selected)
+            report.extend(findings)
+            if fired is not None:
+                fires_by_file[path.resolve().as_posix()] = (rel, fired)
+    if "SL209" in selected:
+        report.extend(flowchecks.check_fault_point_sites(fires_by_file))
     return report
+
+
+def _format_rule_table() -> str:
+    lines = [f"{'id':<7}{'name':<22} description"]
+    for rule_id, (name, description) in sorted(SL_RULES.items()):
+        lines.append(f"{rule_id:<7}{name:<22} {description}")
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -254,16 +393,61 @@ def main(argv: list[str] | None = None) -> int:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit findings as JSON"
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="run only these comma-separated rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON (alias for --format json)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list selflint rules and exit",
     )
     args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_format_rule_table())
+        return 0
 
+    rules = None
+    if args.rules is not None:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        if not rules:
+            print(
+                "selflint: --rules given but no rule ids named",
+                file=sys.stderr,
+            )
+            return 2
     try:
-        report = lint_tree(args.roots)
+        report = lint_tree(args.roots, rules=rules)
     except StatCheckError as e:
         print(f"selflint: {e}", file=sys.stderr)
         return 2
-    print(report.format_json() if args.json else report.format_text())
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(report.format_json())
+    elif fmt == "sarif":
+        from repro.statcheck.sarif import report_to_sarif
+
+        rules_meta = [
+            {
+                "id": rule_id,
+                "name": name,
+                "description": description,
+                "severity": Severity.ERROR,
+            }
+            for rule_id, (name, description) in sorted(SL_RULES.items())
+        ]
+        print(json.dumps(
+            report_to_sarif(report, "viprof-selflint", rules_meta),
+            indent=2,
+        ))
+    else:
+        print(report.format_text())
     return report.exit_code(fail_on=Severity.ERROR)
 
 

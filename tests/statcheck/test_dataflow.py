@@ -1,0 +1,254 @@
+"""Unit tests for the CFG builder + forward may-analysis engine.
+
+The rule-level behaviour (leaks, worker state) is covered in
+test_selflint_dataflow.py; here we pin the engine itself with a tiny
+"assigned names reach the exit" analysis — gen on ``x = ...``, kill on
+``del x`` — which exercises exactly the edges the builder creates.
+"""
+
+import ast
+import textwrap
+
+from repro.statcheck.dataflow import (
+    Header,
+    build_cfg,
+    iter_functions,
+    run_forward,
+)
+
+
+def cfg_of(src):
+    tree = ast.parse(textwrap.dedent(src))
+    fns = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    assert len(fns) == 1
+    return build_cfg(fns[0])
+
+
+def _names_transfer(blk, facts):
+    live = set(facts)
+    for el in blk.elements:
+        node = el.node if isinstance(el, Header) else el
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    live.add(t.id)
+        elif isinstance(node, ast.Delete):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    live.discard(t.id)
+    return frozenset(live)
+
+
+def at_exit(src):
+    cfg = cfg_of(src)
+    ins = run_forward(cfg, _names_transfer)
+    return set(ins[cfg.exit])
+
+
+class TestStraightLine:
+    def test_linear_facts_reach_exit(self):
+        assert at_exit(
+            """
+            def f():
+                x = 1
+                y = 2
+            """
+        ) == {"x", "y"}
+
+    def test_code_after_return_is_unreachable(self):
+        assert at_exit(
+            """
+            def f():
+                x = 1
+                return x
+                y = 2
+            """
+        ) == {"x"}
+
+
+class TestBranches:
+    def test_may_analysis_unions_branches(self):
+        # x assigned on only one path still *may* reach the exit.
+        assert at_exit(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    y = 2
+            """
+        ) == {"x", "y"}
+
+    def test_both_branches_return(self):
+        assert at_exit(
+            """
+            def f(c):
+                if c:
+                    x = 1
+                    return x
+                else:
+                    y = 2
+                    return y
+            """
+        ) == {"x", "y"}
+
+    def test_header_holds_test_expression(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    pass
+            """
+        )
+        headers = [
+            el
+            for blk in cfg
+            for el in blk.elements
+            if isinstance(el, Header)
+        ]
+        assert len(headers) == 1
+        assert isinstance(headers[0].node, ast.If)
+        assert isinstance(headers[0].exprs[0], ast.Name)
+
+
+class TestLoops:
+    def test_loop_body_fact_reaches_exit(self):
+        assert at_exit(
+            """
+            def f(items):
+                for i in items:
+                    x = i
+            """
+        ) == {"x"}
+
+    def test_break_reaches_loop_exit(self):
+        assert at_exit(
+            """
+            def f(items):
+                for i in items:
+                    x = 1
+                    break
+            """
+        ) == {"x"}
+
+    def test_while_converges(self):
+        # Fixed point must terminate despite the back edge.
+        assert at_exit(
+            """
+            def f(n):
+                while n:
+                    a = 1
+                    del a
+                    b = 2
+            """
+        ) == {"b"}
+
+
+class TestExceptions:
+    def test_plain_raise_routes_to_exit(self):
+        assert at_exit(
+            """
+            def f():
+                x = 1
+                raise KeyError(x)
+            """
+        ) == {"x"}
+
+    def test_raise_in_try_lands_in_handler_only(self):
+        # The handler deletes x, so nothing must leak around it to the
+        # exit: the raise may not take a direct exit edge.
+        assert at_exit(
+            """
+            def f():
+                try:
+                    x = 1
+                    raise KeyError
+                except KeyError:
+                    del x
+            """
+        ) == set()
+
+    def test_try_body_blocks_are_statement_granular(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    a = 1
+                    b = 2
+                except ValueError:
+                    pass
+            """
+        )
+        for blk in cfg:
+            if blk.pre_succs:
+                assert len(blk.elements) <= 1
+
+    def test_handler_sees_pre_state_of_failing_statement(self):
+        # If `x = boom()` raises, x was never bound: a fact gen'd by
+        # that statement must not appear in the handler via its own
+        # pre-edge.  The handler returns, so the only way `x` reaches
+        # the exit is the normal (non-raising) path.
+        src = """
+            def f():
+                try:
+                    x = 1
+                except ValueError:
+                    return None
+                del x
+            """
+        assert at_exit(src) == set()
+
+    def test_finally_entry_carries_its_body(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    x = 1
+                finally:
+                    del x
+            """
+        )
+        bodies = [b.finally_body for b in cfg if b.finally_body]
+        assert len(bodies) == 1
+        assert isinstance(bodies[0][0], ast.Delete)
+
+    def test_return_routes_through_finally(self):
+        # The finally's `del x` must apply to the early-return path too.
+        assert at_exit(
+            """
+            def f(c):
+                x = 1
+                try:
+                    if c:
+                        return None
+                    y = 2
+                finally:
+                    del x
+            """
+        ) == {"y"}
+
+    def test_break_inside_try_stays_inside_loops_finally_scope(self):
+        # The try/finally is entered *inside* the loop, so `break` must
+        # route through it; facts killed there never reach the exit.
+        assert at_exit(
+            """
+            def f(items):
+                for i in items:
+                    try:
+                        x = 1
+                        break
+                    finally:
+                        del x
+            """
+        ) == set()
+
+
+class TestIterFunctions:
+    def test_methods_and_nested_found(self):
+        tree = ast.parse(
+            "class C:\n"
+            "    def m(self):\n"
+            "        def inner():\n"
+            "            pass\n"
+        )
+        assert {fn.name for fn in iter_functions(tree)} == {"m", "inner"}

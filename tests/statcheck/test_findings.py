@@ -2,7 +2,11 @@
 
 import json
 
+import pytest
+
+from repro.errors import StatCheckError
 from repro.statcheck.findings import Finding, FindingReport, Severity
+from repro.statcheck.rules import get_rule
 
 
 def f(sev=Severity.ERROR, rule="VP101", artifact="a", loc="x", msg="m"):
@@ -20,6 +24,62 @@ class TestSeverity:
             [Severity.INFO, Severity.ERROR, Severity.WARNING],
             key=lambda s: s.rank,
         ) is Severity.ERROR
+
+    def test_parse_accepts_every_value(self):
+        for sev in Severity:
+            assert Severity.parse(sev.value) is sev
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(StatCheckError, match="unknown severity"):
+            Severity.parse("fatal")
+        with pytest.raises(StatCheckError, match="unknown severity"):
+            Severity.parse(3)
+
+
+class TestRoundTrip:
+    def test_finding_json_finding_is_lossless(self):
+        orig = f(
+            sev=Severity.WARNING,
+            rule="SL207",
+            artifact="repro/profiling/record_codec.py",
+            loc="line 31",
+            msg='format "<QIIIq" is 29 bytes but CORE_RECORD_SIZE is 31',
+        )
+        back = Finding.from_dict(json.loads(json.dumps(orig.to_dict())))
+        assert back == orig
+        assert back.to_dict() == orig.to_dict()
+
+    def test_from_dict_requires_a_dict(self):
+        with pytest.raises(StatCheckError, match="must be a dict"):
+            Finding.from_dict(["severity", "error"])
+
+    def test_from_dict_rejects_missing_keys(self):
+        data = f().to_dict()
+        del data["location"]
+        with pytest.raises(StatCheckError, match="location"):
+            Finding.from_dict(data)
+
+    def test_from_dict_rejects_bad_severity(self):
+        data = f().to_dict()
+        data["severity"] = "catastrophic"
+        with pytest.raises(StatCheckError, match="unknown severity"):
+            Finding.from_dict(data)
+
+    def test_from_dict_rejects_non_string_fields(self):
+        data = f().to_dict()
+        data["message"] = 7
+        with pytest.raises(StatCheckError, match="message"):
+            Finding.from_dict(data)
+
+
+class TestRuleLookup:
+    def test_known_rule_resolves(self):
+        rule = get_rule("VP101")
+        assert rule.rule_id == "VP101"
+
+    def test_unknown_rule_id_raises_typed_error(self):
+        with pytest.raises(StatCheckError, match="VP999"):
+            get_rule("VP999")
 
 
 class TestFindingReport:

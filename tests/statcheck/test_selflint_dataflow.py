@@ -1,0 +1,467 @@
+"""Seeded-violation tests for the dataflow selflint rules SL205–SL209.
+
+Each rule gets at least one fixture that provably fires and a clean
+counterpart built from the repo's own idioms (the `with` form, the
+close-in-finally form, the escape-to-self form), so a precision
+regression in either direction fails loudly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StatCheckError
+from repro.statcheck.findings import Severity
+from repro.statcheck.selflint import lint_source, lint_tree
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def lint_text(tmp_path, text, rules, name="mod.py"):
+    p = tmp_path / name
+    p.write_text(text)
+    return lint_source(p, root=tmp_path, rules=rules)
+
+
+def rules_of(findings):
+    return sorted({f.rule_id for f in findings})
+
+
+class TestRuleSelection:
+    def test_unknown_rule_id_is_typed_error(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        with pytest.raises(StatCheckError, match="unknown selflint rule"):
+            lint_tree([tmp_path], rules=["SL999"])
+
+    def test_selection_excludes_other_rules(self, tmp_path):
+        # A file violating SL202 lints clean when only SL205 is selected.
+        fs = lint_text(
+            tmp_path,
+            "def f():\n    raise ValueError('x')\n",
+            rules=["SL205"],
+        )
+        assert fs == []
+
+
+class TestSL205ResourceLeak:
+    def test_unclosed_handle_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(p):\n"
+            "    fh = open(p, 'rb')\n"
+            "    data = fh.read()\n"
+            "    return data\n",
+            rules=["SL205"],
+        )
+        assert rules_of(fs) == ["SL205"]
+        assert "fh" in fs[0].message and "line 2" in fs[0].location
+
+    def test_branch_leak_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(p, c):\n"
+            "    fh = open(p, 'rb')\n"
+            "    if c:\n"
+            "        fh.close()\n"
+            "    return c\n",
+            rules=["SL205"],
+        )
+        assert rules_of(fs) == ["SL205"]
+
+    def test_record_reader_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "from repro.profiling.record_codec import RecordFileReader\n"
+            "def f(p):\n"
+            "    r = RecordFileReader(p)\n"
+            "    n = r.path\n"
+            "    return n\n",
+            rules=["SL205"],
+        )
+        assert rules_of(fs) == ["SL205"]
+
+    def test_leak_on_raise_path_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "from repro.errors import ProfilerError\n"
+            "def f(p, c):\n"
+            "    fh = open(p, 'rb')\n"
+            "    if c:\n"
+            "        raise ProfilerError('bad')\n"
+            "    fh.close()\n"
+            "    return c\n",
+            rules=["SL205"],
+        )
+        assert rules_of(fs) == ["SL205"]
+
+    def test_with_statement_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(p):\n"
+            "    with open(p, 'rb') as fh:\n"
+            "        return fh.read()\n",
+            rules=["SL205"],
+        )
+        assert fs == []
+
+    def test_close_in_finally_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(p, own):\n"
+            "    fh = open(p, 'rb')\n"
+            "    try:\n"
+            "        return fh.read()\n"
+            "    finally:\n"
+            "        if own:\n"
+            "            fh.close()\n",
+            rules=["SL205"],
+        )
+        assert fs == []
+
+    def test_close_on_both_branches_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(p, c):\n"
+            "    fh = open(p, 'rb')\n"
+            "    if c:\n"
+            "        fh.close()\n"
+            "    else:\n"
+            "        fh.close()\n"
+            "    return c\n",
+            rules=["SL205"],
+        )
+        assert fs == []
+
+    def test_handler_closes_and_reraises_clean(self, tmp_path):
+        # The RecordFileReader.__init__ idiom: parse under a try whose
+        # handler closes and re-raises; the survivor escapes to self.
+        fs = lint_text(
+            tmp_path,
+            "class R:\n"
+            "    def start(self, p):\n"
+            "        fh = open(p, 'rb')\n"
+            "        try:\n"
+            "            head = fh.read(4)\n"
+            "        except OSError:\n"
+            "            fh.close()\n"
+            "            raise\n"
+            "        self._fh = fh\n"
+            "        return head\n",
+            rules=["SL205"],
+        )
+        assert fs == []
+
+    def test_escape_via_return_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "def f(p):\n"
+            "    fh = open(p, 'rb')\n"
+            "    return fh\n",
+            rules=["SL205"],
+        )
+        assert fs == []
+
+    def test_escape_via_call_argument_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "import contextlib\n"
+            "def f(p, stack):\n"
+            "    fh = open(p, 'rb')\n"
+            "    stack.enter_context(contextlib.closing(fh))\n"
+            "    return fh.read()\n",
+            rules=["SL205"],
+        )
+        assert fs == []
+
+
+class TestSL206ForkSharedState:
+    WORKER_SRC = (
+        "_CACHE = {}\n"
+        "def resolve_worker(item):\n"
+        "    return _CACHE.get(item)\n"
+    )
+
+    def test_dispatched_worker_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            self.WORKER_SRC
+            + "def run(pool, items):\n"
+            "    return list(pool.map(resolve_worker, items))\n",
+            rules=["SL206"],
+        )
+        assert rules_of(fs) == ["SL206"]
+        assert "_CACHE" in fs[0].message
+
+    def test_worker_suffix_alone_fires(self, tmp_path):
+        # The `*_worker` naming convention marks pool entry points even
+        # before any dispatch call exists in the module.
+        fs = lint_text(tmp_path, self.WORKER_SRC, rules=["SL206"])
+        assert rules_of(fs) == ["SL206"]
+
+    def test_transitive_callee_fires_with_path(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "_SEEN = set()\n"
+            "def _helper(x):\n"
+            "    return x in _SEEN\n"
+            "def shard_worker(x):\n"
+            "    return _helper(x)\n",
+            rules=["SL206"],
+        )
+        assert rules_of(fs) == ["SL206"]
+        assert "reached from worker 'shard_worker'" in fs[0].message
+
+    def test_immutable_module_constant_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "EVENTS = ('cycles', 'instructions')\n"
+            "def resolve_worker(item):\n"
+            "    return item in EVENTS\n",
+            rules=["SL206"],
+        )
+        assert fs == []
+
+    def test_local_mutable_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "_CACHE = {}\n"
+            "def resolve_worker(item):\n"
+            "    _CACHE = {}\n"
+            "    return _CACHE.get(item)\n"
+            "def audit():\n"
+            "    return len(_CACHE)\n",
+            rules=["SL206"],
+        )
+        assert fs == []
+
+    def test_non_worker_function_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "_CACHE = {}\n"
+            "def lookup(item):\n"
+            "    return _CACHE.get(item)\n",
+            rules=["SL206"],
+        )
+        assert fs == []
+
+
+class TestSL207CodecConsistency:
+    def test_size_format_mismatch_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "FOO_RECORD_FORMAT = '<QI'\n"
+            "FOO_RECORD_SIZE = 13\n",
+            rules=["SL207"],
+        )
+        assert rules_of(fs) == ["SL207"]
+        assert "calcsize" in fs[0].message and "12" in fs[0].message
+
+    def test_size_without_format_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path, "BAR_RECORD_SIZE = 29\n", rules=["SL207"]
+        )
+        assert rules_of(fs) == ["SL207"]
+
+    def test_format_without_size_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path, "BAR_RECORD_FORMAT = '<QIBQq'\n", rules=["SL207"]
+        )
+        assert rules_of(fs) == ["SL207"]
+
+    def test_unparseable_format_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "import struct\n"
+            "N = struct.calcsize('<Z')\n",
+            rules=["SL207"],
+        )
+        assert rules_of(fs) == ["SL207"]
+        assert "does not parse" in fs[0].message
+
+    def test_folded_concatenation_checked(self, tmp_path):
+        # The repo's own idiom: DOMAIN = CORE + column, sizes declared.
+        fs = lint_text(
+            tmp_path,
+            "_CORE_RECORD_FORMAT = '<QIBQq'\n"
+            "_DOMAIN_RECORD_FORMAT = _CORE_RECORD_FORMAT + 'H'\n"
+            "CORE_RECORD_SIZE = 29\n"
+            "DOMAIN_RECORD_SIZE = 30\n",  # wrong: <QIBQqH is 31
+            rules=["SL207"],
+        )
+        assert rules_of(fs) == ["SL207"]
+        assert "31" in fs[0].message
+
+    def test_bad_magic_length_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path, "MAP_MAGIC = b'VPRSX'\n", rules=["SL207"]
+        )
+        assert rules_of(fs) == ["SL207"]
+        assert "4" in fs[0].message
+
+    def test_consistent_module_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "import struct\n"
+            "_CORE_RECORD_FORMAT = '<QIBQq'\n"
+            "_DOMAIN_RECORD_FORMAT = _CORE_RECORD_FORMAT + 'H'\n"
+            "CORE_RECORD_SIZE = 29\n"
+            "DOMAIN_RECORD_SIZE = 31\n"
+            "FILE_MAGIC = b'VPRS'\n"
+            "_S = struct.Struct(_DOMAIN_RECORD_FORMAT)\n",
+            rules=["SL207"],
+        )
+        assert fs == []
+
+
+class TestSL208CounterAccounting:
+    def test_counter_missing_from_merge_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "class Stats:\n"
+            "    def __init__(self):\n"
+            "        self.hits = 0\n"
+            "        self.misses = 0\n"
+            "    def merge(self, other):\n"
+            "        self.hits += other.hits\n"
+            "    def stats_dict(self):\n"
+            "        return {'hits': self.hits, 'misses': self.misses}\n",
+            rules=["SL208"],
+        )
+        assert rules_of(fs) == ["SL208"]
+        assert "misses" in fs[0].message and "merge" in fs[0].message
+
+    def test_counter_missing_from_export_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "class Stats:\n"
+            "    def __init__(self):\n"
+            "        self.hits = 0\n"
+            "        self.misses = 0\n"
+            "    def merge(self, other):\n"
+            "        self.hits += other.hits\n"
+            "        self.misses += other.misses\n"
+            "    def as_dict(self):\n"
+            "        return {'hits': self.hits}\n",
+            rules=["SL208"],
+        )
+        assert rules_of(fs) == ["SL208"]
+        assert "as_dict" in fs[0].message
+
+    def test_dataclass_counter_fields_fire(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class StageStats:\n"
+            "    hits: int = 0\n"
+            "    misses: int = 0\n"
+            "    def merge(self, other):\n"
+            "        self.hits += other.hits\n",
+            rules=["SL208"],
+        )
+        assert rules_of(fs) == ["SL208"]
+
+    def test_incremented_field_counts_as_counter(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "class Agg:\n"
+            "    def __init__(self, limit):\n"
+            "        self.seen = int(limit)\n"  # not a literal init
+            "    def add(self, n):\n"
+            "        self.seen += n\n"
+            "    def merge(self, other):\n"
+            "        pass\n",
+            rules=["SL208"],
+        )
+        assert rules_of(fs) == ["SL208"]
+
+    def test_complete_class_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "class Stats:\n"
+            "    def __init__(self):\n"
+            "        self.hits = 0\n"
+            "    def merge(self, other):\n"
+            "        self.hits += other.hits\n"
+            "    def stats_dict(self):\n"
+            "        return {'hits': self.hits}\n",
+            rules=["SL208"],
+        )
+        assert fs == []
+
+    def test_class_without_merge_ignored(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "class Plain:\n"
+            "    def __init__(self):\n"
+            "        self.hits = 0\n",
+            rules=["SL208"],
+        )
+        assert fs == []
+
+
+class TestSL209FaultPointCoverage:
+    def test_unregistered_point_fires(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "from repro.faults.injector import fire\n"
+            "def f():\n"
+            "    fire('no.such.point')\n",
+            rules=["SL209"],
+        )
+        assert rules_of(fs) == ["SL209"]
+        assert fs[0].severity is Severity.ERROR
+
+    def test_unresolvable_argument_warns(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "from repro.faults.injector import fire\n"
+            "def f(point):\n"
+            "    fire(point)\n",
+            rules=["SL209"],
+        )
+        assert rules_of(fs) == ["SL209"]
+        assert fs[0].severity is Severity.WARNING
+
+    def test_registered_constant_reference_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "from repro.faults import injector as faults\n"
+            "def f():\n"
+            "    faults.fire(faults.WRITER_SPILL)\n",
+            rules=["SL209"],
+        )
+        assert fs == []
+
+    def test_site_module_missing_fire_fires(self, tmp_path):
+        # A tree containing a registered point's site module that never
+        # fires the point: the cross-file pass must flag it.
+        mod = tmp_path / "repro" / "profiling" / "record_codec.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("x = 1\n")
+        report = lint_tree([tmp_path], rules=["SL209"])
+        assert report.rule_ids == ("SL209",)
+        assert any("writer.spill" in f.message for f in report)
+
+    def test_site_module_with_fire_clean(self, tmp_path):
+        mod = tmp_path / "repro" / "profiling" / "record_codec.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text(
+            "from repro.faults import injector as faults\n"
+            "def spill():\n"
+            "    faults.fire('writer.spill')\n"
+        )
+        assert len(lint_tree([tmp_path], rules=["SL209"])) == 0
+
+    def test_repo_registry_in_bijection(self):
+        report = lint_tree([REPO_SRC], rules=["SL209"])
+        assert len(report) == 0, report.format_text()
+
+
+class TestRepoTreeUnderFlowRules:
+    def test_repo_src_clean_under_dataflow_rules(self):
+        report = lint_tree(
+            [REPO_SRC],
+            rules=["SL205", "SL206", "SL207", "SL208", "SL209"],
+        )
+        assert len(report) == 0, report.format_text()
