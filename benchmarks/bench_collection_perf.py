@@ -36,8 +36,6 @@ from __future__ import annotations
 
 import argparse
 import hashlib
-import json
-import os
 import resource
 import sys
 import tempfile
@@ -48,6 +46,7 @@ from random import Random
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.metrics.bench import write_bench_payload  # noqa: E402
 from repro.oprofile.kmodule import OprofileKernelModule  # noqa: E402
 from repro.oprofile.opcontrol import EventSpec, OprofileConfig  # noqa: E402
 from repro.os.binary import standard_libraries  # noqa: E402
@@ -332,8 +331,6 @@ def main(argv: list[str] | None = None) -> int:
     payload = {
         "benchmark": "collection_path_throughput",
         "samples": n,
-        "cpu_count": os.cpu_count(),
-        "python": sys.version.split()[0],
         "smoke": args.smoke,
         "seed": SEED,
         "peak_rss_kb": peak_rss_kb(),
@@ -343,7 +340,9 @@ def main(argv: list[str] | None = None) -> int:
         "headline_speedup_synthesis": synthesis["speedup"],
         "all_parity_checks_passed": True,  # SystemExit above otherwise
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    # The shared writer stamps schema_version / cpu_count / python /
+    # commit and embeds the bench summary for `viprof analyze`.
+    write_bench_payload(args.out, payload)
     print(f"wrote {args.out}")
     print(f"headline (synthesis) speedup: {synthesis['speedup']}x")
     return 0

@@ -24,8 +24,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
-import os
 import resource
 import sys
 import tempfile
@@ -35,6 +33,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.metrics.bench import write_bench_payload  # noqa: E402
 from repro.profiling.record_codec import (  # noqa: E402
     RecordFileReader,
     RecordFileWriter,
@@ -195,8 +194,6 @@ def main(argv: list[str] | None = None) -> int:
                 "time_scale": SEED_SCALE, "seed": SEED,
             },
             "samples": written,
-            "cpu_count": os.cpu_count(),
-            "python": sys.version.split()[0],
             "smoke": args.smoke,
             "synthesis": {
                 "seconds": round(synth_secs, 4),
@@ -213,7 +210,9 @@ def main(argv: list[str] | None = None) -> int:
             ),
         }
 
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    # The shared writer stamps schema_version / cpu_count / python /
+    # commit and embeds the bench summary for `viprof analyze`.
+    write_bench_payload(args.out, payload)
     print(f"wrote {args.out}")
     if payload["speedup_cache_on_vs_off"] is not None:
         print(f"cache+batched-decode speedup: "

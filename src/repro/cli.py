@@ -9,6 +9,9 @@ Subcommands::
     viprof breakdown ps                  # overhead decomposition
     viprof annotate ps [--method NAME]   # within-method (bytecode) histogram
     viprof diff ps --period 45000 90000  # profile diff across two configs
+    viprof diff A/ B/                    # diff two existing sessions
+    viprof analyze A B [--config F]      # session comparison + regression
+                                         #   gates (--fail-on-regression)
     viprof pgo ps                        # profile-guided optimization demo
     viprof xen fop ps                    # multi-stack XenoProf demo
     viprof lint SESSION...               # static artifact integrity check
@@ -156,16 +159,74 @@ def _cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_analyze(
+    a: str,
+    b: str,
+    config_path: str | None,
+    event: str | None,
+    as_json: bool,
+    rows: int,
+    fail_on_regression: bool,
+) -> int:
+    """Shared engine of ``viprof analyze`` and the two-path ``diff`` mode.
+
+    Exit codes: 0 clean, 2 on unusable inputs/config, 3 when
+    ``fail_on_regression`` and a gate tripped.
+    """
+    from repro.errors import AnalysisError
+    from repro.metrics import analyze, load_config, load_input
+
+    try:
+        config = load_config(config_path) if config_path else None
+        result = analyze(
+            load_input(a), load_input(b),
+            config=config, event=event, a_label=a, b_label=b,
+        )
+    except AnalysisError as e:
+        print(f"viprof analyze: {e}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(result.to_json(), end="")
+    else:
+        print(result.format_table(limit=rows))
+    if fail_on_regression and not result.ok:
+        return 3
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    return _run_analyze(
+        args.a, args.b, args.config, args.event, args.json, args.rows,
+        args.fail_on_regression,
+    )
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.profiling.diff import diff_reports
 
+    if len(args.target) == 2:
+        # Two existing session dirs / summary files: delegate to the
+        # analyze machinery (informational — no regression gating here).
+        a, b = args.target
+        return _run_analyze(
+            a, b, getattr(args, "config", None), None, False, args.rows,
+            fail_on_regression=False,
+        )
+    if len(args.target) != 1:
+        print(
+            "viprof diff: expected one benchmark name or two "
+            "session/summary paths",
+            file=sys.stderr,
+        )
+        return 2
+    benchmark = args.target[0]
     p_before, p_after = args.period
     before = viprof_profile(
-        by_name(args.benchmark), period=p_before,
+        by_name(benchmark), period=p_before,
         time_scale=args.scale, seed=args.seed,
     )
     after = viprof_profile(
-        by_name(args.benchmark), period=p_after,
+        by_name(benchmark), period=p_after,
         time_scale=args.scale, seed=args.seed,
     )
     d = diff_reports(
@@ -306,13 +367,42 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--rows", type=int, default=20)
     _add_run_args(p)
 
-    p = sub.add_parser("diff", help="diff one benchmark across two periods")
-    p.add_argument("benchmark")
+    p = sub.add_parser(
+        "diff",
+        help="diff one benchmark across two periods, or two existing "
+        "sessions/summaries (delegates to analyze)",
+    )
+    p.add_argument("target", nargs="+", metavar="BENCHMARK|PATH",
+                   help="one benchmark name, or two session directories / "
+                        "summary JSON files")
     p.add_argument("--period", nargs=2, type=int, metavar=("BEFORE", "AFTER"),
                    default=[45_000, 90_000])
+    p.add_argument("--config", default=None,
+                   help="analysis config for the two-path mode (TOML/JSON)")
     p.add_argument("--rows", type=int, default=12)
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser(
+        "analyze",
+        help="compare two sessions/summaries and gate on regressions",
+    )
+    p.add_argument("a", help="baseline: session dir, summary.json, "
+                             "BENCH_*.json, or report --json file")
+    p.add_argument("b", help="candidate (same flavors as the baseline)")
+    p.add_argument("--config", default=None,
+                   help="TOML/JSON analysis config (panels + regression "
+                        "thresholds); default gates symbol shares, cache "
+                        "hit rate, and layer shares")
+    p.add_argument("--event", default=None,
+                   help="event to compare symbol shares on (default: "
+                        "first common event)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full analysis as canonical JSON "
+                        "(byte-stable across runs)")
+    p.add_argument("--rows", type=int, default=15)
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 3 when any configured gate trips")
 
     p = sub.add_parser("pgo", help="profile-guided optimization demo")
     p.add_argument("benchmark")
@@ -358,6 +448,7 @@ def main(argv: list[str] | None = None) -> int:
         "breakdown": _cmd_breakdown,
         "annotate": _cmd_annotate,
         "diff": _cmd_diff,
+        "analyze": _cmd_analyze,
         "pgo": _cmd_pgo,
         "xen": _cmd_xen,
         "timeline": _cmd_timeline,

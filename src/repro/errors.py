@@ -23,6 +23,7 @@ __all__ = [
     "CodeMapError",
     "WorkloadError",
     "StatCheckError",
+    "AnalysisError",
     "InjectedFault",
 ]
 
@@ -87,6 +88,12 @@ class StatCheckError(ReproError):
     """Static artifact/source analysis could not run (bad session dir,
     unreadable artifact, unknown rule id, ...).  Findings are *results*,
     not errors; this is raised only when the analyzer itself fails."""
+
+
+class AnalysisError(ReproError):
+    """Session-summary or analyze-layer failure: malformed summary JSON,
+    unsupported schema version, incomparable summaries, or a bad panel/
+    threshold configuration (:mod:`repro.metrics`)."""
 
 
 class InjectedFault(ReproError):

@@ -1,0 +1,146 @@
+"""Shared BENCH artifact writer.
+
+Both benchmark harnesses (``benchmarks/bench_pipeline_perf.py``,
+``benchmarks/bench_collection_perf.py``) used to hand-roll their JSON
+layouts; they now route through :func:`write_bench_payload`, which stamps
+the provenance every artifact needs for cross-run comparison —
+``schema_version``, ``cpu_count``, ``python``, the ``commit`` hash — and
+embeds a :class:`~repro.metrics.model.SessionSummary` (kind ``bench``)
+under the ``"summary"`` key so ``viprof analyze BENCH_a.json BENCH_b.json``
+works out of the box.
+
+The summary's panels are flattened numeric leaves of the payload:
+top-level scalars land in the ``headline`` panel, nested sections keep
+their key as the panel name, and list sections are keyed by their
+elements' discriminator fields (``codec``, ``workers``...).  Bench panels
+carry measured floats, not mergeable counters — bench summaries are
+compared, never merged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.metrics.model import KIND_BENCH, SCHEMA_VERSION, SessionSummary
+
+__all__ = ["bench_meta", "bench_summary_from_payload", "write_bench_payload"]
+
+#: Payload keys that are provenance, not measurements.
+_META_KEYS = (
+    "benchmark",
+    "schema_version",
+    "cpu_count",
+    "python",
+    "commit",
+    "smoke",
+    "seed",
+)
+
+#: Fields used to name list elements, in preference order.
+_DISCRIMINATORS = ("codec", "workers", "name", "label")
+
+
+def bench_meta() -> dict[str, object]:
+    """The provenance fields stamped into every BENCH artifact."""
+    from repro.metrics.build import _commit_hash
+
+    meta: dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    commit = _commit_hash()
+    if commit is not None:
+        meta["commit"] = commit
+    return meta
+
+
+def _numeric(v: object) -> int | float | None:
+    if isinstance(v, bool):
+        return int(v)
+    if isinstance(v, (int, float)):
+        return v
+    return None
+
+
+def _flatten_into(
+    panel: dict[str, int | float], prefix: str, value: object
+) -> None:
+    n = _numeric(value)
+    if n is not None:
+        panel[prefix] = n
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            _flatten_into(panel, f"{prefix}_{k}" if prefix else str(k), v)
+
+
+def _element_key(element: dict[str, object], index: int) -> str:
+    parts = []
+    for disc in _DISCRIMINATORS:
+        if disc in element:
+            parts.append(f"{disc}_{element[disc]}")
+    for flag in ("resolve_cache", "cache", "batch"):
+        if isinstance(element.get(flag), bool):
+            parts.append(f"{flag}_{'on' if element[flag] else 'off'}")
+    return "_".join(parts) if parts else f"item_{index}"
+
+
+def bench_summary_from_payload(
+    payload: dict[str, object],
+) -> SessionSummary:
+    """Flatten a harness payload's numeric leaves into a bench summary."""
+    panels: dict[str, dict[str, int | float]] = {}
+    headline: dict[str, int | float] = {}
+    for key, value in payload.items():
+        if key in _META_KEYS or key == "summary":
+            continue
+        n = _numeric(value)
+        if n is not None:
+            headline[key] = n
+            continue
+        if isinstance(value, dict):
+            panel: dict[str, int | float] = {}
+            _flatten_into(panel, "", value)
+            if panel:
+                panels[key] = panel
+            continue
+        if isinstance(value, list):
+            panel = {}
+            for i, element in enumerate(value):
+                if isinstance(element, dict):
+                    _flatten_into(panel, _element_key(element, i), element)
+                else:
+                    n = _numeric(element)
+                    if n is not None:
+                        panel[f"item_{i}"] = n
+            if panel:
+                panels[key] = panel
+    if headline:
+        panels["headline"] = headline
+    meta = {
+        k: payload[k]
+        for k in _META_KEYS
+        if k in payload and payload[k] is not None
+    }
+    meta.pop("schema_version", None)  # the summary carries its own
+    return SessionSummary(kind=KIND_BENCH, panels=panels, meta=meta)
+
+
+def write_bench_payload(
+    path: Path | str, payload: dict[str, object]
+) -> Path:
+    """Stamp provenance into a harness payload, embed its bench summary,
+    and write it canonically (sorted keys, trailing newline)."""
+    path = Path(path)
+    doc = dict(payload)
+    for k, v in bench_meta().items():
+        doc.setdefault(k, v)
+    doc["summary"] = bench_summary_from_payload(doc).to_dict()
+    path.write_text(
+        json.dumps(doc, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+    )
+    return path

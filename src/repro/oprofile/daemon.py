@@ -145,6 +145,9 @@ class OprofileDaemon:
         self.batch = batch
         self.write_buffer_bytes = write_buffer_bytes
         self.stats = DaemonStats()
+        #: cumulative cycles of daemon work across every wakeup — the
+        #: numerator of the ``daemon`` overhead panel
+        self.work_cycles = 0
         self._writers: dict[str, SampleFileWriter] = {}
         self._started = False
 
@@ -302,7 +305,18 @@ class OprofileDaemon:
                     )
         if drained:
             work.charge("opd_sfile_write", self.costs.flush)
+        self.work_cycles += work.total
         return work
+
+    def overhead_panel(self) -> dict[str, int | float]:
+        """Raw overhead counters for the unified summary's ``daemon``
+        panel (:mod:`repro.metrics`): total daemon cycles, wakeups, and
+        the samples that work logged."""
+        return {
+            "work_cycles": self.work_cycles,
+            "wakeups": self.stats.wakeups,
+            "samples_logged": self.stats.samples_logged,
+        }
 
     def _process_one(self, sample: RawSample, work: DaemonWork) -> None:
         """The historical per-sample path: classify, charge, append."""

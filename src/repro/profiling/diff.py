@@ -14,31 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.metrics.analyze import SymbolDelta, align_shares
 from repro.profiling.report import ProfileReport
 
 __all__ = ["DiffRow", "ProfileDiff", "diff_reports"]
 
-
-@dataclass(frozen=True, slots=True)
-class DiffRow:
-    """Share movement of one (image, symbol) between two profiles."""
-
-    image: str
-    symbol: str
-    before_pct: float
-    after_pct: float
-
-    @property
-    def delta(self) -> float:
-        return self.after_pct - self.before_pct
-
-    @property
-    def appeared(self) -> bool:
-        return self.before_pct == 0.0 and self.after_pct > 0.0
-
-    @property
-    def vanished(self) -> bool:
-        return self.before_pct > 0.0 and self.after_pct == 0.0
+#: The aligned-row type is the unified model's
+#: :class:`~repro.metrics.analyze.SymbolDelta` — ``diff`` rows and
+#: ``analyze`` rows are the same shape by construction.
+DiffRow = SymbolDelta
 
 
 @dataclass
@@ -102,17 +86,11 @@ def diff_reports(
         raise ConfigError(f"event {event!r} missing from one report")
 
     def shares(report: ProfileReport) -> dict[tuple[str, str], float]:
+        # Unlike SessionSummary.symbol_shares this keeps zero-count rows,
+        # preserving the historical row set (a 0 -> 0 pair still lists).
         return {
             (r.image, r.symbol): report.percent(r, event) for r in report.rows
         }
 
-    b, a = shares(before), shares(after)
-    rows = [
-        DiffRow(
-            image=img, symbol=sym,
-            before_pct=b.get((img, sym), 0.0),
-            after_pct=a.get((img, sym), 0.0),
-        )
-        for (img, sym) in sorted(set(b) | set(a))
-    ]
+    rows = align_shares(shares(before), shares(after))
     return ProfileDiff(event=event, rows=rows)

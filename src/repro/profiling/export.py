@@ -60,29 +60,23 @@ def report_to_json(
     counters, as returned by
     :meth:`~repro.pipeline.resolver.ResolverChain.stats_dict`) to JSON::
 
-        {"events": {...totals...},
+        {"schema_version": 1,
+         "events": {...totals...},
          "symbols": [{"image": ..., "symbol": ..., "counts": {...},
                       "percent": {...}}, ...],
+         "panels": {"layers": {...}, ...},     # unified-model panels
          "resolution": {"stages": [...]}}      # when stats given
+
+    The document is built by
+    :func:`repro.metrics.build.report_json_doc` — the historical keys
+    (``events``/``symbols``/``resolution``) are unchanged;
+    ``schema_version`` and ``panels`` are the unified session-metrics
+    model's additive fields, and ``viprof analyze`` accepts the document
+    directly.
     """
-    doc: dict[str, object] = {
-        "events": {ev: report.totals.get(ev, 0) for ev in report.events},
-        "symbols": [
-            {
-                "image": row.image,
-                "symbol": row.symbol,
-                "counts": {ev: row.count(ev) for ev in report.events},
-                "percent": {
-                    ev: round(report.percent(row, ev), 4)
-                    for ev in report.events
-                },
-            }
-            for row in report.sorted_rows()
-        ],
-    }
-    if stats is not None:
-        doc["resolution"] = stats
-    return json.dumps(doc, indent=2)
+    from repro.metrics.build import report_json_doc
+
+    return json.dumps(report_json_doc(report, stats=stats), indent=2)
 
 
 def report_to_csv(report: ProfileReport) -> str:

@@ -41,6 +41,13 @@ VP109  loss-accounting        The manifest's loss numbers must add up:
                               boundary it claims, and ``top_epoch``
                               covers every epoch the surviving artifacts
                               mention.
+VP110  summary-consistency   A session's embedded ``summary.json`` (and
+                              the summary a salvage manifest embeds) must
+                              agree with the artifacts on disk: per-event
+                              totals match the decoded sample counts, the
+                              layer split matches kernel-mode/heap-bounds
+                              classification, and the salvage panel
+                              re-derives from the manifest's own entries.
 
 A session with a salvage manifest is *expected* to have gaps, so the
 damage rules report salvage-accounted losses at INFO instead of
@@ -58,7 +65,9 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterator
 
-from repro.errors import SampleFormatError
+from repro.errors import AnalysisError, SampleFormatError
+from repro.metrics.build import salvage_panel
+from repro.metrics.model import SUMMARY_NAME, SessionSummary
 from repro.os.intervals import Interval, IntervalIndex
 from repro.profiling.record_codec import probe_sample_file
 from repro.statcheck.artifacts import (
@@ -71,6 +80,7 @@ from repro.statcheck.artifacts import (
 from repro.statcheck.findings import Finding, Severity
 from repro.statcheck.rules import rule
 from repro.viprof.codemap import CodeMapRecord
+from repro.viprof.runtime_profiler import VmRegistration
 
 __all__ = [
     "check_map_overlap",
@@ -82,6 +92,7 @@ __all__ = [
     "check_salvage_manifest",
     "check_quarantine_isolation",
     "check_loss_accounting",
+    "check_summary_consistency",
 ]
 
 
@@ -679,3 +690,250 @@ def check_loss_accounting(arts: SessionArtifacts) -> Iterator[Finding]:
                     "unaccounted"
                 ),
             )
+
+
+# ----------------------------------------------------------------------
+# Summary-consistency rule (VP110): validate the unified metrics model's
+# embedded summaries against the artifacts they claim to describe.
+# ----------------------------------------------------------------------
+
+
+def _decoded_event_totals(arts: SessionArtifacts) -> dict[str, int]:
+    """Per-event decoded sample counts — the ground truth an embedded
+    summary's ``totals`` must reproduce (unreadable files are skipped
+    here exactly as the summary builders skip them; VP100 reports
+    those)."""
+    totals: dict[str, int] = {}
+    for sf in arts.sample_files:
+        totals[sf.event_name] = totals.get(sf.event_name, 0) + len(sf.samples)
+    return totals
+
+
+def _summary_registration(
+    arts: SessionArtifacts, summary: SessionSummary
+) -> VmRegistration | None:
+    """The VM heap registration to classify against: the session's own
+    metadata first, else the one the summary carries in its meta."""
+    if arts.registration is not None:
+        return arts.registration
+    reg = summary.meta.get("registration")
+    if not isinstance(reg, dict):
+        return None
+    try:
+        return VmRegistration(
+            task_id=int(reg["task_id"]),
+            heap_low=int(reg["heap_low"]),
+            heap_high=int(reg["heap_high"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _classified_counts(
+    arts: SessionArtifacts, reg: VmRegistration | None
+) -> tuple[int, int, int, int]:
+    """(total, kernel, jit, user) classification of every decoded sample
+    — the same kernel-mode / heap-bounds split the daemon and the
+    offline summary builder both use."""
+    total = kernel = jit = user = 0
+    for sf in arts.sample_files:
+        for s in sf.samples:
+            total += 1
+            if s.kernel_mode:
+                kernel += 1
+            elif (
+                reg is not None
+                and s.task_id == reg.task_id
+                and reg.covers(s.pc)
+            ):
+                jit += 1
+            else:
+                user += 1
+    return total, kernel, jit, user
+
+
+def _mismatch(
+    artifact: str, location: str, what: str, claimed: object, actual: object
+) -> Finding:
+    return Finding(
+        severity=Severity.ERROR,
+        rule_id="VP110",
+        artifact=artifact,
+        location=location,
+        message=(
+            f"summary claims {what} = {claimed!r} but the artifacts "
+            f"hold {actual!r}"
+        ),
+    )
+
+
+def _check_session_summary(arts: SessionArtifacts) -> Iterator[Finding]:
+    path = arts.session_dir / SUMMARY_NAME
+    if not path.is_file():
+        return
+    label = str(path)
+    try:
+        summary = SessionSummary.load(path)
+    except AnalysisError as exc:
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP110",
+            artifact=label,
+            location="-",
+            message=f"embedded summary does not parse: {exc}",
+        )
+        return
+
+    # Per-event totals vs the records actually on disk.
+    actual_totals = _decoded_event_totals(arts)
+    for ev in sorted(set(summary.totals) | set(actual_totals)):
+        claimed = summary.totals.get(ev, 0)
+        actual = actual_totals.get(ev, 0)
+        if claimed != actual:
+            yield _mismatch(
+                label, f"totals[{ev}]", f"{ev} samples", claimed, actual
+            )
+
+    reg = _summary_registration(arts, summary)
+    total, kernel, jit, user = _classified_counts(arts, reg)
+
+    collection = summary.panel("collection")
+    if collection:
+        checks: list[tuple[str, object, int]] = [
+            ("samples_logged", collection.get("samples_logged"), total),
+            ("kernel_samples", collection.get("kernel_samples"), kernel),
+        ]
+        if reg is not None:
+            checks.append(
+                ("jit_samples", collection.get("jit_samples"), jit)
+            )
+            file_s = collection.get("file_samples")
+            anon_s = collection.get("anon_samples")
+            if isinstance(file_s, int) and isinstance(anon_s, int):
+                checks.append(
+                    ("file_samples+anon_samples", file_s + anon_s, user)
+                )
+        for name, claimed, actual in checks:
+            if isinstance(claimed, int) and claimed != actual:
+                yield _mismatch(
+                    label, f"panels.collection.{name}", name, claimed, actual
+                )
+
+    layers = summary.panel("layers")
+    if layers:
+        layer_checks: list[tuple[str, object, int]] = [
+            ("total", layers.get("total"), total),
+            ("kernel", layers.get("kernel"), kernel),
+        ]
+        if reg is not None:
+            layer_checks.append(("jit", layers.get("jit"), jit))
+            layer_checks.append(("user", layers.get("user"), user))
+        for name, claimed, actual in layer_checks:
+            if isinstance(claimed, int) and claimed != actual:
+                yield _mismatch(
+                    label, f"panels.layers.{name}", f"layer {name!r}",
+                    claimed, actual,
+                )
+        jit_detail = summary.panel("jit")
+        claimed_jit = layers.get("jit")
+        if jit_detail and isinstance(claimed_jit, int):
+            split = sum(
+                v for v in (
+                    jit_detail.get("resolved"),
+                    jit_detail.get("unresolved"),
+                    jit_detail.get("blocked_at_quarantine"),
+                )
+                if isinstance(v, int)
+            )
+            if split != claimed_jit:
+                yield _mismatch(
+                    label, "panels.jit",
+                    "resolved+unresolved+blocked_at_quarantine",
+                    split, claimed_jit,
+                )
+
+    # The summary's salvage panel must re-derive from the manifest.
+    claimed_salvage = summary.panel("salvage")
+    if claimed_salvage:
+        if not isinstance(arts.salvage, dict):
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP110",
+                artifact=label,
+                location="panels.salvage",
+                message=(
+                    "summary carries a salvage panel but the session has "
+                    "no salvage manifest"
+                ),
+            )
+        else:
+            expected = salvage_panel(arts.salvage)
+            for key in sorted(set(claimed_salvage) | set(expected)):
+                if claimed_salvage.get(key) != expected.get(key):
+                    yield _mismatch(
+                        label, f"panels.salvage.{key}", key,
+                        claimed_salvage.get(key), expected.get(key),
+                    )
+
+
+def _check_salvage_summary(arts: SessionArtifacts) -> Iterator[Finding]:
+    """The summary block ``viprof recover`` embeds in ``salvage.json``
+    must re-derive from the manifest's own per-artifact entries (older
+    manifests without one are fine)."""
+    if not isinstance(arts.salvage, dict):
+        return
+    embedded = arts.salvage.get("summary")
+    if embedded is None:
+        return
+    label = str(arts.session_dir / "salvage.json")
+    if not isinstance(embedded, dict):
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP110",
+            artifact=label,
+            location="summary",
+            message=f"malformed embedded summary: {embedded!r}",
+        )
+        return
+    version = embedded.get("schema_version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP110",
+            artifact=label,
+            location="summary.schema_version",
+            message=f"embedded summary has no schema version: {version!r}",
+        )
+    panel = embedded.get("salvage")
+    if not isinstance(panel, dict):
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP110",
+            artifact=label,
+            location="summary.salvage",
+            message=f"malformed embedded salvage panel: {panel!r}",
+        )
+        return
+    expected = salvage_panel(arts.salvage)
+    for key in sorted(set(panel) | set(expected)):
+        if panel.get(key) != expected.get(key):
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP110",
+                artifact=label,
+                location=f"summary.salvage.{key}",
+                message=(
+                    f"embedded salvage panel claims {key} = "
+                    f"{panel.get(key)!r} but the manifest's entries sum "
+                    f"to {expected.get(key)!r}"
+                ),
+            )
+
+
+@rule(
+    "VP110", "summary-consistency", Severity.ERROR,
+    "an embedded session summary must agree with the artifacts on disk",
+)
+def check_summary_consistency(arts: SessionArtifacts) -> Iterator[Finding]:
+    yield from _check_session_summary(arts)
+    yield from _check_salvage_summary(arts)

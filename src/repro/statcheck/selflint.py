@@ -118,7 +118,7 @@ _ALLOWED_RAISES = set(_errors.__all__) | {
 }
 
 #: Path fragments whose public functions must be fully annotated (SL204).
-_ANNOTATION_SCOPE = ("viprof", "profiling", "pipeline")
+_ANNOTATION_SCOPE = ("viprof", "profiling", "pipeline", "metrics")
 
 
 def _select_rules(rules: Iterable[str] | None) -> frozenset[str]:

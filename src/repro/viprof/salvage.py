@@ -172,13 +172,25 @@ class SalvageManifest:
         return sum(e.bytes_dropped for e in self.sample_files)
 
     def to_dict(self) -> dict:
-        return {
+        from repro.metrics.build import salvage_panel
+        from repro.metrics.model import SCHEMA_VERSION
+
+        doc = {
             "version": MANIFEST_VERSION,
             "sample_files": [e.to_dict() for e in self.sample_files],
             "maps": [m.to_dict() for m in self.maps],
             "top_epoch": self.top_epoch,
             "quarantined_epochs": list(self.quarantined_epochs),
         }
+        # Embedded loss-accounting summary (unified session-metrics
+        # model).  Derived from the entries above, so statcheck's VP110
+        # can recompute it and flag any disagreement; ignored by
+        # from_dict (older manifests without it stay loadable).
+        doc["summary"] = {
+            "schema_version": SCHEMA_VERSION,
+            "salvage": salvage_panel(doc),
+        }
+        return doc
 
     @classmethod
     def from_dict(cls, session_dir: Path, d: dict) -> "SalvageManifest":

@@ -120,7 +120,26 @@ class ViprofSession:
         work = self.daemon.stop()
         self.kmodule.shutdown()
         self._active = False
+        self._write_summary()
         return work
+
+    def _write_summary(self) -> None:
+        """Leave the collection-side summary (unified session-metrics
+        model) next to the artifacts.  Only a *clean* teardown reaches
+        this — a crashed session has no ``summary.json``, and statcheck's
+        VP110 holds an existing one to the artifacts actually on disk."""
+        from repro.metrics.build import collection_summary
+        from repro.metrics.model import SUMMARY_NAME
+
+        regs = self.daemon.registrations
+        summary = collection_summary(
+            self.sample_dir,
+            self.daemon.stats,
+            buffer_lost=self.kmodule.buffer.lost,
+            overhead=self.daemon.overhead_panel(),
+            registration=regs[0] if regs else None,
+        )
+        summary.save(self.session_dir / SUMMARY_NAME)
 
     # ------------------------------------------------------------------
 

@@ -1,0 +1,246 @@
+"""Tests for the analyze engine: alignment, derived rates, gating, inputs."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.metrics.analyze import (
+    align_shares,
+    analyze,
+    derived_metrics,
+    load_input,
+)
+from repro.metrics.bench import bench_summary_from_payload, write_bench_payload
+from repro.metrics.model import (
+    KIND_ARTIFACTS,
+    KIND_BENCH,
+    KIND_COLLECTION,
+    SessionSummary,
+    SymbolEntry,
+)
+from repro.metrics.panels import (
+    AnalysisConfig,
+    SymbolRules,
+    Threshold,
+    load_config,
+)
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures"
+REGRESSION_A = FIXTURES / "analyze" / "regression-a.json"
+REGRESSION_B = FIXTURES / "analyze" / "regression-b.json"
+EV = "GLOBAL_POWER_EVENTS"
+
+
+class TestIdentity:
+    def test_identical_summaries_have_zero_deltas(self):
+        a = load_input(REGRESSION_A)
+        b = load_input(REGRESSION_A)
+        result = analyze(a, b)
+        assert result.ok
+        assert all(s.delta == 0.0 for s in result.symbols)
+        assert all(m.delta == 0.0 for m in result.metrics)
+
+    def test_identity_json_is_byte_stable(self):
+        runs = [
+            analyze(load_input(REGRESSION_A), load_input(REGRESSION_A)).to_json()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+        assert json.loads(runs[0])["ok"] is True
+
+
+class TestSeededRegression:
+    def test_fixture_pair_trips_all_gates(self):
+        result = analyze(load_input(REGRESSION_A), load_input(REGRESSION_B))
+        assert not result.ok
+        subjects = {r.subject for r in result.regressions}
+        assert "JIT.App:fixture.app.Alpha.run" in subjects  # +15pt gain
+        assert "JIT.App:fixture.app.Hot.spin" in subjects   # appeared at 2%
+        assert "cache.hit_rate_pct" in subjects             # 90% -> 60%
+        assert "layers.kernel_pct" in subjects              # 20% -> 35%
+
+    def test_vanished_symbol_is_flagged_not_gated(self):
+        before = {("JIT.App", "gone"): 40.0, ("JIT.App", "stays"): 60.0}
+        after = {("JIT.App", "stays"): 100.0}
+        deltas = {d.symbol: d for d in align_shares(before, after)}
+        assert deltas["gone"].vanished and not deltas["gone"].appeared
+        assert deltas["gone"].delta == -40.0
+
+    def test_kind_mismatch_raises(self):
+        with pytest.raises(AnalysisError, match="cannot analyze"):
+            analyze(
+                SessionSummary(kind=KIND_BENCH),
+                SessionSummary(kind=KIND_COLLECTION),
+            )
+
+    def test_pinned_event_missing_raises(self):
+        config = AnalysisConfig(symbols=SymbolRules(event="ITLB_MISS"))
+        a = load_input(REGRESSION_A)
+        with pytest.raises(AnalysisError, match="ITLB_MISS"):
+            analyze(a, a, config=config)
+
+
+class TestDerivedMetrics:
+    def test_total_yields_percentages(self):
+        s = SessionSummary(
+            panels={"layers": {"kernel": 25, "jit": 75, "total": 100}}
+        )
+        derived = derived_metrics(s)["layers"]
+        assert derived["kernel_pct"] == 25.0
+        assert derived["jit_pct"] == 75.0
+        assert "total_pct" not in derived
+
+    def test_hits_misses_yield_hit_rate(self):
+        s = SessionSummary(panels={"cache": {"hits": 90, "misses": 10}})
+        assert derived_metrics(s)["cache"]["hit_rate_pct"] == 90.0
+
+    def test_zero_denominators_yield_no_rates(self):
+        s = SessionSummary(
+            panels={
+                "layers": {"kernel": 0, "total": 0},
+                "cache": {"hits": 0, "misses": 0},
+            }
+        )
+        derived = derived_metrics(s)
+        assert "kernel_pct" not in derived["layers"]
+        assert "hit_rate_pct" not in derived["cache"]
+
+    def test_max_ratio_gate(self):
+        config = AnalysisConfig(
+            symbols=SymbolRules(max_gain_points=None, max_appear_points=None),
+            thresholds=(
+                Threshold(metric="daemon.work_cycles", max_ratio=1.5),
+            ),
+        )
+        a = SessionSummary(panels={"daemon": {"work_cycles": 100}})
+        b = SessionSummary(panels={"daemon": {"work_cycles": 200}})
+        result = analyze(a, b, config=config)
+        assert [r.subject for r in result.regressions] == ["daemon.work_cycles"]
+        assert analyze(b, a, config=config).ok  # shrinking is fine
+
+    def test_absent_gated_metric_is_skipped(self):
+        config = AnalysisConfig(
+            thresholds=(Threshold(metric="gc.nope", max_delta=1.0),)
+        )
+        empty = SessionSummary()
+        assert analyze(empty, empty, config=config).ok
+
+
+class TestConfigLoading:
+    def test_json_config(self, tmp_path):
+        path = tmp_path / "gates.json"
+        path.write_text(json.dumps({
+            "symbols": {"max_gain_points": 2.5, "event": EV},
+            "thresholds": [
+                {"metric": "cache.hit_rate_pct", "direction": "down",
+                 "max_delta": 1.0},
+            ],
+        }))
+        config = load_config(path)
+        assert config.symbols.max_gain_points == 2.5
+        assert config.symbols.event == EV
+        assert config.thresholds[0].panel == "cache"
+        assert config.thresholds[0].key == "hit_rate_pct"
+
+    def test_toml_config(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "gates.toml"
+        path.write_text(
+            '[symbols]\nmax_appear_points = 0.5\n\n'
+            '[[thresholds]]\nmetric = "layers.kernel_pct"\n'
+            'direction = "up"\nmax_delta = 3.0\n'
+        )
+        config = load_config(path)
+        assert config.symbols.max_appear_points == 0.5
+        assert config.thresholds[0].metric == "layers.kernel_pct"
+
+    def test_bad_direction_rejected(self, tmp_path):
+        path = tmp_path / "gates.json"
+        path.write_text(json.dumps({
+            "thresholds": [{"metric": "a.b", "direction": "sideways",
+                            "max_delta": 1.0}],
+        }))
+        with pytest.raises(AnalysisError, match="direction"):
+            load_config(path)
+
+    def test_unbounded_threshold_rejected(self):
+        with pytest.raises(AnalysisError, match="neither"):
+            Threshold(metric="a.b")
+
+
+class TestLoadInput:
+    def test_session_directory_derives_artifacts_summary(self):
+        summary = load_input(FIXTURES / "lint-session")
+        assert summary.kind == KIND_ARTIFACTS
+        assert summary.totals == {EV: 7}
+        layers = summary.panel("layers")
+        assert layers["total"] == 7 and layers["kernel"] == 1
+        # The six heap samples all resolve through the epoch maps.
+        assert summary.panel("jit")["resolved"] == 6
+        assert {e.symbol for e in summary.symbols} >= {
+            "fixture.app.Alpha.run", "fixture.app.Beta.step"
+        }
+
+    def test_identical_session_dirs_compare_clean(self):
+        a = load_input(FIXTURES / "lint-session")
+        b = load_input(FIXTURES / "lint-session-batched")
+        result = analyze(a, b)
+        assert result.ok
+        assert all(s.delta == 0.0 for s in result.symbols)
+
+    def test_legacy_report_doc(self, tmp_path):
+        doc = {
+            "events": {EV: 10},
+            "symbols": [
+                {"image": "JIT.App", "symbol": "m", "counts": {EV: 10},
+                 "percent": {EV: 100.0}},
+            ],
+        }
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(doc))
+        summary = load_input(path)
+        assert summary.totals == {EV: 10}
+        assert summary.symbols[0].key == ("JIT.App", "m")
+
+    def test_unrecognized_input_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(AnalysisError, match="unrecognized input"):
+            load_input(path)
+
+
+class TestBenchSummaries:
+    PAYLOAD = {
+        "benchmark": "demo",
+        "samples": 1000,
+        "elapsed": 1.25,
+        "smoke": True,
+        "daemon": {"wakeups": 4, "speedup": 2.0},
+        "configs": [
+            {"workers": 1, "resolve_cache": False, "seconds": 2.0},
+            {"workers": 1, "resolve_cache": True, "seconds": 1.0},
+        ],
+    }
+
+    def test_payload_flattening(self):
+        summary = bench_summary_from_payload(self.PAYLOAD)
+        assert summary.kind == KIND_BENCH
+        headline = summary.panel("headline")
+        assert headline["samples"] == 1000 and headline["elapsed"] == 1.25
+        assert summary.panel("daemon")["wakeups"] == 4
+        configs = summary.panel("configs")
+        assert configs["workers_1_resolve_cache_off_seconds"] == 2.0
+        assert configs["workers_1_resolve_cache_on_seconds"] == 1.0
+
+    def test_write_bench_payload_stamps_and_embeds(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        write_bench_payload(path, dict(self.PAYLOAD))
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == 1
+        assert isinstance(doc["cpu_count"], int)
+        assert doc["summary"]["kind"] == KIND_BENCH
+        loaded = load_input(path)
+        assert loaded.kind == KIND_BENCH
+        assert analyze(loaded, load_input(path)).ok

@@ -1,0 +1,124 @@
+"""VP110: embedded summaries must agree with the artifacts on disk."""
+
+import json
+import shutil
+from pathlib import Path
+
+from repro.metrics.build import write_session_summary
+from repro.statcheck.artifacts import load_session
+from repro.statcheck.fixtures import write_fixture_session
+from repro.statcheck.rules import run_rules
+
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures"
+
+
+def vp110(session_dir):
+    report = run_rules(load_session(session_dir), rule_ids=["VP110"])
+    return [f for f in report if f.rule_id == "VP110"]
+
+
+def copy_fixture(name: str, tmp_path: Path) -> Path:
+    dest = tmp_path / name
+    shutil.copytree(FIXTURES / name, dest)
+    return dest
+
+
+class TestSessionSummary:
+    def test_checked_in_fixtures_are_consistent(self):
+        for name in (
+            "lint-session", "lint-session-batched", "lint-session-damaged"
+        ):
+            assert vp110(FIXTURES / name) == [], name
+
+    def test_session_without_summary_is_silent(self, tmp_path):
+        sess = write_fixture_session(tmp_path / "bare")
+        assert vp110(sess) == []
+
+    def test_freshly_derived_summary_is_consistent(self, tmp_path):
+        sess = write_fixture_session(tmp_path / "fresh")
+        write_session_summary(sess)
+        assert vp110(sess) == []
+
+    def test_tampered_totals_flagged(self, tmp_path):
+        sess = copy_fixture("lint-session", tmp_path)
+        path = sess / "summary.json"
+        doc = json.loads(path.read_text())
+        doc["totals"]["GLOBAL_POWER_EVENTS"] += 3
+        path.write_text(json.dumps(doc))
+        findings = vp110(sess)
+        assert len(findings) == 1
+        assert "GLOBAL_POWER_EVENTS" in findings[0].message
+
+    def test_tampered_layer_counts_flagged(self, tmp_path):
+        sess = copy_fixture("lint-session", tmp_path)
+        path = sess / "summary.json"
+        doc = json.loads(path.read_text())
+        doc["panels"]["layers"]["kernel"] += 1
+        doc["panels"]["layers"]["user"] -= 1
+        path.write_text(json.dumps(doc))
+        locations = {f.location for f in vp110(sess)}
+        assert locations == {"panels.layers.kernel", "panels.layers.user"}
+
+    def test_jit_split_must_sum_to_jit_layer(self, tmp_path):
+        sess = copy_fixture("lint-session", tmp_path)
+        path = sess / "summary.json"
+        doc = json.loads(path.read_text())
+        doc["panels"]["jit"]["resolved"] += 2
+        path.write_text(json.dumps(doc))
+        assert any(f.location == "panels.jit" for f in vp110(sess))
+
+    def test_salvage_panel_without_manifest_flagged(self, tmp_path):
+        sess = copy_fixture("lint-session", tmp_path)
+        path = sess / "summary.json"
+        doc = json.loads(path.read_text())
+        doc["panels"]["salvage"] = {"records_kept": 5}
+        path.write_text(json.dumps(doc))
+        findings = vp110(sess)
+        assert any("no salvage manifest" in f.message for f in findings)
+
+    def test_unparseable_summary_flagged(self, tmp_path):
+        sess = copy_fixture("lint-session", tmp_path)
+        (sess / "summary.json").write_text("{broken")
+        findings = vp110(sess)
+        assert len(findings) == 1
+        assert "does not parse" in findings[0].message
+
+    def test_removing_samples_breaks_agreement(self, tmp_path):
+        sess = copy_fixture("lint-session", tmp_path)
+        for p in (sess / "samples").glob("*.samples"):
+            p.unlink()
+        assert any("totals" in f.location for f in vp110(sess))
+
+
+class TestSalvageEmbeddedSummary:
+    def test_tampered_embedded_panel_flagged(self, tmp_path):
+        sess = copy_fixture("lint-session-damaged", tmp_path)
+        path = sess / "salvage.json"
+        doc = json.loads(path.read_text())
+        doc["summary"]["salvage"]["bytes_dropped"] += 7
+        path.write_text(json.dumps(doc))
+        findings = vp110(sess)
+        assert any(
+            f.location == "summary.salvage.bytes_dropped" for f in findings
+        )
+
+    def test_manifest_without_embedded_summary_is_silent(self, tmp_path):
+        sess = copy_fixture("lint-session-damaged", tmp_path)
+        path = sess / "salvage.json"
+        doc = json.loads(path.read_text())
+        del doc["summary"]
+        path.write_text(json.dumps(doc))
+        # The session summary's own salvage panel still cross-checks
+        # against the manifest entries; dropping the embedded copy alone
+        # must not flag (older manifests predate the embedding).
+        assert vp110(sess) == []
+
+    def test_malformed_embedded_summary_flagged(self, tmp_path):
+        sess = copy_fixture("lint-session-damaged", tmp_path)
+        path = sess / "salvage.json"
+        doc = json.loads(path.read_text())
+        doc["summary"] = "yes"
+        path.write_text(json.dumps(doc))
+        assert any(
+            "malformed embedded summary" in f.message for f in vp110(sess)
+        )
