@@ -5,15 +5,20 @@ Synthesizes a large session (default one million samples) by replicating
 a real seeded VIProf run's sample records, then measures end-to-end
 resolution throughput (samples/sec) and peak RSS for:
 
-* ``workers=1`` with the resolution cache **off** — the raw stage walk;
-* ``workers=1`` with the cache **on** — memoization + batched decode;
-* ``workers=2`` and ``workers=4`` — sharded multi-process resolution.
+* ``workers=1``, cache **off**, scalar loop — the raw per-sample walk;
+* ``workers=1``, cache **off**, columnar — the deduplicated batch path
+  against the raw walk (the headline columnar win);
+* ``workers=1``, cache **on**, scalar and columnar;
+* ``workers=2``/``4`` (columnar, cached) — sharded multi-process
+  resolution over shared-memory result transport;
+* ``workers="auto"`` — the core-count heuristic (1 on a single-core box).
 
 Every configuration's report is checked byte-identical against the
 sequential baseline before its numbers are recorded (a perf run that
-changes output is a failed run, not a fast one).  Results land in
-``BENCH_pipeline.json`` at the repo root; ``docs/performance.md``
-explains how to read them.
+changes output is a failed run, not a fast one), and each config carries
+``speedup_vs_scalar`` — its time against the scalar loop at the same
+cache setting.  Results land in ``BENCH_pipeline.json`` at the repo
+root; ``docs/performance.md`` explains how to read them.
 
 Usage::
 
@@ -34,6 +39,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.metrics.bench import write_bench_payload  # noqa: E402
+from repro.pipeline.parallel import resolve_workers  # noqa: E402
 from repro.profiling.record_codec import (  # noqa: E402
     RecordFileReader,
     RecordFileWriter,
@@ -90,18 +96,24 @@ def peak_rss_kb() -> int:
 
 
 def bench_config(
-    make_post, workers: int, cache: bool, baseline_table: str | None
+    make_post,
+    workers: int | str,
+    cache: bool,
+    columnar: bool,
+    baseline_table: str | None,
 ) -> tuple[dict, str]:
+    resolved_workers = resolve_workers(workers)
     post = make_post(cache)
     t0 = time.perf_counter()
-    report = post.generate(workers=workers)
+    report = post.generate(workers=workers, columnar=columnar)
     elapsed = time.perf_counter() - t0
     stats = post.chain.stats_dict()
     total = stats["total_samples"]
     table = report.format_table(limit=20)
     result = {
-        "workers": workers,
+        "workers": resolved_workers,
         "resolve_cache": cache,
+        "columnar": columnar,
         "samples": total,
         "seconds": round(elapsed, 4),
         "samples_per_sec": round(total / elapsed) if elapsed else None,
@@ -111,10 +123,13 @@ def bench_config(
             None if baseline_table is None else table == baseline_table
         ),
     }
+    if workers == "auto":
+        result["workers_requested"] = "auto"
     if baseline_table is not None and table != baseline_table:
         raise SystemExit(
-            f"workers={workers} cache={cache} produced a different report "
-            "than the sequential baseline — parity broken, not measuring"
+            f"workers={workers} cache={cache} columnar={columnar} produced "
+            "a different report than the sequential baseline — parity "
+            "broken, not measuring"
         )
     return result, table
 
@@ -123,16 +138,19 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--samples", type=int, default=1_000_000,
                     help="synthetic session size (default 1M)")
-    ap.add_argument("--workers", default="1,2,4",
-                    help="comma-separated worker counts (default 1,2,4)")
+    ap.add_argument("--workers", default=None,
+                    help="comma-separated worker counts "
+                         "(default 1,2,4; smoke default 1,2)")
     ap.add_argument("--smoke", action="store_true",
-                    help="CI mode: 100k samples, workers 1,2")
+                    help="CI mode: 100k samples, workers 1,2 unless "
+                         "--workers is given explicitly")
     ap.add_argument("--out", type=Path,
                     default=REPO_ROOT / "BENCH_pipeline.json")
     args = ap.parse_args(argv)
     if args.smoke:
         args.samples = min(args.samples, 100_000)
-        args.workers = "1,2"
+    if args.workers is None:
+        args.workers = "1,2" if args.smoke else "1,2,4"
     worker_counts = [int(w) for w in args.workers.split(",")]
 
     print(f"seeding: viprof run of {SEED_BENCH!r} "
@@ -163,29 +181,56 @@ def main(argv: list[str] | None = None) -> int:
 
         configs = []
         baseline_table = None
-        baseline_secs = None
-        # The raw stage walk first, then the cached sequential pass (the
-        # memoization + batched-decode win), then the sharded runs.
-        plan = [(1, False)] + [(w, True) for w in worker_counts]
-        for workers, cache in plan:
+        # Scalar references first (they double as the report-parity
+        # baseline), then the columnar sequential passes, then the
+        # sharded columnar runs and the auto heuristic.
+        plan: list[tuple[int | str, bool, bool]] = [
+            (1, False, False),
+            (1, False, True),
+            (1, True, False),
+            (1, True, True),
+        ]
+        plan += [(w, True, True) for w in worker_counts if w > 1]
+        plan.append(("auto", True, True))
+        scalar_secs: dict[bool, float] = {}
+        for workers, cache, columnar in plan:
             result, table = bench_config(
-                make_post, workers, cache, baseline_table
+                make_post, workers, cache, columnar, baseline_table
             )
             if baseline_table is None:
                 baseline_table = table
-            if workers == 1 and cache and baseline_secs is None:
-                baseline_secs = result["seconds"]
+            if workers == 1 and not columnar:
+                scalar_secs[cache] = result["seconds"]
+            ref = scalar_secs.get(cache)
+            result["speedup_vs_scalar"] = (
+                round(ref / result["seconds"], 2)
+                if ref and result["seconds"]
+                else None
+            )
             configs.append(result)
             rate = result["samples_per_sec"]
-            print(f"workers={workers} cache={'on' if cache else 'off'}: "
+            print(f"workers={workers} cache={'on' if cache else 'off'} "
+                  f"columnar={'on' if columnar else 'off'}: "
                   f"{result['seconds']:.2f}s  {rate} samples/s", flush=True)
 
-        uncached = next(
-            c for c in configs if not c["resolve_cache"] and c["workers"] == 1
-        )
-        cached = next(
-            (c for c in configs if c["resolve_cache"] and c["workers"] == 1),
-            None,
+        def pick(workers, cache, columnar):
+            return next(
+                c for c in configs
+                if c["workers"] == workers
+                and c["resolve_cache"] is cache
+                and c["columnar"] is columnar
+                and "workers_requested" not in c
+            )
+
+        uncached_scalar = pick(1, False, False)
+        uncached_columnar = pick(1, False, True)
+        cached_scalar = pick(1, True, False)
+        cached_columnar = pick(1, True, True)
+        auto = next(c for c in configs if "workers_requested" in c)
+        best_sharded = max(
+            (c["samples_per_sec"] for c in configs
+             if c["resolve_cache"] and c["columnar"]),
+            default=None,
         )
         payload = {
             "benchmark": "pipeline_resolution_throughput",
@@ -203,20 +248,42 @@ def main(argv: list[str] | None = None) -> int:
                 "write_path": "pack_many+write_packed",
             },
             "configs": configs,
+            # Headlines: columnar vs the scalar loop at each cache
+            # setting, memoization on the default (columnar) path, and
+            # the worker heuristic's outcome on this box.
+            "speedup_columnar_uncached": uncached_columnar[
+                "speedup_vs_scalar"
+            ],
+            "speedup_columnar_cached": cached_columnar["speedup_vs_scalar"],
             "speedup_cache_on_vs_off": (
-                round(uncached["seconds"] / cached["seconds"], 2)
-                if cached and cached["seconds"]
+                round(
+                    uncached_columnar["seconds"] / cached_columnar["seconds"],
+                    2,
+                )
+                if cached_columnar["seconds"]
                 else None
             ),
+            "workers_auto_resolved": auto["workers"],
+            # The auto heuristic never picks a losing pool, so the best
+            # cached-columnar rate is ≥ the 1-worker rate by construction
+            # (on single-core boxes it *is* the 1-worker rate).
+            "best_samples_per_sec": best_sharded,
+            "scalar_uncached_samples_per_sec": uncached_scalar[
+                "samples_per_sec"
+            ],
+            "scalar_cached_samples_per_sec": cached_scalar[
+                "samples_per_sec"
+            ],
         }
 
     # The shared writer stamps schema_version / cpu_count / python /
     # commit and embeds the bench summary for `viprof analyze`.
     write_bench_payload(args.out, payload)
     print(f"wrote {args.out}")
-    if payload["speedup_cache_on_vs_off"] is not None:
-        print(f"cache+batched-decode speedup: "
-              f"{payload['speedup_cache_on_vs_off']}x")
+    print(f"columnar speedup: uncached "
+          f"{payload['speedup_columnar_uncached']}x, cached "
+          f"{payload['speedup_columnar_cached']}x; cache on/off "
+          f"{payload['speedup_cache_on_vs_off']}x")
     return 0
 
 

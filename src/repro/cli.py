@@ -80,8 +80,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
         by_name(args.benchmark), period=args.period,
         time_scale=args.scale, seed=args.seed,
     )
+    workers = args.workers if args.workers == "auto" else int(args.workers)
     vr = result.viprof_report(
-        workers=args.workers, resolve_cache=not args.no_resolve_cache,
+        workers=workers, resolve_cache=not args.no_resolve_cache,
+        columnar=args.columnar,
     )
     if args.json:
         from repro.profiling.export import report_to_json
@@ -338,12 +340,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the report (plus per-stage resolution "
                         "counters) as JSON")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", default="1",
                    help="shard sample resolution across N worker "
-                        "processes (same output, faster; default 1)")
+                        "processes, or 'auto' to size the pool from the "
+                        "machine's core count (same output, faster; "
+                        "default 1)")
     p.add_argument("--no-resolve-cache", action="store_true",
                    help="disable the epoch-aware PC resolution cache "
                         "(performance ablation; output is unchanged)")
+    p.add_argument("--columnar", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="resolve with the columnar (deduplicated batch) "
+                        "path; --no-columnar falls back to the per-sample "
+                        "loop (performance ablation; output is unchanged)")
     _add_run_args(p)
 
     p = sub.add_parser("case-study", help="Figure 1 side-by-side")

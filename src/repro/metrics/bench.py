@@ -83,7 +83,7 @@ def _element_key(element: dict[str, object], index: int) -> str:
     for disc in _DISCRIMINATORS:
         if disc in element:
             parts.append(f"{disc}_{element[disc]}")
-    for flag in ("resolve_cache", "cache", "batch"):
+    for flag in ("resolve_cache", "cache", "batch", "columnar"):
         if isinstance(element.get(flag), bool):
             parts.append(f"{flag}_{'on' if element[flag] else 'off'}")
     return "_".join(parts) if parts else f"item_{index}"

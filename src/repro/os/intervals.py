@@ -107,6 +107,51 @@ class IntervalIndex(Generic[P]):
             i -= 1
         return None
 
+    def first_covering_many(
+        self, points: Iterable[int]
+    ) -> list[Interval[P] | None]:
+        """:meth:`first_covering` over an **ascending** run of points.
+
+        Consecutive points from a sorted run tend to land in the same
+        interval (a hot method body covers many sampled PCs), so the last
+        hit is re-tested before paying another bisect — the columnar
+        resolver's bulk lookup.  Results are positionally aligned with the
+        input and identical to calling :meth:`first_covering` per point.
+        """
+        starts = self._starts
+        n = len(starts)
+        out: list[Interval[P] | None] = []
+        last: Interval[P] | None = None
+        last_i = -1
+        prev: int | None = None
+        for p in points:
+            if prev is not None and p < prev:
+                raise ConfigError(
+                    f"first_covering_many needs ascending points "
+                    f"({p:#x} after {prev:#x})"
+                )
+            prev = p
+            # The shortcut must preserve "greatest covering start": it is
+            # only safe while no later-starting interval has reached p.
+            if (
+                last is not None
+                and last.contains(p)
+                and (last_i + 1 >= n or starts[last_i + 1] > p)
+            ):
+                out.append(last)
+                continue
+            i = bisect.bisect_right(starts, p) - 1
+            last = None
+            last_i = -1
+            while i >= 0 and self._prefix_max_end[i] > p:
+                if self._intervals[i].contains(p):
+                    last = self._intervals[i]
+                    last_i = i
+                    break
+                i -= 1
+            out.append(last)
+        return out
+
     # ------------------------------------------------------------------
     # Overlap detection
     # ------------------------------------------------------------------

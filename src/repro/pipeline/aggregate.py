@@ -24,7 +24,8 @@ def run_pipeline(
     source: Iterable[object],
     chain: ResolverChain,
     events: tuple[str, ...] | None = None,
-    workers: int = 1,
+    workers: int | str = 1,
+    columnar: bool = True,
 ) -> ProfileReport:
     """Resolve and aggregate a sample stream in one constant-memory pass.
 
@@ -32,14 +33,24 @@ def run_pipeline(
     shape :func:`~repro.pipeline.source.as_pipeline_sample` accepts);
     ``events`` fixes the report's column order and drops other events.
     ``workers > 1`` requires a :class:`~repro.pipeline.source.DirectorySource`
-    (sharding needs record-addressable files); after the run the chain's
-    ``stats_dict()`` covers the whole stream either way.
+    (sharding needs record-addressable files); ``workers="auto"`` picks a
+    count from the machine's core count (1 on a single-core box).  After
+    the run the chain's ``stats_dict()`` covers the whole stream either
+    way.  ``columnar`` selects the deduplicated batch resolution path
+    (byte-identical output; see :mod:`repro.pipeline.columnar`).
     """
-    from repro.pipeline.parallel import consume_source, run_parallel_pipeline
+    from repro.pipeline.parallel import (
+        consume_source,
+        resolve_workers,
+        run_parallel_pipeline,
+    )
 
+    workers = resolve_workers(workers)
     if workers > 1:
-        agg = run_parallel_pipeline(source, chain, events, workers)
+        agg = run_parallel_pipeline(
+            source, chain, events, workers, columnar=columnar
+        )
     else:
         agg = StreamingAggregator(events)
-        consume_source(source, chain, agg)
+        consume_source(source, chain, agg, columnar=columnar)
     return agg.report()

@@ -64,7 +64,7 @@ class CachedResolution:
 class ResolutionCache:
     """Bounded LRU map from sample key to :class:`CachedResolution`."""
 
-    __slots__ = ("capacity", "hits", "misses", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "_entries", "_absorbed_size")
 
     def __init__(self, capacity: int = DEFAULT_RESOLVE_CACHE_SIZE) -> None:
         if capacity <= 0:
@@ -72,6 +72,9 @@ class ResolutionCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        #: Largest entry count reported by any absorbed worker cache (see
+        #: :meth:`absorb_counters`); 0 until a parallel run merges in.
+        self._absorbed_size = 0
         self._entries: OrderedDict[tuple, CachedResolution] = OrderedDict()
 
     def __len__(self) -> int:
@@ -93,31 +96,56 @@ class ResolutionCache:
         if len(entries) > self.capacity:
             entries.popitem(last=False)
 
+    def count_bulk_hits(self, n: int) -> None:
+        """Count ``n`` additional hits against an entry the caller already
+        looked up — the columnar path probes once per distinct key and
+        bulk-counts the duplicates so totals match the per-sample loop."""
+        self.hits += n
+
     def clear(self) -> None:
         """Drop all entries and zero the counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self._absorbed_size = 0
 
     def reset_counters(self) -> None:
         """Zero the hit/miss counters, keeping the entries warm."""
         self.hits = 0
         self.misses = 0
+        self._absorbed_size = 0
 
-    def absorb_counters(self, hits: int, misses: int) -> None:
-        """Fold a worker cache's counters into this one (stat merging)."""
+    def absorb_counters(self, hits: int, misses: int, size: int = 0) -> None:
+        """Fold a worker cache's counters into this one (stat merging).
+
+        ``size`` is the worker cache's entry count at export time.  Worker
+        caches are private copies warmed over overlapping key sets, so
+        sizes are **not** additive — summing would double-count every hot
+        key shared between shards.  The merged ``size`` therefore reports
+        the *maximum* single-worker working set, a lower bound on the
+        distinct-key population that is exact when one worker saw every
+        key.
+        """
         self.hits += hits
         self.misses += misses
+        self._absorbed_size = max(self._absorbed_size, size)
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def merged_size(self) -> int:
+        """Entry count including absorbed workers: the parent's own
+        entries, or — after a parallel run leaves the parent cache cold —
+        the largest absorbed worker working set."""
+        return max(len(self._entries), self._absorbed_size)
+
     def stats_dict(self) -> dict[str, int | float]:
         return {
             "capacity": self.capacity,
-            "size": len(self._entries),
+            "size": self.merged_size,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,

@@ -28,15 +28,19 @@ counters and the aggregate is bumped straight from the decoded fields.
 
 from __future__ import annotations
 
+import os
 import pickle
+import struct
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from pathlib import Path
 from typing import Iterable, Sequence
 
 import multiprocessing
 
 from repro.errors import ProfilerError
+from repro.pipeline.columnar import resolve_column_chunk
 from repro.pipeline.resolver import ResolverChain
 from repro.pipeline.source import DirectorySource, PipelineSample
 from repro.profiling.model import RawSample
@@ -46,6 +50,7 @@ from repro.profiling.report import StreamingAggregator
 __all__ = [
     "ShardChunk",
     "plan_shards",
+    "resolve_workers",
     "consume_source",
     "consume_chunks",
     "run_parallel_pipeline",
@@ -55,6 +60,35 @@ __all__ = [
 #: split never lands mid decode chunk (pure I/O efficiency; correctness
 #: does not depend on it).
 SPLIT_ALIGN_RECORDS = 4096
+
+#: Size of each shard's shared-memory result segment.  Sized for the
+#: packed aggregate of a realistic shard (a few hundred rows is a few tens
+#: of KB); a shard whose result outgrows it falls back to returning the
+#: blob over the pool's pickle channel — slower, never wrong.
+SHARD_SEGMENT_BYTES = 1 << 20
+
+#: ``workers="auto"`` never picks more than this many shards: resolution
+#: is CPU-bound, so workers beyond the core count only add fork + merge
+#: overhead, and very wide boxes hit diminishing returns on session I/O.
+MAX_AUTO_WORKERS = 8
+
+
+def resolve_workers(workers: int | str) -> int:
+    """Resolve a worker-count knob to a concrete count.
+
+    ``"auto"`` picks ``min(cpu_count, MAX_AUTO_WORKERS)`` — and degrades
+    to 1 on a single-core box, where extra processes can only lose (fork,
+    transport, and merge overhead with zero added parallelism).  Integer
+    counts pass through unchanged (validated by :func:`plan_shards`).
+    """
+    if workers == "auto":
+        cores = os.cpu_count() or 1
+        return 1 if cores < 2 else min(cores, MAX_AUTO_WORKERS)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ProfilerError(
+            f'worker count must be an int or "auto", got {workers!r}'
+        )
+    return workers
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,22 +164,42 @@ def consume_chunks(
     chunks: Iterable[ShardChunk],
     chain: ResolverChain,
     agg: StreamingAggregator,
+    columnar: bool = True,
 ) -> None:
     """Resolve every record in the given chunk ranges into ``agg``.
 
-    This is the pipeline's hot loop.  Records arrive as raw struct-field
-    tuples in batched chunks; a resolution-cache hit bypasses
-    ``RawSample``/``PipelineSample`` construction entirely — the chain
-    replays the cached claim's counters and the aggregate is bumped from
-    the decoded fields.  Only cache misses build sample objects and walk
-    the stages.  The cache key layout must match
-    :meth:`ResolverChain.cache_key`; ``kernel_mode`` may be an int here
-    (``1 == True`` hashes identically, so the keys unify).
+    This is the pipeline's hot loop.  With ``columnar=True`` (the
+    default) each decode chunk is resolved by the deduplicated batch path
+    (:mod:`repro.pipeline.columnar`): group by cache key, one cache probe
+    per distinct key, bucketed batch stage walks for the misses, bulk
+    replay for the duplicates — byte- and stats-identical to the scalar
+    loop and far cheaper per sample.  Chains that cannot replay counters
+    in bulk (``supports_columnar`` False, i.e. the Xen outer chain)
+    silently use the scalar loop regardless of the flag.
+
+    The scalar loop (``columnar=False``, or per-chain fallback): records
+    arrive as raw struct-field tuples in batched chunks; a
+    resolution-cache hit bypasses ``RawSample``/``PipelineSample``
+    construction entirely — the chain replays the cached claim's counters
+    and the aggregate is bumped from the decoded fields.  Only cache
+    misses build sample objects and walk the stages.  The cache key
+    layout must match :meth:`ResolverChain.cache_key`; ``kernel_mode``
+    may be an int here (``1 == True`` hashes identically, so the keys
+    unify).
     """
+    columnar = columnar and chain.supports_columnar
     for chunk in chunks:
         with RecordFileReader(chunk.path) as reader:
             event_name = reader.event_name
             has_domain = reader.codec.has_domain
+            if columnar:
+                for fields_chunk in reader.iter_field_chunks(
+                    chunk.start_record, chunk.n_records
+                ):
+                    resolve_column_chunk(
+                        fields_chunk, has_domain, event_name, chain, agg
+                    )
+                continue
             cache = chain.cache
             add_counts = agg.add_counts
             add = agg.add
@@ -184,6 +238,7 @@ def consume_source(
     source: Iterable[object],
     chain: ResolverChain,
     agg: StreamingAggregator,
+    columnar: bool = True,
 ) -> None:
     """Resolve a whole source into ``agg``, using the fused fast path for
     directory-backed sources and the generic stream loop otherwise."""
@@ -191,7 +246,7 @@ def consume_source(
         whole_files = [
             ShardChunk(str(p), 0, _record_count(p)) for p in source.paths()
         ]
-        consume_chunks(whole_files, chain, agg)
+        consume_chunks(whole_files, chain, agg, columnar=columnar)
         return
     for resolved in chain.resolve_stream(source):
         agg.add(resolved)
@@ -207,17 +262,114 @@ def _record_count(path: Path | str) -> int:
 # ----------------------------------------------------------------------
 
 
+def _pack_shard_payload(
+    agg: StreamingAggregator, chain: ResolverChain
+) -> bytes:
+    """Flatten a worker's whole shard result — chain counter deltas plus
+    the packed aggregate — into one binary blob for the shared-memory
+    segment (pickle-free except the tiny stage-detail dict).
+
+    Layout: ``n_counters:u32, counters:i64[]`` (per-stage hit/miss pairs
+    in chain order, then ``cache_present, cache hits, misses, size``),
+    ``details_len:u32 + pickled detail dict``, ``rows_len:u32 +``
+    :meth:`StreamingAggregator.pack_rows` blob.
+    """
+    counters: list[int] = []
+    for st in chain.stats():
+        counters.append(st.hits)
+        counters.append(st.misses)
+    cache = chain.cache
+    if cache is not None:
+        counters.extend((1, cache.hits, cache.misses, len(cache)))
+    else:
+        counters.extend((0, 0, 0, 0))
+    details = {
+        s.name: state
+        for s in [*chain.stages, chain.fallback]
+        if (state := s.export_state()) is not None
+    }
+    # The detail dict is tiny but shape-rich (the Xen dispatcher nests
+    # whole per-domain snapshots with int keys), so it rides pickled
+    # inside the segment; the bulk of the result — counters and rows —
+    # is flat binary.
+    details_blob = pickle.dumps(details)
+    rows_blob = agg.pack_rows()
+    out = bytearray()
+    out += struct.pack(f"<I{len(counters)}q", len(counters), *counters)
+    out += struct.pack("<I", len(details_blob)) + details_blob
+    out += struct.pack("<I", len(rows_blob)) + rows_blob
+    return bytes(out)
+
+
+def _absorb_shard_payload(
+    data: bytes | memoryview,
+    agg: StreamingAggregator,
+    chain: ResolverChain,
+) -> None:
+    """Fold one worker's packed shard result into the parent aggregate
+    and chain, replicating the merge semantics of
+    ``agg.merge`` + ``chain.absorb_stats`` exactly."""
+    (n_counters,) = struct.unpack_from("<I", data, 0)
+    counters = struct.unpack_from(f"<{n_counters}q", data, 4)
+    off = 4 + 8 * n_counters
+    (details_len,) = struct.unpack_from("<I", data, off)
+    off += 4
+    details = pickle.loads(bytes(data[off:off + details_len]))
+    off += details_len
+    (rows_len,) = struct.unpack_from("<I", data, off)
+    off += 4
+
+    # Rebuild the export_stats() snapshot shape against the parent
+    # chain's own stage order — the worker chain is an unpickled copy of
+    # this chain, so positional counters line up by construction.
+    stage_meta = [(st.name, st.terminal) for st in chain.stats()]
+    expected = 2 * len(stage_meta) + 4
+    if n_counters != expected:
+        raise ProfilerError(
+            f"shard counter block has {n_counters} entries, parent chain "
+            f"expects {expected}: worker/parent chain shapes diverged"
+        )
+    snapshot: dict[str, object] = {
+        "stages": [
+            (name, counters[2 * i], counters[2 * i + 1], terminal)
+            for i, (name, terminal) in enumerate(stage_meta)
+        ],
+        "details": details,
+        "cache": (
+            tuple(counters[-3:]) if counters[-4] else None
+        ),
+    }
+    chain.absorb_stats(snapshot)
+    agg.absorb_packed_rows(data[off:off + rows_len])
+
+
 def _resolve_shard_worker(
-    payload: tuple[bytes, list[ShardChunk], tuple[str, ...] | None],
-) -> tuple[StreamingAggregator, dict[str, object]]:
-    """Worker entry: resolve one shard on a private chain copy and return
-    the partial aggregate plus the chain's counter deltas."""
-    chain_bytes, chunks, events = payload
+    payload: tuple[
+        bytes, list[ShardChunk], tuple[str, ...] | None, bool, str | None
+    ],
+) -> tuple[str, int] | tuple[str, bytes]:
+    """Worker entry: resolve one shard on a private chain copy and
+    publish the packed result through the shard's shared-memory segment.
+
+    Returns ``("shm", n_bytes)`` when the blob fit the segment, or
+    ``("pickled", blob)`` when it did not (the pool's pickle channel is
+    the overflow path — slower, never wrong).
+    """
+    chain_bytes, chunks, events, columnar, segment_name = payload
     chain: ResolverChain = pickle.loads(chain_bytes)
     chain.reset_stats()
     agg = StreamingAggregator(events)
-    consume_chunks(chunks, chain, agg)
-    return agg, chain.export_stats()
+    consume_chunks(chunks, chain, agg, columnar=columnar)
+    blob = _pack_shard_payload(agg, chain)
+    if segment_name is not None:
+        segment = shared_memory.SharedMemory(name=segment_name)
+        try:
+            if len(blob) <= segment.size:
+                segment.buf[: len(blob)] = blob
+                return ("shm", len(blob))
+        finally:
+            segment.close()
+    return ("pickled", blob)
 
 
 def run_parallel_pipeline(
@@ -225,6 +377,7 @@ def run_parallel_pipeline(
     chain: ResolverChain,
     events: tuple[str, ...] | None,
     workers: int,
+    columnar: bool = True,
 ) -> StreamingAggregator:
     """Resolve a directory-backed source across ``workers`` processes.
 
@@ -232,6 +385,13 @@ def run_parallel_pipeline(
     worker's counter deltas, so ``chain.stats_dict()`` reports the whole
     run.  Falls back to the sequential fast path when the plan yields a
     single shard (tiny inputs) — same results either way.
+
+    Shard results travel through per-shard ``multiprocessing.shared_memory``
+    segments as flat packed blobs (:func:`_pack_shard_payload`) rather
+    than pickled ``StreamingAggregator`` objects: the parent absorbs each
+    segment in shard order, so transport cost no longer scales with
+    Python object graph size.  A result too large for its segment
+    (:data:`SHARD_SEGMENT_BYTES`) falls back to the pickle channel.
     """
     if not isinstance(source, DirectorySource):
         raise ProfilerError(
@@ -250,7 +410,7 @@ def run_parallel_pipeline(
     if not shards:
         return agg
     if len(shards) == 1:
-        consume_chunks(shards[0], chain, agg)
+        consume_chunks(shards[0], chain, agg, columnar=columnar)
         return agg
     # fork shares the parent's loaded modules and page cache; spawn works
     # too (workers re-import repro) but pays interpreter start-up.
@@ -260,14 +420,35 @@ def run_parallel_pipeline(
         else None
     )
     ctx = multiprocessing.get_context(method)
-    payloads = [(chain_bytes, shard, events) for shard in shards]
-    with ProcessPoolExecutor(
-        max_workers=len(shards), mp_context=ctx
-    ) as pool:
-        results = list(pool.map(_resolve_shard_worker, payloads))
-    # Merge in shard order: shards are contiguous in stream order, so
-    # order-preserving merges reproduce the sequential first-seen order.
-    for shard_agg, stats_snapshot in results:
-        agg.merge(shard_agg)
-        chain.absorb_stats(stats_snapshot)
+    # The parent owns every segment's lifecycle (create + unlink), so a
+    # crashed worker can never leak shared memory past this call.
+    segments = [
+        shared_memory.SharedMemory(create=True, size=SHARD_SEGMENT_BYTES)
+        for _ in shards
+    ]
+    try:
+        payloads = [
+            (chain_bytes, shard, events, columnar, segment.name)
+            for shard, segment in zip(shards, segments)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=len(shards), mp_context=ctx
+        ) as pool:
+            results = list(pool.map(_resolve_shard_worker, payloads))
+        # Merge in shard order: shards are contiguous in stream order, so
+        # order-preserving merges reproduce the sequential first-seen
+        # order.
+        for segment, (kind, value) in zip(segments, results):
+            if kind == "shm":
+                view = segment.buf[:value]
+                try:
+                    _absorb_shard_payload(view, agg, chain)
+                finally:
+                    view.release()
+            else:
+                _absorb_shard_payload(value, agg, chain)
+    finally:
+        for segment in segments:
+            segment.close()
+            segment.unlink()
     return agg

@@ -38,7 +38,7 @@ from repro.pipeline.cache import (
 )
 from repro.pipeline.source import PipelineSample, iter_pipeline_samples
 from repro.pipeline.stages import FallbackStage, ResolverStage
-from repro.profiling.model import ResolvedSample
+from repro.profiling.model import RawSample, ResolvedSample
 
 __all__ = ["StageStats", "ResolverChain"]
 
@@ -135,6 +135,12 @@ class ResolverChain:
         self.cache: ResolutionCache | None = (
             ResolutionCache(cache_size) if cache_size > 0 and cacheable else None
         )
+        #: Columnar (deduplicated) resolution relies on the same soundness
+        #: property as caching: replaying one walk's counters stands in for
+        #: repeating it.  A stage owning inner chains breaks that (the
+        #: replay cannot reach the inner counters), so such chains resolve
+        #: per sample even when the caller asks for the columnar path.
+        self.supports_columnar: bool = cacheable
 
     def stage(self, name: str) -> ResolverStage:
         """Look a stage up by name (e.g. ``chain.stage("jit-epoch")``)."""
@@ -194,6 +200,110 @@ class ResolverChain:
                 self.fallback if idx == len(self.stages) else self.stages[idx]
             )
             claimant.replay_token(entry.token)
+
+    def replay_bulk(self, entry: CachedResolution, n: int) -> None:
+        """:meth:`replay` for ``n`` identical samples in one shot: the
+        columnar path resolves each distinct key once and replays the
+        duplicates in bulk.  Counter deltas equal ``n`` scalar replays."""
+        if n <= 0:
+            return
+        stats = self._stats_list
+        idx = entry.claim_index
+        for i in range(idx):
+            stats[i].misses += n
+        stats[idx].hits += n
+        if entry.token is not None:
+            claimant = (
+                self.fallback if idx == len(self.stages) else self.stages[idx]
+            )
+            claimant.replay_token_bulk(entry.token, n)
+
+    def resolve_key_run(
+        self, keys: Sequence[tuple], event_name: str
+    ) -> dict[tuple, CachedResolution]:
+        """Walk the stages once for a bucket of **distinct** cache keys
+        sharing ``(epoch, kernel_mode, task_id, domain_id)``, with PCs
+        ascending (the columnar resolver's bucket shape).
+
+        Each key is offered down the chain exactly as one scalar walk
+        would be — stages that implement :meth:`ResolverStage.resolve_group`
+        (the JIT epoch stage) answer the whole remaining bucket with one
+        batched probe; others are offered samples one by one.  Counter
+        deltas equal one scalar walk per key.  Results are cached (when
+        the chain caches) and returned keyed by input key.
+        """
+        samples = [
+            PipelineSample(
+                raw=RawSample(
+                    pc=key[0],
+                    event_name=event_name,
+                    task_id=key[3],
+                    kernel_mode=bool(key[2]),
+                    cycle=0,
+                    epoch=key[1],
+                ),
+                domain_id=key[4],
+            )
+            for key in keys
+        ]
+        entries: dict[tuple, CachedResolution] = {}
+        stats = self._stats_list
+        pending = list(range(len(keys)))
+        for idx, stage in enumerate(self.stages):
+            if not pending:
+                break
+            group = stage.resolve_group([samples[i] for i in pending])
+            still: list[int] = []
+            if group is not None:
+                for i, res in zip(pending, group):
+                    if res is None:
+                        still.append(i)
+                        continue
+                    resolved, token = res
+                    entries[keys[i]] = CachedResolution(
+                        image=resolved.image,
+                        symbol=resolved.symbol,
+                        offset=resolved.offset,
+                        claim_index=idx,
+                        token=token,
+                    )
+            else:
+                for i in pending:
+                    resolved = stage.resolve(samples[i])
+                    if resolved is None:
+                        still.append(i)
+                        continue
+                    entries[keys[i]] = CachedResolution(
+                        image=resolved.image,
+                        symbol=resolved.symbol,
+                        offset=resolved.offset,
+                        claim_index=idx,
+                        token=stage.claim_token(),
+                    )
+            st = stats[idx]
+            st.hits += len(pending) - len(still)
+            st.misses += len(still)
+            pending = still
+        fallback_index = len(self.stages)
+        for i in pending:
+            resolved = self.fallback.resolve(samples[i])
+            if resolved is None:  # a fallback must be terminal
+                raise ProfilerError(
+                    f"fallback stage {self.fallback.name!r} declined a sample"
+                )
+            entries[keys[i]] = CachedResolution(
+                image=resolved.image,
+                symbol=resolved.symbol,
+                offset=resolved.offset,
+                claim_index=fallback_index,
+                token=self.fallback.claim_token(),
+            )
+        stats[-1].hits += len(pending)
+        if self.cache is not None:
+            put = self.cache.put
+            for key in keys:
+                put(key, entries[key])
+        return entries
 
     def resolve_miss(
         self, sample: PipelineSample, key: tuple
@@ -319,7 +429,7 @@ class ResolverChain:
                 if (state := s.export_state()) is not None
             },
             "cache": (
-                (self.cache.hits, self.cache.misses)
+                (self.cache.hits, self.cache.misses, len(self.cache))
                 if self.cache is not None
                 else None
             ),

@@ -98,6 +98,26 @@ class ResolverStage:
     def replay_token(self, token: object) -> None:
         """Re-apply the detail counting described by a claim token."""
 
+    def replay_token_bulk(self, token: object, n: int) -> None:
+        """Re-apply a claim token's detail counting ``n`` times — the
+        columnar path's duplicate replay.  The default repeats the scalar
+        replay (exact for any stage); stages with pure-sum detail counters
+        override with O(1) bulk bumps."""
+        for _ in range(n):
+            self.replay_token(token)
+
+    def resolve_group(
+        self, samples: "list[PipelineSample]"
+    ) -> list[tuple[ResolvedSample, object | None] | None] | None:
+        """Batched resolve for a columnar bucket: samples share
+        ``(epoch, kernel_mode, task_id, domain_id)`` and arrive with PCs
+        ascending.  Returns a positionally-aligned list — ``(resolved,
+        claim token)`` for claims, None for pass-downs — or None when the
+        stage has no batched path (the chain then offers samples one by
+        one).  Implementations must update the same detail counters one
+        scalar resolve per claimed sample would have."""
+        return None
+
     def export_state(self) -> object | None:
         """Picklable snapshot of the stage's detail counters (None when
         the stage keeps none)."""
@@ -265,6 +285,93 @@ class JitEpochStage(ResolverStage):
             offset=raw.pc - record.address,
         )
 
+    def resolve_group(
+        self, samples: "list[PipelineSample]"
+    ) -> list[tuple[ResolvedSample, object | None] | None] | None:
+        """Batched bucket resolve: one epoch walk for the whole ascending
+        PC run (:meth:`~repro.viprof.codemap.CodeMapIndex.resolve_run`)
+        instead of one backward walk per sample.  Counter deltas — stage
+        detail and the codemap index's own — match per-sample resolution
+        exactly."""
+        from repro.viprof.codemap import RESOLVE_BLOCKED
+
+        if not samples:
+            return []
+        # The columnar bucket shares task_id (it is part of the bucket
+        # key), so registration and heap bounds are checked once per run.
+        reg = self._registrations.get(samples[0].raw.task_id)
+        out: list[tuple[ResolvedSample, object | None] | None] = (
+            [None] * len(samples)
+        )
+        if reg is None:
+            return out
+        covered = [
+            i for i, s in enumerate(samples) if reg.covers(s.raw.pc)
+        ]
+        if not covered:
+            return out
+        hits = self.codemaps.resolve_run(
+            samples[covered[0]].raw.epoch,
+            [samples[i].raw.pc for i in covered],
+            backward=self.backward,
+        )
+        own = earlier = unresolved = blocked = 0
+        for i, hit in zip(covered, hits):
+            raw = samples[i].raw
+            if hit is RESOLVE_BLOCKED:
+                if self.strict:
+                    from repro.errors import ProfilerError
+
+                    raise ProfilerError(
+                        f"epoch walk for pc {raw.pc:#x} (epoch {raw.epoch}) "
+                        "blocked by a quarantined code map; rerun the "
+                        "pipeline in degraded mode (strict=False) to "
+                        "account for salvaged sessions"
+                    )
+                blocked += 1
+                out[i] = (
+                    ResolvedSample(
+                        raw=raw,
+                        image=JIT_APP_IMAGE_LABEL,
+                        symbol=UNRESOLVED_JIT,
+                    ),
+                    "blocked",
+                )
+            elif hit is None:
+                unresolved += 1
+                out[i] = (
+                    ResolvedSample(
+                        raw=raw,
+                        image=JIT_APP_IMAGE_LABEL,
+                        symbol=UNRESOLVED_JIT,
+                    ),
+                    "unresolved",
+                )
+            else:
+                record, found_epoch = hit
+                if found_epoch == raw.epoch:
+                    own += 1
+                    token = "own"
+                else:
+                    earlier += 1
+                    token = "earlier"
+                out[i] = (
+                    ResolvedSample(
+                        raw=raw,
+                        image=JIT_APP_IMAGE_LABEL,
+                        symbol=record.name,
+                        offset=raw.pc - record.address,
+                    ),
+                    token,
+                )
+        st = self.stats
+        st.jit_samples += own + earlier + unresolved + blocked
+        st.resolved_in_own_epoch += own
+        st.resolved_in_earlier_epoch += earlier
+        st.unresolved += unresolved
+        st.blocked_at_quarantine += blocked
+        return out
+
     def detail_dict(self) -> dict[str, int | float]:
         return self.stats.as_dict()
 
@@ -292,6 +399,18 @@ class JitEpochStage(ResolverStage):
             self.stats.blocked_at_quarantine += 1
         else:
             self.stats.unresolved += 1
+
+    def replay_token_bulk(self, token: object, n: int) -> None:
+        st = self.stats
+        st.jit_samples += n
+        if token == "own":
+            st.resolved_in_own_epoch += n
+        elif token == "earlier":
+            st.resolved_in_earlier_epoch += n
+        elif token == "blocked":
+            st.blocked_at_quarantine += n
+        else:
+            st.unresolved += n
 
     def export_state(self) -> object | None:
         d = self.stats.as_dict()

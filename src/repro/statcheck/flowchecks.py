@@ -20,6 +20,7 @@ not flagged; a format string we cannot fold is skipped.
 from __future__ import annotations
 
 import ast
+import re
 import struct
 from typing import Iterable
 
@@ -637,11 +638,71 @@ def _class_counters(cls: ast.ClassDef, methods: dict) -> dict[str, int]:
     return counters
 
 
+#: Function names in SL208's bulk-accounting scope: the columnar/batch
+#: resolution layer's group-at-a-time functions, where a counter bump by a
+#: literal constant at the top level of the function means the group size
+#: was silently dropped from the accounting.
+_BULK_NAME_RE = re.compile(r"column|bulk|batch|_(?:many|runs?|group)$")
+
+#: Attribute names SL208 treats as sample/event counters in bulk scope.
+_COUNTER_ATTR_RE = re.compile(
+    r"hits|misses|samples|unresolved|blocked|lookups|steps|seen|written"
+)
+
+
+def _check_bulk_counter_bumps(tree: ast.AST, rel: str) -> list[Finding]:
+    """SL208 (bulk scope): in a columnar/batch/bulk function, a counter
+    attribute incremented by a literal constant *outside any loop* is an
+    error — the function processes a whole group per call, so a flat
+    ``+= 1`` under-counts by the group size.  Per-item bumps inside loops
+    are exact and stay legal."""
+    findings: list[Finding] = []
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _BULK_NAME_RE.search(fn.name):
+            continue
+
+        def scan(nodes, in_loop: bool) -> None:
+            for node in nodes:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested defs get their own pass
+                if (
+                    not in_loop
+                    and isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Attribute)
+                    and _COUNTER_ATTR_RE.search(node.target.attr)
+                    and isinstance(node.value, ast.Constant)
+                    and type(node.value.value) is int
+                ):
+                    findings.append(
+                        _finding(
+                            Severity.ERROR, "SL208", rel, node.lineno,
+                            f"bulk function {fn.name}() bumps counter "
+                            f"{node.target.attr!r} by a literal "
+                            f"{node.value.value} outside any loop: scale "
+                            "the bump by the group size or count per "
+                            "item inside the loop",
+                        )
+                    )
+                loops_here = in_loop or isinstance(
+                    node, (ast.For, ast.AsyncFor, ast.While)
+                )
+                for child in ast.iter_child_nodes(node):
+                    scan([child], loops_here)
+
+        scan(fn.body, False)
+    return findings
+
+
 def check_counter_accounting(tree: ast.AST, rel: str) -> list[Finding]:
     """SL208: in any class with a ``merge()``, every counter field must
     be merged, and must appear in the stats-export method when the class
-    has one — a counter dropped from either silently under-reports."""
-    findings: list[Finding] = []
+    has one — a counter dropped from either silently under-reports.
+    Additionally, columnar/batch/bulk functions must scale top-level
+    counter bumps by the group size (:func:`_check_bulk_counter_bumps`)."""
+    findings: list[Finding] = _check_bulk_counter_bumps(tree, rel)
     for cls in ast.walk(tree):
         if not isinstance(cls, ast.ClassDef):
             continue

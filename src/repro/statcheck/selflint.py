@@ -25,7 +25,8 @@ SL207  codec-consistency    Struct formats parse; ``*_RECORD_SIZE``
                             matches ``calcsize(*_RECORD_FORMAT)``;
                             magics are 4 bytes.
 SL208  counter-accounting   Stats classes merge and export every
-                            counter they maintain.
+                            counter they maintain; columnar/batch
+                            functions scale bumps by the group size.
 SL209  fault-point-coverage The fault registry and ``fire()`` call
                             sites are in bijection.
 
@@ -88,7 +89,8 @@ SL_RULES: dict[str, tuple[str, str]] = {
     ),
     "SL208": (
         "counter-accounting",
-        "stats classes merge() and export every counter they maintain",
+        "stats classes merge() and export every counter they maintain; "
+        "columnar/batch functions scale counter bumps by the group size",
     ),
     "SL209": (
         "fault-point-coverage",

@@ -222,7 +222,12 @@ class RunResult:
 
     # -- report builders -------------------------------------------------
 
-    def oprofile_report(self, workers: int = 1, resolve_cache: bool = True):
+    def oprofile_report(
+        self,
+        workers: int | str = 1,
+        resolve_cache: bool = True,
+        columnar: bool = True,
+    ):
         """Stock opreport over this run's sample files."""
         from repro.oprofile.opreport import OpReport
 
@@ -230,20 +235,24 @@ class RunResult:
             raise ConfigError("run was not profiled; no sample files")
         return OpReport(
             self.kernel, self.sample_dir, resolve_cache=resolve_cache
-        ).generate(workers=workers)
+        ).generate(workers=workers, columnar=columnar)
 
     def viprof_report(
         self,
         backward_traversal: bool = True,
-        workers: int = 1,
+        workers: int | str = 1,
         resolve_cache: bool = True,
+        columnar: bool = True,
     ) -> "ViprofReportResult":
         """VIProf post-processing (report + resolution statistics).
 
         ``backward_traversal=False`` runs the resolution ablation (own-epoch
-        map only).  ``workers`` shards resolution across processes;
-        ``resolve_cache=False`` disables PC memoization.  Neither changes
-        a byte of output — they are performance knobs."""
+        map only).  ``workers`` shards resolution across processes
+        (``"auto"`` sizes the pool from the core count);
+        ``resolve_cache=False`` disables PC memoization;
+        ``columnar=False`` falls back to the per-sample resolve loop.
+        None of them changes a byte of output — they are performance
+        knobs."""
         if self.viprof_session is None:
             raise ConfigError("run was not profiled with VIProf")
         post = self.viprof_session.report(
@@ -251,7 +260,7 @@ class RunResult:
             backward_traversal=backward_traversal,
             resolve_cache=resolve_cache,
         )
-        report = post.generate(workers=workers)
+        report = post.generate(workers=workers, columnar=columnar)
         return ViprofReportResult(report=report, post=post)
 
 

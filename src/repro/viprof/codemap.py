@@ -218,6 +218,17 @@ class CodeMap:
         iv = self._index.first_covering(addr)
         return iv.payload if iv is not None else None
 
+    def lookup_run(
+        self, addrs: Iterable[int]
+    ) -> list[CodeMapRecord | None]:
+        """:meth:`lookup` over an ascending run of addresses (the columnar
+        resolver's per-epoch bucket), one interval probe per *distinct
+        covering record* instead of one bisect per address."""
+        return [
+            iv.payload if iv is not None else None
+            for iv in self._index.first_covering_many(addrs)
+        ]
+
     @classmethod
     def load(cls, path: Path) -> "CodeMap":
         lines = path.read_text(encoding="utf-8").splitlines()
@@ -374,6 +385,72 @@ class CodeMapIndex:
         if len(memo) > self.MEMO_CAPACITY:
             memo.popitem(last=False)
         return result
+
+    def resolve_run(
+        self, epoch: int, addrs: Iterable[int], backward: bool = True
+    ) -> list[tuple[CodeMapRecord, int] | _Blocked | None]:
+        """Batched :meth:`resolve` for an **ascending** run of addresses
+        sharing one sample epoch (the columnar resolver's bucket shape).
+
+        Walks the epochs once for the whole run — each visited map is
+        probed with one :meth:`CodeMap.lookup_run` over the still-pending
+        addresses — instead of restarting the backward walk per address.
+        Results, the memo contents, and every counter (``lookups``,
+        ``memo_hits``, ``fallback_steps``) are identical to calling
+        :meth:`resolve` per address.
+        """
+        if self.quarantined or not self._maps:
+            # Guarded walks stop at per-address barriers; keep the
+            # well-tested scalar path authoritative for salvage mode.
+            return [self.resolve(epoch, a, backward) for a in addrs]
+        addrs = list(addrs)
+        if not addrs:
+            return []
+        self.lookups += len(addrs)
+        top = min(epoch, max(self._maps)) if epoch >= 0 else max(self._maps)
+        memo = self._memo
+        results: list[tuple[CodeMapRecord, int] | _Blocked | None] = (
+            [None] * len(addrs)
+        )
+        pending: list[tuple[int, int]] = []  # (position, addr)
+        for pos, addr in enumerate(addrs):
+            key = (top, addr, backward)
+            if key in memo:
+                self.memo_hits += 1
+                memo.move_to_end(key)
+                results[pos] = memo[key]
+            else:
+                pending.append((pos, addr))
+        bottom = top if not backward else min(self._maps)
+        for e in range(top, bottom - 1, -1):
+            if not pending:
+                break
+            cm = self._maps.get(e)
+            if cm is None:
+                continue
+            found = cm.lookup_run([a for _, a in pending])
+            still: list[tuple[int, int]] = []
+            for (pos, addr), rec in zip(pending, found):
+                if rec is not None:
+                    results[pos] = (rec, e)
+                    self._memo_put((top, addr, backward), (rec, e))
+                else:
+                    self.fallback_steps += 1
+                    still.append((pos, addr))
+            pending = still
+        for pos, addr in pending:
+            self._memo_put((top, addr, backward), None)
+        return results
+
+    def _memo_put(
+        self,
+        key: tuple[int, int, bool],
+        result: tuple[CodeMapRecord, int] | _Blocked | None,
+    ) -> None:
+        memo = self._memo
+        memo[key] = result
+        if len(memo) > self.MEMO_CAPACITY:
+            memo.popitem(last=False)
 
     def _resolve_guarded(
         self, epoch: int, addr: int, backward: bool

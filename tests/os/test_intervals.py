@@ -100,6 +100,50 @@ class TestOverlapDetection:
         }
 
 
+class TestFirstCoveringMany:
+    def test_matches_scalar_on_sorted_points(self):
+        idx = IntervalIndex(
+            [iv(0x1000, 0x1100, "a"), iv(0x2000, 0x2200, "b")]
+        )
+        points = [0, 0x1000, 0x10FF, 0x1100, 0x2100, 0x9999]
+        assert idx.first_covering_many(points) == [
+            idx.first_covering(p) for p in points
+        ]
+
+    def test_overlap_still_prefers_greatest_start(self):
+        # The run shortcut must not get stuck on "wide" once the walk
+        # enters "inner" territory, nor stay on "inner" past its end.
+        idx = IntervalIndex([iv(0, 100, "wide"), iv(10, 20, "inner")])
+        got = idx.first_covering_many([5, 12, 15, 25, 99])
+        assert [r.payload for r in got] == [
+            "wide", "inner", "inner", "wide", "wide"
+        ]
+
+    def test_rejects_unsorted_points(self):
+        idx = IntervalIndex([iv(0, 10)])
+        with pytest.raises(ConfigError):
+            idx.first_covering_many([5, 3])
+
+    def test_empty_inputs(self):
+        assert IntervalIndex([]).first_covering_many([1, 2]) == [None, None]
+        assert IntervalIndex([iv(0, 10)]).first_covering_many([]) == []
+
+    @pytest.mark.parametrize("seed", [2, 17, 41])
+    def test_randomized_matches_scalar(self, seed):
+        rng = random.Random(seed)
+        intervals = []
+        for i in range(100):
+            start = rng.randrange(0, 4000)
+            intervals.append(iv(start, start + rng.randrange(1, 150), i))
+        idx = IntervalIndex(intervals)
+        points = sorted(
+            rng.randrange(-10, 4300) for _ in range(500)
+        )
+        assert idx.first_covering_many(points) == [
+            idx.first_covering(p) for p in points
+        ]
+
+
 class TestRandomizedAgainstBruteForce:
     @pytest.mark.parametrize("seed", [1, 7, 23, 99])
     def test_stab_matches_linear_scan(self, seed):

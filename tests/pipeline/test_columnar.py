@@ -1,0 +1,289 @@
+"""Columnar (deduplicated batch) resolution parity.
+
+The columnar path (:mod:`repro.pipeline.columnar`) must be a pure
+performance feature: byte-identical reports *and* identical resolution
+statistics to the scalar per-sample loop, for every worker count, with
+the cache on or off, in strict and degraded (quarantined-epoch) mode.
+These tests pin that contract against the golden fixtures, against
+randomized shuffled/duplicated sample streams, and against a salvaged
+world with a quarantine barrier.
+"""
+
+import random
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProfilerError
+from repro.pipeline.parallel import ShardChunk, consume_chunks
+from repro.pipeline.resolver import ResolverChain
+from repro.pipeline.stages import JitEpochStage
+from repro.profiling.model import RawSample
+from repro.profiling.record_codec import CORE_CODEC, RecordFileWriter
+from repro.profiling.report import StreamingAggregator
+from repro.system.api import viprof_profile
+from repro.viprof.codemap import CodeMapIndex, CodeMapRecord, CodeMapWriter
+from repro.viprof.runtime_profiler import VmRegistration
+from repro.workloads import by_name
+
+GOLDEN = Path(__file__).resolve().parents[1] / "fixtures" / "golden"
+
+
+class TestGoldenColumnarParity:
+    """Columnar output vs the golden fixtures and the scalar loop."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        return viprof_profile(
+            by_name("fop"), period=90_000, time_scale=0.1, seed=7
+        )
+
+    def render(self, run, workers, columnar, resolve_cache=True):
+        vr = run.viprof_report(
+            workers=workers, columnar=columnar, resolve_cache=resolve_cache
+        )
+        s = vr.jit_stats
+        text = vr.report.format_table(limit=15) + "\n"
+        text += (
+            f"{s.jit_samples} JIT samples, "
+            f"{100 * s.resolution_rate:.1f}% resolved\n"
+        )
+        return text, vr.stage_stats
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_golden_bytes(self, run, workers):
+        text, _ = self.render(run, workers, columnar=True)
+        assert text == (GOLDEN / "report_fop.txt").read_text()
+
+    def test_stats_match_scalar_cache_on(self, run):
+        # workers=1, no eviction pressure: every counter — per-stage
+        # hit/miss, JIT detail, cache hit/miss/size — must agree.
+        _, scalar = self.render(run, 1, columnar=False)
+        _, columnar = self.render(run, 1, columnar=True)
+        assert columnar == scalar
+
+    def test_stats_match_scalar_cache_off(self, run):
+        _, scalar = self.render(run, 1, columnar=False, resolve_cache=False)
+        _, columnar = self.render(run, 1, columnar=True, resolve_cache=False)
+        assert columnar == scalar
+
+    def test_cache_off_matches_golden_bytes(self, run):
+        text, _ = self.render(run, 1, columnar=True, resolve_cache=False)
+        assert text == (GOLDEN / "report_fop.txt").read_text()
+
+    def test_opreport_columnar_matches_scalar(self, run):
+        scalar = run.oprofile_report(columnar=False)
+        columnar = run.oprofile_report(columnar=True)
+        assert columnar.format_table() == scalar.format_table()
+        assert columnar.totals == scalar.totals
+
+
+# ----------------------------------------------------------------------
+# Synthetic epoch world: a small code-map history with a recycled
+# address, used for the randomized and quarantine parity tests below.
+# ----------------------------------------------------------------------
+
+HEAP_LO = 0x6000_0000
+HEAP_HI = 0x7000_0000
+BODY = 0x100
+EPOCHS = 6
+TASK = 9
+OTHER_TASK = 11  # not registered: falls through to the fallback stage
+
+
+def _write_world(map_dir: Path) -> None:
+    """Epoch e compiles ``m{e}`` at HEAP_LO + e*0x1000; epoch 4 also
+    recycles m0's address for ``r4`` (the backward walk's hard case)."""
+    writer = CodeMapWriter(map_dir)
+    for epoch in range(EPOCHS):
+        records = [
+            CodeMapRecord(
+                address=HEAP_LO + epoch * 0x1000, size=BODY,
+                tier="base", name=f"m{epoch}",
+            )
+        ]
+        if epoch == 4:
+            records.append(
+                CodeMapRecord(
+                    address=HEAP_LO, size=BODY, tier="base", name="r4"
+                )
+            )
+        writer.write(epoch, records)
+
+
+@pytest.fixture(scope="module")
+def world_dir(tmp_path_factory):
+    map_dir = tmp_path_factory.mktemp("columnar-world")
+    _write_world(map_dir)
+    return map_dir
+
+
+def _make_chain(
+    map_dir: Path,
+    cache_size: int = 1 << 16,
+    strict: bool = True,
+    quarantined=frozenset(),
+) -> ResolverChain:
+    index = CodeMapIndex.load_dir(map_dir, quarantined=quarantined)
+    stage = JitEpochStage(
+        index,
+        [VmRegistration(TASK, HEAP_LO, HEAP_HI)],
+        strict=strict,
+    )
+    return ResolverChain([stage], cache_size=cache_size)
+
+
+def _run_samples(samples, chain, columnar):
+    """Write the samples to a record file and resolve them through the
+    real chunked loop (the path both production modes take)."""
+    agg = StreamingAggregator()
+    with tempfile.TemporaryDirectory(prefix="columnar-test-") as tmp:
+        path = Path(tmp) / "ev.samples"
+        with RecordFileWriter(path, CORE_CODEC, "EV", period=1000) as w:
+            for s in samples:
+                w.write(s)
+        consume_chunks(
+            [ShardChunk(str(path), 0, len(samples))],
+            chain,
+            agg,
+            columnar=columnar,
+        )
+    return agg
+
+
+def _assert_parity(samples, make_scalar, make_columnar):
+    scalar_chain = make_scalar()
+    columnar_chain = make_columnar()
+    scalar = _run_samples(samples, scalar_chain, columnar=False)
+    columnar = _run_samples(samples, columnar_chain, columnar=True)
+    assert columnar.report().format_table() == scalar.report().format_table()
+    assert columnar.report().totals == scalar.report().totals
+    assert columnar_chain.stats_dict() == scalar_chain.stats_dict()
+
+
+class TestRandomizedParity:
+    """Shuffled, duplicated PCs across epoch boundaries resolve to the
+    same multiset (and the same bytes, and the same counters) either way."""
+
+    @given(
+        specs=st.lists(
+            st.tuples(
+                st.integers(0, EPOCHS - 1),     # body index
+                st.integers(0, BODY - 1),       # offset inside the body
+                st.integers(0, EPOCHS - 1),     # sample epoch
+                st.sampled_from([TASK, TASK, TASK, OTHER_TASK]),
+                st.integers(1, 4),              # duplicates
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        shuffle_seed=st.integers(0, 2**32 - 1),
+        cache_on=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_columnar_agree(
+        self, world_dir, specs, shuffle_seed, cache_on
+    ):
+        samples = []
+        for body, offset, epoch, task, dups in specs:
+            pc = HEAP_LO + body * 0x1000 + offset
+            for _ in range(dups):
+                samples.append(
+                    RawSample(
+                        pc=pc, event_name="EV", task_id=task,
+                        kernel_mode=False, cycle=len(samples), epoch=epoch,
+                    )
+                )
+        random.Random(shuffle_seed).shuffle(samples)
+        cache_size = (1 << 16) if cache_on else 0
+        _assert_parity(
+            samples,
+            lambda: _make_chain(world_dir, cache_size=cache_size),
+            lambda: _make_chain(world_dir, cache_size=cache_size),
+        )
+
+    def test_recycled_address_attributed_per_epoch(self, world_dir):
+        # Deterministic pin of the cross-epoch case: HEAP_LO is m0 before
+        # epoch 4 and r4 from epoch 4 on, in the same columnar chunk.
+        samples = [
+            RawSample(
+                pc=HEAP_LO + 1, event_name="EV", task_id=TASK,
+                kernel_mode=False, cycle=i, epoch=epoch,
+            )
+            for i, epoch in enumerate([0, 4, 2, 5, 0, 4])
+        ]
+        chain = _make_chain(world_dir)
+        agg = _run_samples(samples, chain, columnar=True)
+        rows = {
+            (r.image, r.symbol): r.counts["EV"]
+            for r in agg.report().sorted_rows()
+        }
+        assert rows[("JIT.App", "m0")] == 3
+        assert rows[("JIT.App", "r4")] == 3
+
+
+class TestQuarantinedParity:
+    """Degraded (strict=False) columnar runs must account blocked
+    samples exactly like the scalar loop; strict runs must refuse."""
+
+    @pytest.fixture(scope="class")
+    def guarded_dir(self, tmp_path_factory):
+        # The salvaged view: epoch 3's map lost, its epoch fenced off.
+        full = tmp_path_factory.mktemp("columnar-q-full")
+        _write_world(full)
+        guarded = tmp_path_factory.mktemp("columnar-q-guarded")
+        for p in sorted(full.iterdir()):
+            if not p.name.endswith("00003"):
+                shutil.copy(p, guarded / p.name)
+        return guarded
+
+    def blocked_samples(self):
+        # Epoch-3 samples (their own map is quarantined: always blocked)
+        # mixed with resolvable earlier/later samples and duplicates.
+        spec = [(3, 0), (0, 0), (3, 0), (5, 5), (3, 8), (4, 0), (3, 0)]
+        return [
+            RawSample(
+                pc=HEAP_LO + off, event_name="EV", task_id=TASK,
+                kernel_mode=False, cycle=i, epoch=epoch,
+            )
+            for i, (epoch, off) in enumerate(spec)
+        ]
+
+    @pytest.mark.parametrize("cache_size", [1 << 16, 0])
+    def test_degraded_accounting_matches_scalar(
+        self, guarded_dir, cache_size
+    ):
+        quarantine = frozenset({3})
+        make = lambda: _make_chain(  # noqa: E731
+            guarded_dir,
+            cache_size=cache_size,
+            strict=False,
+            quarantined=quarantine,
+        )
+        samples = self.blocked_samples()
+        scalar_chain, columnar_chain = make(), make()
+        scalar = _run_samples(samples, scalar_chain, columnar=False)
+        columnar = _run_samples(samples, columnar_chain, columnar=True)
+        assert (
+            columnar.report().format_table()
+            == scalar.report().format_table()
+        )
+        col_stats = columnar_chain.stats_dict()
+        assert col_stats == scalar_chain.stats_dict()
+        jit = next(
+            s for s in col_stats["stages"] if s["stage"] == "jit-epoch"
+        )
+        assert jit["detail"]["blocked_at_quarantine"] == 4
+        assert jit["degraded"] == {"blocked_at_quarantine": 4}
+        assert col_stats["degraded"] is True
+
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_strict_mode_refuses_blocked_walks(self, guarded_dir, columnar):
+        chain = _make_chain(
+            guarded_dir, strict=True, quarantined=frozenset({3})
+        )
+        with pytest.raises(ProfilerError, match="quarantined"):
+            _run_samples(self.blocked_samples(), chain, columnar=columnar)

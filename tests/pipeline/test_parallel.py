@@ -13,9 +13,11 @@ import pytest
 
 from repro.errors import ProfilerError
 from repro.pipeline.parallel import (
+    MAX_AUTO_WORKERS,
     SPLIT_ALIGN_RECORDS,
     ShardChunk,
     plan_shards,
+    resolve_workers,
     run_parallel_pipeline,
 )
 from repro.profiling.model import RawSample
@@ -137,6 +139,141 @@ class TestParallelGoldenParity:
     def test_excess_workers_still_exact(self, run):
         text, _ = self.render(run, 32)
         assert text == (GOLDEN / "report_fop.txt").read_text()
+
+
+class TestResolveWorkers:
+    def test_auto_is_bounded_by_cores_and_cap(self):
+        import os
+
+        got = resolve_workers("auto")
+        cores = os.cpu_count() or 1
+        if cores < 2:
+            assert got == 1
+        else:
+            assert got == min(cores, MAX_AUTO_WORKERS)
+
+    def test_integers_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    @pytest.mark.parametrize("bad", [True, 1.5, "four", None])
+    def test_rejects_non_counts(self, bad):
+        with pytest.raises(ProfilerError):
+            resolve_workers(bad)
+
+
+class TestShardTransport:
+    """The packed shared-memory shard payload must round-trip a worker's
+    aggregate + chain deltas exactly (same merge semantics as the old
+    pickled-object transport)."""
+
+    def build_shard_result(self, tmp_path):
+        import pickle
+
+        from repro.pipeline import ResolverChain
+        from repro.pipeline.parallel import consume_chunks
+        from repro.profiling.report import StreamingAggregator
+
+        path = write_sample_file(tmp_path / "s.samples", 2000)
+        parent = ResolverChain([])
+        worker = pickle.loads(pickle.dumps(parent))
+        worker.reset_stats()
+        agg = StreamingAggregator(("EV",))
+        consume_chunks([ShardChunk(str(path), 0, 2000)], worker, agg)
+        return parent, worker, agg
+
+    def test_pack_absorb_round_trips(self, tmp_path):
+        from repro.pipeline.parallel import (
+            _absorb_shard_payload,
+            _pack_shard_payload,
+        )
+        from repro.profiling.report import StreamingAggregator
+
+        parent, worker, agg = self.build_shard_result(tmp_path)
+        blob = _pack_shard_payload(agg, worker)
+        merged = StreamingAggregator(("EV",))
+        _absorb_shard_payload(blob, merged, parent)
+        assert parent.stats_dict() == worker.stats_dict()
+        assert merged.samples_seen == agg.samples_seen
+        assert (
+            merged.report().format_table() == agg.report().format_table()
+        )
+
+    def test_absorb_rejects_mismatched_chain_shape(self, tmp_path):
+        from repro.pipeline import ResolverChain
+        from repro.pipeline.parallel import (
+            _absorb_shard_payload,
+            _pack_shard_payload,
+        )
+        from repro.pipeline.stages import JitEpochStage
+        from repro.profiling.report import StreamingAggregator
+        from repro.viprof.codemap import CodeMapIndex
+
+        _, worker, agg = self.build_shard_result(tmp_path)
+        blob = _pack_shard_payload(agg, worker)
+        map_dir = tmp_path / "maps"
+        map_dir.mkdir()
+        other = ResolverChain(
+            [JitEpochStage(CodeMapIndex.load_dir(map_dir), [])]
+        )
+        with pytest.raises(ProfilerError, match="diverged"):
+            _absorb_shard_payload(blob, StreamingAggregator(("EV",)), other)
+
+    def test_undersized_segment_falls_back_to_pickle(self, tmp_path):
+        import pickle
+
+        from multiprocessing import shared_memory
+
+        from repro.pipeline import ResolverChain
+        from repro.pipeline.parallel import _resolve_shard_worker
+
+        path = write_sample_file(tmp_path / "s.samples", 100)
+        chain_bytes = pickle.dumps(ResolverChain([]))
+        segment = shared_memory.SharedMemory(create=True, size=8)
+        try:
+            kind, value = _resolve_shard_worker(
+                (
+                    chain_bytes,
+                    [ShardChunk(str(path), 0, 100)],
+                    ("EV",),
+                    True,
+                    segment.name,
+                )
+            )
+        finally:
+            segment.close()
+            segment.unlink()
+        assert kind == "pickled"
+        assert isinstance(value, bytes)
+
+    def test_pack_rows_round_trips_dropped_samples(self):
+        from repro.profiling.report import StreamingAggregator
+
+        agg = StreamingAggregator(("A",))
+        agg.add_counts("A", "img", "sym", 5)
+        agg.add_counts("B", "img", "other", 3)  # filtered event: dropped
+        merged = StreamingAggregator(("A",))
+        merged.absorb_packed_rows(agg.pack_rows())
+        assert merged.samples_seen == agg.samples_seen == 8
+        assert merged.report().totals == agg.report().totals
+
+
+class TestWorkerCacheStats:
+    """Sharded runs must report merged cache statistics — in particular a
+    non-zero size (the old transport dropped worker cache sizes)."""
+
+    def test_parallel_cache_size_is_reported(self):
+        run = viprof_profile(
+            by_name("fop"), period=90_000, time_scale=0.1, seed=7
+        )
+        seq = run.viprof_report(workers=1).stage_stats["cache"]
+        par = run.viprof_report(workers=2).stage_stats["cache"]
+        # Max-merge policy: worker caches hold disjoint-shard working
+        # sets that overlap on hot keys, so the merged size is the
+        # largest worker cache — positive, never above the sequential
+        # distinct-key count.
+        assert 0 < par["size"] <= seq["size"]
+        assert par["hits"] + par["misses"] == seq["hits"] + seq["misses"]
 
 
 class TestParallelGuards:

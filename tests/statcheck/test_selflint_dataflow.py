@@ -399,6 +399,55 @@ class TestSL208CounterAccounting:
         )
         assert fs == []
 
+    # -- bulk/columnar counter scaling ---------------------------------
+
+    def test_bulk_named_function_literal_bump_fires(self, tmp_path):
+        # A bulk-named function bumping a counter by a literal processes
+        # N samples but counts 1 — the columnar-parity bug class.
+        fs = lint_text(
+            tmp_path,
+            "class Chain:\n"
+            "    def replay_bulk(self, entry, n):\n"
+            "        self.hits += 1\n",
+            rules=["SL208"],
+        )
+        assert rules_of(fs) == ["SL208"]
+        assert fs[0].severity is Severity.ERROR
+        assert "replay_bulk" in fs[0].message
+
+    def test_bulk_function_per_item_bump_in_loop_clean(self, tmp_path):
+        # Per-item bumps inside a loop are the scalar idiom and legal
+        # in batch functions (e.g. memo probes per address).
+        fs = lint_text(
+            tmp_path,
+            "class Index:\n"
+            "    def resolve_run(self, addrs):\n"
+            "        for a in addrs:\n"
+            "            self.memo_hits += 1\n",
+            rules=["SL208"],
+        )
+        assert fs == []
+
+    def test_bulk_function_scaled_bump_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "class Chain:\n"
+            "    def replay_bulk(self, entry, n):\n"
+            "        self.hits += n\n",
+            rules=["SL208"],
+        )
+        assert fs == []
+
+    def test_scalar_function_literal_bump_clean(self, tmp_path):
+        fs = lint_text(
+            tmp_path,
+            "class Chain:\n"
+            "    def replay(self, entry):\n"
+            "        self.hits += 1\n",
+            rules=["SL208"],
+        )
+        assert fs == []
+
 
 class TestSL209FaultPointCoverage:
     def test_unregistered_point_fires(self, tmp_path):
