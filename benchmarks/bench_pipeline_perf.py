@@ -11,7 +11,16 @@ resolution throughput (samples/sec) and peak RSS for:
 * ``workers=1``, cache **on**, scalar and columnar;
 * ``workers=2``/``4`` (columnar, cached) — sharded multi-process
   resolution over shared-memory result transport;
-* ``workers="auto"`` — the core-count heuristic (1 on a single-core box).
+* ``workers="auto"`` — the core-count heuristic (1 on a single-core box);
+* **cold start** (uncached, columnar, workers=1) with the code maps
+  loaded *inside* the timed region, once from the text maps and once
+  from the compiled arena (``repro.viprof.arena``) — the padded map set
+  makes the parse-vs-mmap gap visible;
+* **index load** — ``CodeMapIndex.load_dir`` alone, text vs arena,
+  with the resident-memory delta of each load;
+* **worker warm-up** — the sharded run re-executed with
+  ``warm_top_k`` seeding, reporting the hit/miss shift (output parity
+  enforced like everything else).
 
 Every configuration's report is checked byte-identical against the
 sequential baseline before its numbers are recorded (a perf run that
@@ -45,6 +54,13 @@ from repro.profiling.record_codec import (  # noqa: E402
     RecordFileWriter,
 )
 from repro.system.api import viprof_profile  # noqa: E402
+from repro.viprof.arena import build_arena  # noqa: E402
+from repro.viprof.codemap import (  # noqa: E402
+    CodeMap,
+    CodeMapIndex,
+    CodeMapRecord,
+    CodeMapWriter,
+)
 from repro.viprof.postprocess import ViprofReport  # noqa: E402
 from repro.workloads import by_name  # noqa: E402
 
@@ -52,6 +68,15 @@ SEED_BENCH = "fop"
 SEED_PERIOD = 90_000
 SEED_SCALE = 0.25
 SEED = 7
+
+#: Padding records appended per epoch to the synthesized map set.  Sized
+#: so a text load parses a six-figure record count (a long JIT-heavy
+#: session) while the padding sits far above every sampled PC, keeping
+#: resolution byte-identical to the unpadded session.
+PAD_RECORDS_PER_EPOCH = 20_000
+PAD_RECORDS_SMOKE = 2_000
+PAD_BASE = 0x9000_0000
+PAD_STRIDE = 0x40
 
 
 def synthesize_session(sample_dir: Path, big_dir: Path, target: int) -> int:
@@ -87,12 +112,109 @@ def synthesize_session(sample_dir: Path, big_dir: Path, target: int) -> int:
     return written
 
 
+def synthesize_maps(
+    seed_map_dir: Path, big_map_dir: Path, pad_per_epoch: int
+) -> dict:
+    """Clone the seed session's epoch maps with ``pad_per_epoch`` extra
+    records per epoch at addresses far above every sampled PC.
+
+    The padding inflates exactly the cost the arena removes — per-line
+    text parsing and per-record object construction at load time —
+    without changing a single resolution: no sample's PC falls inside
+    the padded range, and the backward epoch-walk sees the same covering
+    records it would in the unpadded session (parity-checked by the
+    harness like every other config).
+    """
+    big_map_dir.mkdir(parents=True, exist_ok=True)
+    writer = CodeMapWriter(big_map_dir)
+    epochs = 0
+    records = 0
+    for path in sorted(seed_map_dir.glob("jit-map.*")):
+        cm = CodeMap.load(path)
+        pad_base = PAD_BASE + cm.epoch * pad_per_epoch * PAD_STRIDE
+        padding = [
+            CodeMapRecord(
+                address=pad_base + i * PAD_STRIDE,
+                size=PAD_STRIDE,
+                tier="O0",
+                name=f"pad.Epoch{cm.epoch}.m{i}",
+            )
+            for i in range(pad_per_epoch)
+        ]
+        writer.write(cm.epoch, list(cm.records) + padding)
+        epochs += 1
+        records += len(cm.records) + pad_per_epoch
+    arena_path = build_arena(big_map_dir)
+    return {
+        "epochs": epochs,
+        "records": records,
+        "pad_per_epoch": pad_per_epoch,
+        "arena_bytes": arena_path.stat().st_size if arena_path else 0,
+    }
+
+
 def peak_rss_kb() -> int:
     """High-watermark RSS of this process plus all reaped children, in
     kB (Linux ``ru_maxrss`` units)."""
     own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
     return own + kids
+
+
+def current_rss_kb() -> int | None:
+    """Resident set size right now, in kB (Linux ``/proc``; None
+    elsewhere).  Unlike :func:`peak_rss_kb` this can go *down*, so
+    before/after deltas isolate one load's footprint even after an
+    earlier config pushed the high watermark up."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def bench_index_load(map_dir: Path, repeats: int = 3) -> dict:
+    """Time ``CodeMapIndex.load_dir`` text vs arena (best of
+    ``repeats``), with each mode's resident-memory delta on first load."""
+    import gc
+
+    timings: dict[str, dict] = {}
+    for mode, arena in (("text", False), ("arena", "require")):
+        gc.collect()
+        rss_before = current_rss_kb()
+        best = None
+        loaded_records = 0
+        for i in range(repeats):
+            t0 = time.perf_counter()
+            idx = CodeMapIndex.load_dir(map_dir, arena=arena)
+            elapsed = time.perf_counter() - t0
+            if i == 0:
+                # Record count on the text path; the arena path keeps
+                # this lazy, which is the point — don't force it.
+                loaded_records = sum(
+                    len(idx.map_for(e)) for e in idx.epochs
+                )
+                rss_after = current_rss_kb()
+            best = elapsed if best is None else min(best, elapsed)
+            del idx
+        timings[mode] = {
+            "seconds": round(best, 4),
+            "records": loaded_records,
+            "rss_delta_kb": (
+                rss_after - rss_before
+                if rss_before is not None and rss_after is not None
+                else None
+            ),
+        }
+    text_s, arena_s = timings["text"]["seconds"], timings["arena"]["seconds"]
+    return {
+        "text": timings["text"],
+        "arena": timings["arena"],
+        "speedup": round(text_s / arena_s, 2) if arena_s else None,
+    }
 
 
 def bench_config(
@@ -169,6 +291,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"synthesized {written} samples in {big_dir} "
               f"({synth_secs:.2f}s)", flush=True)
 
+        big_map_dir = Path(tmp) / "jit-maps"
+        pad = PAD_RECORDS_SMOKE if args.smoke else PAD_RECORDS_PER_EPOCH
+        map_info = synthesize_maps(
+            run.viprof_session.map_dir, big_map_dir, pad
+        )
+        print(f"synthesized {map_info['records']} map records over "
+              f"{map_info['epochs']} epochs "
+              f"(arena {map_info['arena_bytes']} bytes)", flush=True)
+
         def make_post(cache: bool) -> ViprofReport:
             return ViprofReport(
                 kernel=seed_post.kernel,
@@ -222,6 +353,102 @@ def main(argv: list[str] | None = None) -> int:
                 and "workers_requested" not in c
             )
 
+        # -- cold start: map load inside the timed region --------------
+        # Same uncached single-core columnar resolve, but the cost of
+        # getting the code maps into memory is *included* — the scenario
+        # `viprof index` exists for.  Arena first, so the text parse
+        # cannot inflate the arena leg's shared page cache... it can
+        # only help it, and the arena still has to win.
+        import gc
+
+        cold_start: dict[str, dict] = {}
+        for mode, arena_flag in (("arena", "require"), ("text", False)):
+            gc.collect()
+            rss0 = current_rss_kb()
+            t0 = time.perf_counter()
+            codemaps = CodeMapIndex.load_dir(big_map_dir, arena=arena_flag)
+            load_secs = time.perf_counter() - t0
+            post = ViprofReport(
+                kernel=seed_post.kernel,
+                sample_dir=big_dir,
+                codemaps=codemaps,
+                rvm_map=seed_post.rvm_map,
+                registrations=seed_post.registrations,
+                resolve_cache=False,
+            )
+            report = post.generate(workers=1, columnar=True)
+            elapsed = time.perf_counter() - t0
+            rss1 = current_rss_kb()
+            table = report.format_table(limit=20)
+            if table != baseline_table:
+                raise SystemExit(
+                    f"cold-start ({mode}) produced a different report "
+                    "than the sequential baseline — parity broken"
+                )
+            total = post.chain.stats_dict()["total_samples"]
+            cold_start[mode] = {
+                "map_load_seconds": round(load_secs, 4),
+                "seconds": round(elapsed, 4),
+                "samples_per_sec": round(total / elapsed) if elapsed else None,
+                "rss_delta_kb": (
+                    rss1 - rss0
+                    if rss0 is not None and rss1 is not None
+                    else None
+                ),
+                "matches_baseline": True,
+            }
+            print(f"cold-start {mode}: load {load_secs:.3f}s, "
+                  f"total {elapsed:.2f}s "
+                  f"({cold_start[mode]['samples_per_sec']} samples/s)",
+                  flush=True)
+        cold_start["speedup_arena_vs_text"] = (
+            round(
+                cold_start["text"]["seconds"]
+                / cold_start["arena"]["seconds"], 2,
+            )
+            if cold_start["arena"]["seconds"]
+            else None
+        )
+
+        # -- index load alone ------------------------------------------
+        index_load = bench_index_load(big_map_dir)
+        print(f"index load: text {index_load['text']['seconds']}s, "
+              f"arena {index_load['arena']['seconds']}s "
+              f"({index_load['speedup']}x)", flush=True)
+
+        # -- worker cache warm-up --------------------------------------
+        warm_workers = next((w for w in worker_counts if w > 1), 2)
+        warmup: dict[str, object] = {"workers": warm_workers}
+        for label, warm_flag in (("cold", None), ("warm", True)):
+            post = make_post(True)
+            post.generate(workers=1)  # warm the parent chain first
+            before = post.chain.stats_dict()["cache"]
+            t0 = time.perf_counter()
+            report = post.generate(
+                workers=warm_workers, warm_top_k=warm_flag
+            )
+            elapsed = time.perf_counter() - t0
+            after = post.chain.stats_dict()["cache"]
+            if report.format_table(limit=20) != baseline_table:
+                raise SystemExit(
+                    f"warm-up ({label}) produced a different report than "
+                    "the sequential baseline — parity broken"
+                )
+            warmup[label] = {
+                "seconds": round(elapsed, 4),
+                "samples_per_sec": (
+                    round(written / elapsed) if elapsed else None
+                ),
+                "worker_hits": after["hits"] - before["hits"],
+                "worker_misses": after["misses"] - before["misses"],
+            }
+        warmup["misses_avoided"] = (
+            warmup["cold"]["worker_misses"] - warmup["warm"]["worker_misses"]
+        )
+        print(f"warm-up (workers={warm_workers}): cold misses "
+              f"{warmup['cold']['worker_misses']}, warm misses "
+              f"{warmup['warm']['worker_misses']}", flush=True)
+
         uncached_scalar = pick(1, False, False)
         uncached_columnar = pick(1, False, True)
         cached_scalar = pick(1, True, False)
@@ -263,6 +490,18 @@ def main(argv: list[str] | None = None) -> int:
                 if cached_columnar["seconds"]
                 else None
             ),
+            "maps": map_info,
+            "cold_start": cold_start,
+            "index_load": index_load,
+            "warmup": warmup,
+            # Arena headlines: cold-start resolution (map load included)
+            # and the index load alone, arena vs text over the same
+            # padded map set.
+            "speedup_arena_cold_start": cold_start["speedup_arena_vs_text"],
+            "speedup_arena_index_load": index_load["speedup"],
+            "arena_cold_start_samples_per_sec": cold_start["arena"][
+                "samples_per_sec"
+            ],
             "workers_auto_resolved": auto["workers"],
             # The auto heuristic never picks a losing pool, so the best
             # cached-columnar rate is ≥ the 1-worker rate by construction
@@ -284,6 +523,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{payload['speedup_columnar_uncached']}x, cached "
           f"{payload['speedup_columnar_cached']}x; cache on/off "
           f"{payload['speedup_cache_on_vs_off']}x")
+    print(f"arena speedup: cold start "
+          f"{payload['speedup_arena_cold_start']}x, index load "
+          f"{payload['speedup_arena_index_load']}x")
     return 0
 
 

@@ -273,6 +273,79 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return analyzer.run(args)
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.viprof.arena import (
+        ArenaError,
+        CodeMapArena,
+        arena_path_for,
+        build_arena,
+    )
+
+    session_dir = Path(args.session_dir)
+    map_dir = session_dir / "jit-maps"
+    if not map_dir.is_dir():
+        print(
+            f"viprof index: {session_dir}: not a session directory "
+            "(no jit-maps/ subdirectory)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.check:
+        try:
+            arena = CodeMapArena.open_fresh(map_dir)
+        except ArenaError as e:
+            print(f"viprof index: {e}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(arena.info(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"{arena.path}: fresh ({arena.records} records, "
+                f"epochs {list(arena.epochs)})"
+            )
+        arena.close()
+        return 0
+
+    if not args.force:
+        try:
+            arena = CodeMapArena.open_fresh(map_dir)
+        except ArenaError:
+            pass
+        else:
+            if args.json:
+                print(json.dumps(arena.info(), indent=2, sort_keys=True))
+            else:
+                print(f"{arena.path}: already fresh (use --force to rebuild)")
+            arena.close()
+            return 0
+    try:
+        path = build_arena(map_dir)
+    except ReproError as e:
+        print(f"viprof index: {e}", file=sys.stderr)
+        return 2
+    if path is None:
+        print(
+            f"viprof index: {map_dir}: no epoch map files to compile",
+            file=sys.stderr,
+        )
+        return 2
+    arena = CodeMapArena.open(path)
+    if args.json:
+        print(json.dumps(arena.info(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"wrote {path} ({path.stat().st_size} bytes, "
+            f"{arena.records} records, epochs {list(arena.epochs)})"
+        )
+    arena.close()
+    return 0
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     import json
 
@@ -440,6 +513,20 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true",
                    help="emit the salvage manifest as JSON")
 
+    p = sub.add_parser(
+        "index",
+        help="compile a session's epoch code maps into the zero-copy "
+        "mmap arena (jit-maps.arena) used by viprof report",
+    )
+    p.add_argument("session_dir")
+    p.add_argument("--check", action="store_true",
+                   help="verify only: exit 0 if a fresh arena exists, "
+                        "1 if it is missing, corrupt, or stale")
+    p.add_argument("--force", action="store_true",
+                   help="rebuild even when the existing arena is fresh")
+    p.add_argument("--json", action="store_true",
+                   help="emit the arena inspection payload as JSON")
+
     p = sub.add_parser("timeline", help="phase-behaviour timeline")
     p.add_argument("benchmark")
     p.add_argument("--window", type=int, default=2_000_000,
@@ -463,6 +550,7 @@ def main(argv: list[str] | None = None) -> int:
         "timeline": _cmd_timeline,
         "lint": _cmd_lint,
         "recover": _cmd_recover,
+        "index": _cmd_index,
     }[args.command]
     try:
         return handler(args)

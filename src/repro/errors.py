@@ -21,6 +21,7 @@ __all__ = [
     "ProfilerError",
     "SampleFormatError",
     "CodeMapError",
+    "ArenaError",
     "WorkloadError",
     "StatCheckError",
     "AnalysisError",
@@ -78,6 +79,12 @@ class SampleFormatError(ProfilerError):
 
 class CodeMapError(ProfilerError):
     """Code-map file inconsistency (bad epoch ordering, overlap, ...)."""
+
+
+class ArenaError(CodeMapError):
+    """A compiled code-map arena is unusable: missing, torn, checksum-
+    mismatched, or stale against its source maps.  Always recoverable —
+    callers degrade to text-map parsing (:mod:`repro.viprof.arena`)."""
 
 
 class WorkloadError(ReproError):

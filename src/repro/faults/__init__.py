@@ -8,6 +8,7 @@ recovery guarantees tested against them.
 from repro.faults.injector import (
     ALL_FAULT_POINT_NAMES,
     AGENT_MAP_EMIT,
+    ARENA_WRITE,
     CODEMAP_WRITE,
     DAEMON_DRAIN,
     FAULT_POINTS,
@@ -26,6 +27,7 @@ from repro.faults.injector import (
 __all__ = [
     "ALL_FAULT_POINT_NAMES",
     "AGENT_MAP_EMIT",
+    "ARENA_WRITE",
     "CODEMAP_WRITE",
     "DAEMON_DRAIN",
     "FAULT_POINTS",

@@ -50,6 +50,7 @@ __all__ = [
     "CODEMAP_WRITE",
     "AGENT_MAP_EMIT",
     "SESSION_TEARDOWN",
+    "ARENA_WRITE",
     "arm",
     "armed",
     "fire",
@@ -76,6 +77,7 @@ DAEMON_DRAIN = "daemon.drain-chunk"
 CODEMAP_WRITE = "codemap.write"
 AGENT_MAP_EMIT = "agent.map-emit"
 SESSION_TEARDOWN = "session.teardown"
+ARENA_WRITE = "arena.write"
 
 #: Every failure point threaded through the stack.  The crash-matrix test
 #: parametrizes over this tuple, so adding a point here automatically
@@ -111,6 +113,13 @@ FAULT_POINTS: tuple[FaultPoint, ...] = (
         "repro.viprof.session.ViprofSession.stop",
         "die at session stop before the final drain: undrained kernel "
         "buffer and writer-buffered records are lost; no final flush",
+    ),
+    FaultPoint(
+        ARENA_WRITE,
+        "repro.viprof.arena.build_arena",
+        "die mid-write of the compiled code-map arena: the arena file "
+        "holds a torn byte prefix (bad checksum, detectable; readers "
+        "fall back to the text maps)",
     ),
 )
 

@@ -143,6 +143,7 @@ class OpReport:
         pid: int | None = None,
         workers: int | str = 1,
         columnar: bool = True,
+        warm_top_k: int | bool | None = None,
     ) -> ProfileReport:
         """Build the symbol-level report in one streaming pass.
 
@@ -158,6 +159,10 @@ class OpReport:
             columnar: resolve with the deduplicated batch path
                 (:mod:`repro.pipeline.columnar`); byte- and
                 stats-identical to the scalar loop, substantially faster.
+            warm_top_k: with ``workers > 1``, seed each shard worker's
+                resolution cache from this chain's hottest entries
+                (output-neutral; only useful when the chain is already
+                warm from a previous pass).
         """
         from repro.pipeline.parallel import resolve_workers
 
@@ -184,4 +189,5 @@ class OpReport:
             events=events or self.event_names(),
             workers=workers,
             columnar=columnar,
+            warm_top_k=warm_top_k,
         )

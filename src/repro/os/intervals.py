@@ -22,7 +22,7 @@ from typing import Generic, Iterable, Iterator, TypeVar
 
 from repro.errors import ConfigError
 
-__all__ = ["Interval", "IntervalIndex"]
+__all__ = ["Interval", "IntervalIndex", "PackedIntervalTable"]
 
 P = TypeVar("P")
 
@@ -174,3 +174,87 @@ class IntervalIndex(Generic[P]):
                 return False
             prev_end = iv.end if prev_end is None else max(prev_end, iv.end)
         return True
+
+
+class PackedIntervalTable:
+    """Stabbing queries over **disjoint** ``[start, end)`` ranges stored as
+    two parallel sorted integer columns — no :class:`Interval` objects.
+
+    This is the zero-copy counterpart of :class:`IntervalIndex` for data
+    whose well-formedness was proven at *build* time (the code-map arena:
+    per-epoch records are validated non-overlapping before they are packed,
+    so the prefix-maximum walk degenerates to a single probe).  The columns
+    may be any sorted integer sequences — ``list``, ``array('q')``, or a
+    ``memoryview`` cast over an ``mmap`` — which is what lets every shard
+    worker bisect the same on-disk page cache without materializing
+    anything.
+
+    Queries return **row indices** (``-1`` for no cover) instead of
+    payloads; the caller owns row→record materialization, so rows that
+    never reach a report are never built.  Result positions are identical
+    to :meth:`IntervalIndex.first_covering` /
+    :meth:`IntervalIndex.first_covering_many` over the same ranges
+    (property-tested in ``tests/os/test_intervals.py``).
+    """
+
+    __slots__ = ("_starts", "_ends", "_n")
+
+    def __init__(self, starts, ends) -> None:
+        if len(starts) != len(ends):
+            raise ConfigError(
+                f"packed table columns disagree: {len(starts)} starts "
+                f"vs {len(ends)} ends"
+            )
+        self._starts = starts
+        self._ends = ends
+        self._n = len(starts)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def first_covering(self, point: int) -> int:
+        """Row index of the interval covering ``point``, or ``-1``.
+
+        Disjoint + sorted means the only candidate is the rightmost row
+        starting at or before the point — one bisect, no leftward walk.
+        """
+        i = bisect.bisect_right(self._starts, point) - 1
+        if i >= 0 and point < self._ends[i]:
+            return i
+        return -1
+
+    def first_covering_many(self, points: Iterable[int]) -> list[int]:
+        """:meth:`first_covering` over an **ascending** run of points.
+
+        Same contract and same last-hit shortcut as
+        :meth:`IntervalIndex.first_covering_many`: consecutive sorted PCs
+        tend to land in one method body, so the previous row is re-tested
+        before paying another bisect.
+        """
+        starts = self._starts
+        ends = self._ends
+        n = self._n
+        out: list[int] = []
+        last = -1
+        prev: int | None = None
+        for p in points:
+            if prev is not None and p < prev:
+                raise ConfigError(
+                    f"first_covering_many needs ascending points "
+                    f"({p:#x} after {prev:#x})"
+                )
+            prev = p
+            # Safe for the same reason as the object index: disjoint rows
+            # mean re-using the last hit cannot skip a later-starting row
+            # unless that row has already reached p.
+            if (
+                last >= 0
+                and starts[last] <= p < ends[last]
+                and (last + 1 >= n or starts[last + 1] > p)
+            ):
+                out.append(last)
+                continue
+            i = bisect.bisect_right(starts, p) - 1
+            last = i if (i >= 0 and p < ends[i]) else -1
+            out.append(last)
+        return out

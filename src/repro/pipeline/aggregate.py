@@ -26,6 +26,7 @@ def run_pipeline(
     events: tuple[str, ...] | None = None,
     workers: int | str = 1,
     columnar: bool = True,
+    warm_top_k: int | bool | None = None,
 ) -> ProfileReport:
     """Resolve and aggregate a sample stream in one constant-memory pass.
 
@@ -38,6 +39,9 @@ def run_pipeline(
     the run the chain's ``stats_dict()`` covers the whole stream either
     way.  ``columnar`` selects the deduplicated batch resolution path
     (byte-identical output; see :mod:`repro.pipeline.columnar`).
+    ``warm_top_k`` seeds shard workers with the parent cache's hottest
+    entries (see :func:`~repro.pipeline.parallel.run_parallel_pipeline`);
+    the sequential path ignores it — the parent cache *is* the cache.
     """
     from repro.pipeline.parallel import (
         consume_source,
@@ -48,7 +52,12 @@ def run_pipeline(
     workers = resolve_workers(workers)
     if workers > 1:
         agg = run_parallel_pipeline(
-            source, chain, events, workers, columnar=columnar
+            source,
+            chain,
+            events,
+            workers,
+            columnar=columnar,
+            warm_top_k=warm_top_k,
         )
     else:
         agg = StreamingAggregator(events)

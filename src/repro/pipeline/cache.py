@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import ProfilerError
 
@@ -101,6 +102,54 @@ class ResolutionCache:
         looked up — the columnar path probes once per distinct key and
         bulk-counts the duplicates so totals match the per-sample loop."""
         self.hits += n
+
+    def export_warm(self, top_k: int) -> list[tuple[tuple, CachedResolution]]:
+        """The ``top_k`` most-recently-used entries, **coldest first**.
+
+        That order lets a receiver :meth:`seed` them one by one and end up
+        with the same relative recency this cache had — the hottest key is
+        the last seeded, so it is also the last evicted.  Used by the
+        parallel scheduler to warm shard workers with the parent's hot
+        set before the workers fork.
+        """
+        if top_k <= 0:
+            return []
+        entries = self._entries
+        start = max(0, len(entries) - top_k)
+        items = list(entries.items())[start:]
+        return items
+
+    def seed(self, entries: Iterable[tuple[tuple, CachedResolution]]) -> None:
+        """Pre-warm with already-resolved entries, touching **no**
+        counters: a seeded entry was resolved (and counted) by whoever
+        exported it.  Later :meth:`get` probes count normally — which is
+        exactly why warm-started workers report *more* hits and *fewer*
+        misses, never different totals.
+        """
+        for key, entry in entries:
+            self.put(key, entry)
+
+    def __getstate__(self) -> dict:
+        """Pickle counters and geometry, **not** the entry table.
+
+        A pickled cache travels to a shard worker, which immediately
+        zeroes its state (``ResolverChain.reset_stats``) — shipping the
+        parent's whole LRU dict would be pure serialization cost.  Warm
+        state travels separately (and bounded) via :meth:`export_warm`.
+        """
+        return {
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "_absorbed_size": self._absorbed_size,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.capacity = state["capacity"]
+        self.hits = state["hits"]
+        self.misses = state["misses"]
+        self._absorbed_size = state["_absorbed_size"]
+        self._entries = OrderedDict()
 
     def clear(self) -> None:
         """Drop all entries and zero the counters."""

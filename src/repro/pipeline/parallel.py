@@ -345,7 +345,12 @@ def _absorb_shard_payload(
 
 def _resolve_shard_worker(
     payload: tuple[
-        bytes, list[ShardChunk], tuple[str, ...] | None, bool, str | None
+        bytes,
+        list[ShardChunk],
+        tuple[str, ...] | None,
+        bool,
+        str | None,
+        bytes | None,
     ],
 ) -> tuple[str, int] | tuple[str, bytes]:
     """Worker entry: resolve one shard on a private chain copy and
@@ -355,9 +360,14 @@ def _resolve_shard_worker(
     ``("pickled", blob)`` when it did not (the pool's pickle channel is
     the overflow path — slower, never wrong).
     """
-    chain_bytes, chunks, events, columnar, segment_name = payload
+    chain_bytes, chunks, events, columnar, segment_name, warm_blob = payload
     chain: ResolverChain = pickle.loads(chain_bytes)
     chain.reset_stats()
+    if warm_blob is not None and chain.cache is not None:
+        # Seed after the reset (reset clears the cache): warm entries
+        # carry no counters, so the shard's exported deltas still sum
+        # exactly — warm workers just report more hits, fewer misses.
+        chain.cache.seed(pickle.loads(warm_blob))
     agg = StreamingAggregator(events)
     consume_chunks(chunks, chain, agg, columnar=columnar)
     blob = _pack_shard_payload(agg, chain)
@@ -372,12 +382,20 @@ def _resolve_shard_worker(
     return ("pickled", blob)
 
 
+#: Default number of hot cache entries shipped to each shard worker when
+#: warm-up seeding is requested (``warm_top_k=True``).  Sized to cover a
+#: realistic hot working set while keeping the pickled warm blob far
+#: below fork/segment costs.
+DEFAULT_WARM_TOP_K = 4096
+
+
 def run_parallel_pipeline(
     source: Iterable[object],
     chain: ResolverChain,
     events: tuple[str, ...] | None,
     workers: int,
     columnar: bool = True,
+    warm_top_k: int | bool | None = None,
 ) -> StreamingAggregator:
     """Resolve a directory-backed source across ``workers`` processes.
 
@@ -385,6 +403,15 @@ def run_parallel_pipeline(
     worker's counter deltas, so ``chain.stats_dict()`` reports the whole
     run.  Falls back to the sequential fast path when the plan yields a
     single shard (tiny inputs) — same results either way.
+
+    ``warm_top_k`` seeds every worker's resolution cache with the
+    parent's hottest entries before its shard starts (``True`` for
+    :data:`DEFAULT_WARM_TOP_K`, an int for an explicit bound).  This
+    only matters when the parent chain is itself warm — a re-run over a
+    live chain, the fleet-service scenario — and is output-neutral by
+    construction: resolution is a pure function of the key, so a seeded
+    hit returns exactly what the walk would have (parity-tested in
+    ``tests/pipeline/test_warmup.py``).  Only the hit/miss split moves.
 
     Shard results travel through per-shard ``multiprocessing.shared_memory``
     segments as flat packed blobs (:func:`_pack_shard_payload`) rather
@@ -399,6 +426,14 @@ def run_parallel_pipeline(
             f"(got {type(source).__name__}); filtered or in-memory streams "
             "resolve sequentially"
         )
+    warm_blob: bytes | None = None
+    if warm_top_k and chain.cache is not None:
+        top_k = (
+            DEFAULT_WARM_TOP_K if warm_top_k is True else int(warm_top_k)
+        )
+        warm = chain.cache.export_warm(top_k)
+        if warm:
+            warm_blob = pickle.dumps(warm)
     try:
         chain_bytes = pickle.dumps(chain)
     except Exception as e:
@@ -428,7 +463,7 @@ def run_parallel_pipeline(
     ]
     try:
         payloads = [
-            (chain_bytes, shard, events, columnar, segment.name)
+            (chain_bytes, shard, events, columnar, segment.name, warm_blob)
             for shard, segment in zip(shards, segments)
         ]
         with ProcessPoolExecutor(

@@ -48,6 +48,17 @@ VP110  summary-consistency   A session's embedded ``summary.json`` (and
                               layer split matches kernel-mode/heap-bounds
                               classification, and the salvage panel
                               re-derives from the manifest's own entries.
+VP111  arena-consistency     A compiled code-map arena
+                              (``jit-maps.arena``) is a derived cache of
+                              the text maps: it must validate (magic,
+                              version, checksum), its recorded source
+                              digests must match the map files on disk,
+                              and its epoch set / per-epoch records must
+                              equal what the maps declare.  The loaders
+                              fall back to text on any mismatch, so a
+                              violation is never a wrong report — but it
+                              is a stale or torn artifact that silently
+                              forfeits the zero-copy fast path.
 
 A session with a salvage manifest is *expected* to have gaps, so the
 damage rules report salvage-accounted losses at INFO instead of
@@ -65,7 +76,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterator
 
-from repro.errors import AnalysisError, SampleFormatError
+from repro.errors import AnalysisError, CodeMapError, SampleFormatError
 from repro.metrics.build import salvage_panel
 from repro.metrics.model import SUMMARY_NAME, SessionSummary
 from repro.os.intervals import Interval, IntervalIndex
@@ -93,6 +104,7 @@ __all__ = [
     "check_quarantine_isolation",
     "check_loss_accounting",
     "check_summary_consistency",
+    "check_arena_consistency",
 ]
 
 
@@ -937,3 +949,114 @@ def _check_salvage_summary(arts: SessionArtifacts) -> Iterator[Finding]:
 def check_summary_consistency(arts: SessionArtifacts) -> Iterator[Finding]:
     yield from _check_session_summary(arts)
     yield from _check_salvage_summary(arts)
+
+
+@rule(
+    "VP111", "arena-consistency", Severity.ERROR,
+    "a compiled code-map arena must validate and match its source maps",
+)
+def check_arena_consistency(arts: SessionArtifacts) -> Iterator[Finding]:
+    """A ``jit-maps.arena`` file, when present, must be the compiled
+    image of the epoch maps sitting next to it — validated three ways:
+    internal integrity (checksum), the recorded source digests, and a
+    full epoch/record comparison against the text maps.  Absence is
+    fine (the arena is optional); presence with any mismatch is an
+    ERROR, because whoever checked the artifact in believed it matched.
+    """
+    from repro.viprof.arena import ArenaError, CodeMapArena, arena_path_for
+
+    map_dir = arts.session_dir / MAP_DIR_NAME
+    arena_path = arena_path_for(map_dir)
+    if not arena_path.is_file():
+        return
+    label = str(arena_path)
+    try:
+        arena = CodeMapArena.open(arena_path)
+    except ArenaError as e:
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP111",
+            artifact=label,
+            location="-",
+            message=f"arena does not validate: {e}",
+        )
+        return
+    try:
+        yield from _arena_vs_maps(arena, arts, label, map_dir)
+    finally:
+        arena.close()
+
+
+def _arena_vs_maps(
+    arena, arts: SessionArtifacts, label: str, map_dir
+) -> Iterator[Finding]:
+    """VP111 body: compare a validated open arena against the text maps."""
+    from repro.viprof.arena import ArenaError
+
+    for reason in arena.stale_reasons(map_dir):
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP111",
+            artifact=label,
+            location="sources",
+            message=f"stale arena: {reason}",
+        )
+    arena_epochs = set(arena.epochs)
+    map_epochs = set(arts.maps)
+    for epoch in sorted(arena_epochs - map_epochs):
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP111",
+            artifact=label,
+            location=f"epoch {epoch}",
+            message="arena holds an epoch with no map file on disk",
+        )
+    for epoch in sorted(map_epochs - arena_epochs):
+        yield Finding(
+            severity=Severity.ERROR,
+            rule_id="VP111",
+            artifact=label,
+            location=f"epoch {epoch}",
+            message=f"map file {arts.map_label(epoch)} is missing "
+            "from the arena",
+        )
+    for epoch in sorted(arena_epochs & map_epochs):
+        try:
+            packed = arena.epoch_map(epoch).records
+        except (ArenaError, CodeMapError) as e:
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP111",
+                artifact=label,
+                location=f"epoch {epoch}",
+                message=f"arena records do not materialize: {e}",
+            )
+            continue
+        on_disk = tuple(sorted(arts.maps[epoch].records))
+        if len(packed) != len(on_disk):
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP111",
+                artifact=label,
+                location=f"epoch {epoch}",
+                message=(
+                    f"arena packs {len(packed)} records but "
+                    f"{arts.map_label(epoch)} declares {len(on_disk)}"
+                ),
+            )
+        elif packed != on_disk:
+            diff = next(
+                i for i, (a, b) in enumerate(zip(packed, on_disk))
+                if a != b
+            )
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP111",
+                artifact=label,
+                location=f"epoch {epoch}",
+                message=(
+                    f"arena record {diff} ({packed[diff].name!r}) "
+                    f"disagrees with the map file "
+                    f"({on_disk[diff].name!r})"
+                ),
+            )

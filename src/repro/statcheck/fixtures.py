@@ -1,7 +1,7 @@
 """Deterministic lint-fixture sessions (clean + seeded corruptions).
 
 Tests and CI need sessions whose ground truth is known *by construction*:
-one clean session the analyzer must pass, and five sessions each seeded
+one clean session the analyzer must pass, and six sessions each seeded
 with exactly one corruption the analyzer must catch under the right rule
 id.  Building them here — instead of checking in opaque artifacts or
 running the whole simulator — keeps the fixtures readable, regenerable,
@@ -34,10 +34,11 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.errors import StatCheckError
+from repro.errors import CodeMapError, StatCheckError
 from repro.profiling.model import RawSample
 from repro.profiling.samplefile import SampleFileWriter
 from repro.statcheck.findings import Severity
+from repro.viprof.arena import build_arena
 from repro.viprof.codemap import CodeMapRecord, CodeMapWriter
 
 __all__ = [
@@ -56,6 +57,7 @@ CORRUPTIONS = (
     "orphan",
     "signature-collision",
     "stale-moved",
+    "stale-arena",
 )
 
 #: Which rule id each corruption must be reported under.
@@ -65,6 +67,7 @@ EXPECTED_RULE = {
     "orphan": "VP103",
     "signature-collision": "VP104",
     "stale-moved": "VP105",
+    "stale-arena": "VP111",
 }
 
 _TASK_ID = 42
@@ -146,6 +149,26 @@ def write_fixture_session(
     writer.write(0, epoch0)
     writer.write(1, epoch1)
     writer.write(last_epoch, epoch2)
+
+    # Compile the zero-copy arena the way a real session teardown would,
+    # so the fixtures exercise VP111 and the arena-backed loader.  The
+    # overlap corruption cannot compile (the strict loader rejects it —
+    # exactly the production behaviour), so that session ships text-only.
+    try:
+        build_arena(dest / "jit-maps")
+    except CodeMapError:
+        pass
+
+    if corruption == "stale-arena":
+        # Tamper *after* compiling: a harmless extra record (disjoint,
+        # unique name, not moved, never sampled) drifts the map file out
+        # from under the arena's recorded digests without waking any
+        # other rule.  Loaders fall back to text; VP111 flags the drift.
+        extra = _rec(0x6081_8000, 0x100, "fixture.app.Extra.late")
+        with open(
+            writer.path_for(last_epoch), "a", encoding="utf-8"
+        ) as fh:
+            fh.write(extra.to_line() + "\n")
 
     # --- samples ------------------------------------------------------
     def s(pc: int, cycle: int, epoch: int, kernel: bool = False) -> RawSample:

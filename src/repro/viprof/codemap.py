@@ -314,9 +314,45 @@ class CodeMapIndex:
 
     @classmethod
     def load_dir(
-        cls, map_dir: Path | str, quarantined: Iterable[int] = ()
+        cls,
+        map_dir: Path | str,
+        quarantined: Iterable[int] = (),
+        arena: bool | str = "auto",
     ) -> "CodeMapIndex":
+        """Load a session's maps, preferring the compiled arena.
+
+        ``arena`` controls the compiled-artifact path
+        (:mod:`repro.viprof.arena`):
+
+        * ``"auto"`` (default) — if a valid arena file exists **and** its
+          recorded source digests still match the map files, back the
+          index with zero-copy mmap tables; otherwise parse the text
+          maps exactly as before.  Never writes anything.
+        * ``False`` — text maps only (the parity baseline).
+        * ``"require"`` — raise :class:`~repro.viprof.arena.ArenaError`
+          unless a fresh arena is usable (tests and ``viprof index
+          --check`` use this to prove the fast path was actually taken).
+
+        Quarantined sessions always use the text path: salvage deletes
+        the arena, and the barrier walk is the well-tested authority on
+        damaged sessions.
+        """
         map_dir = Path(map_dir)
+        quarantined = tuple(quarantined)
+        if arena is not False and not quarantined:
+            from repro.viprof import arena as arena_mod
+
+            try:
+                opened = arena_mod.CodeMapArena.open_fresh(map_dir)
+            except arena_mod.ArenaError:
+                if arena == "require":
+                    raise
+            else:
+                return cls(opened.maps(), quarantined=quarantined)
+        elif arena == "require":
+            raise CodeMapError(
+                f"{map_dir}: arena required but session is quarantined"
+            )
         maps: dict[int, CodeMap] = {}
         for path in sorted(map_dir.iterdir()):
             if not path.is_file():

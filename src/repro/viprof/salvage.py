@@ -47,6 +47,7 @@ from pathlib import Path
 
 from repro.errors import CodeMapError, ProfilerError, SampleFormatError
 from repro.profiling.record_codec import codec_for_magic, probe_sample_file
+from repro.viprof.arena import arena_path_for
 from repro.viprof.codemap import _FILE_RE, CodeMap
 
 __all__ = [
@@ -376,6 +377,15 @@ def salvage_session(
         raise ProfilerError(
             f"{session_dir}: already salvaged ({MANIFEST_NAME} exists)"
         )
+
+    if not dry_run:
+        # The compiled code-map arena (repro.viprof.arena) is a derived
+        # cache of the pre-crash map set: after quarantines/truncations
+        # it is stale by construction (and a crash at arena.write leaves
+        # it torn), so salvage drops it and degraded reports parse the
+        # text maps.  It never appears in the manifest — it carries no
+        # samples and is rebuilt for free by `viprof index`.
+        arena_path_for(map_dir).unlink(missing_ok=True)
 
     manifest = SalvageManifest(session_dir=session_dir)
     for path in sorted(sample_dir.glob("*.samples")):

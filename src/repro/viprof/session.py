@@ -16,7 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable
 
-from repro.errors import ProfilerError
+from repro.errors import CodeMapError, ProfilerError
 from repro.faults import injector as faults
 from repro.hardware.cpu import CPU
 from repro.jvm.bootimage import RvmMap
@@ -121,7 +121,23 @@ class ViprofSession:
         self.kmodule.shutdown()
         self._active = False
         self._write_summary()
+        self._build_arena()
         return work
+
+    def _build_arena(self) -> None:
+        """Compile the epoch maps into the zero-copy arena
+        (:mod:`repro.viprof.arena`) so post-processing — this process or
+        any later ``viprof report`` — skips the text parse.  The arena is
+        a derived cache: if compiling fails the session is still whole,
+        so the failure is swallowed and readers parse the text maps.
+        (An injected ``arena.write`` crash is *not* swallowed — it
+        simulates the process dying here.)"""
+        from repro.viprof.arena import build_arena
+
+        try:
+            build_arena(self.map_dir)
+        except (CodeMapError, OSError):
+            pass
 
     def _write_summary(self) -> None:
         """Leave the collection-side summary (unified session-metrics

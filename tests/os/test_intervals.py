@@ -1,11 +1,13 @@
 """Unit + randomized tests for the shared interval index."""
 
 import random
+from array import array
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigError
-from repro.os.intervals import Interval, IntervalIndex
+from repro.os.intervals import Interval, IntervalIndex, PackedIntervalTable
 
 
 def iv(start, end, payload=None):
@@ -186,3 +188,81 @@ class TestRandomizedAgainstBruteForce:
         }
         assert got == expect
         assert idx.is_disjoint() == (not expect)
+
+
+# A disjoint layout as (gap, size) segments laid out left to right —
+# by construction sorted and non-overlapping, which is exactly the
+# precondition PackedIntervalTable's single-probe bisect relies on.
+SEGMENTS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=60),  # gap before the range
+        st.integers(min_value=1, max_value=120),  # range size
+    ),
+    max_size=40,
+)
+
+
+def lay_out(segments):
+    """Turn (gap, size) segments into sorted disjoint [start, end) pairs."""
+    spans = []
+    cursor = 0
+    for gap, size in segments:
+        start = cursor + gap
+        spans.append((start, start + size))
+        cursor = start + size
+    return spans
+
+
+class TestPackedIntervalTable:
+    """The packed table must be position-identical to IntervalIndex over
+    any disjoint layout — it is the arena's zero-copy stand-in for it."""
+
+    def build(self, spans):
+        table = PackedIntervalTable(
+            array("q", (s for s, _ in spans)),
+            array("q", (e for _, e in spans)),
+        )
+        idx = IntervalIndex(
+            [Interval(s, e, i) for i, (s, e) in enumerate(spans)]
+        )
+        return table, idx
+
+    @given(segments=SEGMENTS, probes=st.lists(
+        st.integers(min_value=-50, max_value=8000), max_size=80
+    ))
+    @settings(max_examples=80, deadline=None)
+    def test_scalar_matches_object_index(self, segments, probes):
+        table, idx = self.build(lay_out(segments))
+        for p in probes:
+            hit = idx.first_covering(p)
+            row = table.first_covering(p)
+            if hit is None:
+                assert row == -1
+            else:
+                assert row == hit.payload
+
+    @given(segments=SEGMENTS, probes=st.lists(
+        st.integers(min_value=-50, max_value=8000), max_size=80
+    ))
+    @settings(max_examples=80, deadline=None)
+    def test_run_matches_scalar(self, segments, probes):
+        table, _ = self.build(lay_out(segments))
+        points = sorted(probes)
+        assert table.first_covering_many(points) == [
+            table.first_covering(p) for p in points
+        ]
+
+    def test_rejects_mismatched_columns(self):
+        with pytest.raises(ConfigError):
+            PackedIntervalTable([0, 10], [5])
+
+    def test_rejects_unsorted_points(self):
+        table = PackedIntervalTable([0], [10])
+        with pytest.raises(ConfigError):
+            table.first_covering_many([5, 3])
+
+    def test_empty_table(self):
+        table = PackedIntervalTable(array("q"), array("q"))
+        assert len(table) == 0
+        assert table.first_covering(0) == -1
+        assert table.first_covering_many([1, 2]) == [-1, -1]

@@ -238,6 +238,7 @@ class TestShardTransport:
                     ("EV",),
                     True,
                     segment.name,
+                    None,
                 )
             )
         finally:
