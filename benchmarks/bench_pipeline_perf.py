@@ -20,7 +20,15 @@ resolution throughput (samples/sec) and peak RSS for:
   with the resident-memory delta of each load;
 * **worker warm-up** — the sharded run re-executed with
   ``warm_top_k`` seeding, reporting the hit/miss shift (output parity
-  enforced like everything else).
+  enforced like everything else);
+* **fleet scale-out** — a 16-guest multi-stack session amplified to the
+  same order of magnitude, resolved once over the root stream
+  (sequential layout) and once over the ``dom*/samples`` partition
+  (sharded layout) at each worker count, reporting samples/sec for
+  both.  Cross-layout parity is checked on canonical rows + totals
+  (file visit order legitimately reorders tied table lines);
+  within the sharded layout every worker count must reproduce the
+  1-worker sharded report byte-for-byte.
 
 Every configuration's report is checked byte-identical against the
 sequential baseline before its numbers are recorded (a perf run that
@@ -68,6 +76,16 @@ SEED_BENCH = "fop"
 SEED_PERIOD = 90_000
 SEED_SCALE = 0.25
 SEED = 7
+
+#: Fleet leg: guests multiplexed on one hypervisor, and the sampling
+#: period of their shared buffer.  16 guests is the paper's scale-out
+#: point; the short seed run is amplified (same replica trick as the
+#: single-stack synthesis) so throughput is measured on six-figure
+#: record counts, not the seed's hundreds.
+FLEET_GUESTS = 16
+FLEET_PERIOD = 5_000
+FLEET_TARGET = 500_000
+FLEET_TARGET_SMOKE = 100_000
 
 #: Padding records appended per epoch to the synthesized map set.  Sized
 #: so a text load parses a six-figure record count (a long JIT-heavy
@@ -150,6 +168,148 @@ def synthesize_maps(
         "records": records,
         "pad_per_epoch": pad_per_epoch,
         "arena_bytes": arena_path.stat().st_size if arena_path else 0,
+    }
+
+
+def amplify_fleet_session(session_dir: Path, target: int) -> int:
+    """Replicate every sample file in a fleet session — the root stream
+    *and* each ``dom<N>/samples`` shard — by one common factor until the
+    root holds ~``target`` records.
+
+    One factor everywhere keeps the fleet invariant intact: the
+    per-domain files still exactly partition the root stream, so the
+    sequential (root) and sharded (``dom*``) layouts keep resolving the
+    same record multiset.  Returns the amplified root record count.
+    """
+    paths = sorted((session_dir / "samples").glob("*.samples"))
+    paths += sorted(session_dir.glob("dom*/samples/*.samples"))
+    decoded = []
+    root_total = 0
+    for path in paths:
+        with RecordFileReader(path) as reader:
+            records = list(reader)
+            samples = [r.sample for r in records]
+            dids = (
+                [r.domain_id for r in records]
+                if reader.codec.has_domain else None
+            )
+            decoded.append(
+                (path, reader.codec, reader.event_name, reader.period,
+                 samples, dids)
+            )
+            if path.parent.parent == session_dir:
+                root_total += len(records)
+    if root_total == 0:
+        raise SystemExit(f"fleet session {session_dir} has no samples")
+    replicas = max(1, -(-target // root_total))  # ceil
+    for path, codec, event, period, samples, dids in decoded:
+        blob = codec.pack_many(samples, dids)
+        with RecordFileWriter(path, codec, event, period) as w:
+            for _ in range(replicas):
+                w.write_packed(blob, len(samples))
+    return root_total * replicas
+
+
+def _canonical_rows(report) -> list[tuple]:
+    """Rows as a sorted multiset — file visit order feeds the
+    aggregator's insertion order, which breaks ties in ``format_table``
+    between the root and sharded layouts, so cross-layout parity is
+    checked on canonical rows."""
+    return sorted(
+        (
+            row.image,
+            row.symbol,
+            tuple((ev, row.count(ev)) for ev in sorted(report.events)),
+        )
+        for row in report.sorted_rows()
+    )
+
+
+def bench_fleet(worker_counts: list[int], target: int) -> dict:
+    """The many-guest scale-out leg: one 16-guest fleet session,
+    resolved over both layouts at each worker count."""
+    from repro.workloads import fleet_workloads
+    from repro.xen.fleet import run_fleet
+
+    with tempfile.TemporaryDirectory(prefix="viprof-fleet-") as tmp:
+        t0 = time.perf_counter()
+        session = run_fleet(
+            fleet_workloads(FLEET_GUESTS),
+            period=FLEET_PERIOD,
+            session_dir=Path(tmp) / "fleet",
+            seed=SEED,
+        )
+        run_secs = time.perf_counter() - t0
+        written = amplify_fleet_session(session.session_dir, target)
+        print(f"fleet: {FLEET_GUESTS} guests, {written} samples "
+              f"(run {run_secs:.2f}s)", flush=True)
+
+        legs: list[dict] = []
+        rows_ref = totals_ref = sharded_table = None
+        for sharded in (False, True):
+            for workers in ([1] if not sharded else worker_counts):
+                t0 = time.perf_counter()
+                report, chain = session.resolve(
+                    workers=workers, sharded=sharded
+                )
+                elapsed = time.perf_counter() - t0
+                total = chain.stats_dict()["total_samples"]
+                if rows_ref is None:
+                    rows_ref = _canonical_rows(report)
+                    totals_ref = dict(report.totals)
+                elif (
+                    _canonical_rows(report) != rows_ref
+                    or dict(report.totals) != totals_ref
+                ):
+                    raise SystemExit(
+                        f"fleet workers={workers} sharded={sharded} "
+                        "resolved different rows/totals than the "
+                        "sequential root baseline — parity broken"
+                    )
+                if sharded:
+                    table = report.format_table(limit=20)
+                    if sharded_table is None:
+                        sharded_table = table
+                    elif table != sharded_table:
+                        raise SystemExit(
+                            f"fleet workers={workers} sharded report "
+                            "diverged from the 1-worker sharded report "
+                            "— parity broken"
+                        )
+                legs.append({
+                    "layout": "sharded" if sharded else "sequential",
+                    "workers": resolve_workers(workers),
+                    "samples": total,
+                    "seconds": round(elapsed, 4),
+                    "samples_per_sec": (
+                        round(total / elapsed) if elapsed else None
+                    ),
+                    "matches_baseline": True,
+                })
+                print(f"fleet layout="
+                      f"{'sharded' if sharded else 'sequential'} "
+                      f"workers={workers}: {elapsed:.2f}s  "
+                      f"{legs[-1]['samples_per_sec']} samples/s",
+                      flush=True)
+
+    sequential = next(c for c in legs if c["layout"] == "sequential")
+    best_sharded = min(
+        (c for c in legs if c["layout"] == "sharded"),
+        key=lambda c: c["seconds"],
+    )
+    return {
+        "guests": FLEET_GUESTS,
+        "period": FLEET_PERIOD,
+        "samples": written,
+        "run_seconds": round(run_secs, 4),
+        "configs": legs,
+        "sequential_samples_per_sec": sequential["samples_per_sec"],
+        "sharded_samples_per_sec": best_sharded["samples_per_sec"],
+        "speedup_sharded_vs_sequential": (
+            round(sequential["seconds"] / best_sharded["seconds"], 2)
+            if best_sharded["seconds"]
+            else None
+        ),
     }
 
 
@@ -449,6 +609,12 @@ def main(argv: list[str] | None = None) -> int:
               f"{warmup['cold']['worker_misses']}, warm misses "
               f"{warmup['warm']['worker_misses']}", flush=True)
 
+        # -- fleet scale-out -------------------------------------------
+        fleet = bench_fleet(
+            worker_counts,
+            FLEET_TARGET_SMOKE if args.smoke else FLEET_TARGET,
+        )
+
         uncached_scalar = pick(1, False, False)
         uncached_columnar = pick(1, False, True)
         cached_scalar = pick(1, True, False)
@@ -491,6 +657,7 @@ def main(argv: list[str] | None = None) -> int:
                 else None
             ),
             "maps": map_info,
+            "fleet": fleet,
             "cold_start": cold_start,
             "index_load": index_load,
             "warmup": warmup,
@@ -501,6 +668,14 @@ def main(argv: list[str] | None = None) -> int:
             "speedup_arena_index_load": index_load["speedup"],
             "arena_cold_start_samples_per_sec": cold_start["arena"][
                 "samples_per_sec"
+            ],
+            # Fleet headlines: the scale-out point (16 guests) over the
+            # root stream vs the per-domain sharded partition.
+            "fleet_sequential_samples_per_sec": fleet[
+                "sequential_samples_per_sec"
+            ],
+            "fleet_sharded_samples_per_sec": fleet[
+                "sharded_samples_per_sec"
             ],
             "workers_auto_resolved": auto["workers"],
             # The auto heuristic never picks a losing pool, so the best
@@ -526,6 +701,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"arena speedup: cold start "
           f"{payload['speedup_arena_cold_start']}x, index load "
           f"{payload['speedup_arena_index_load']}x")
+    print(f"fleet ({fleet['guests']} guests): sequential "
+          f"{fleet['sequential_samples_per_sec']} samples/s, sharded "
+          f"{fleet['sharded_samples_per_sec']} samples/s "
+          f"({fleet['speedup_sharded_vs_sequential']}x)")
     return 0
 
 

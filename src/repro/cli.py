@@ -14,6 +14,11 @@ Subcommands::
                                          #   gates (--fail-on-regression)
     viprof pgo ps                        # profile-guided optimization demo
     viprof xen fop ps                    # multi-stack XenoProf demo
+    viprof xen --fleet 8 --per-domain    # many-guest fleet: per-domain
+                                         #   panels + merged rollup
+                                         #   (--summary-out writes it)
+    viprof report fop ps --per-domain    # same fleet view over named
+                                         #   benchmarks as guest domains
     viprof lint SESSION...               # static artifact integrity check
                                          #   (dirs/globs, --workers N,
                                          #    --cache F, --baseline F,
@@ -75,9 +80,79 @@ def _format_stage_stats(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def _run_fleet_report(
+    workloads: list,
+    args: argparse.Namespace,
+    workers: int | str = 1,
+    summary_out: str | None = None,
+) -> int:
+    """Shared fleet engine of ``report --per-domain`` and ``xen --fleet``:
+    run the guests, resolve per domain, print the cross-domain view."""
+    import json
+
+    from repro.metrics.fleet import (
+        domain_summary,
+        fleet_report_doc,
+        fleet_rollup,
+    )
+    from repro.xen.fleet import run_fleet
+
+    fs = run_fleet(
+        workloads, period=args.period, time_scale=args.scale, seed=args.seed
+    )
+    summaries = {}
+    for did in fs.domain_ids:
+        drep, dchain = fs.domain_resolve(did)
+        summaries[did] = domain_summary(
+            did,
+            drep,
+            stats=dchain.stats_dict(),
+            meta={"workload": fs.result.guests[did].domain.name},
+        )
+    rollup = fleet_rollup(summaries)
+    if summary_out:
+        rollup.save(summary_out)
+    if args.json:
+        doc = fleet_report_doc(summaries, rollup, top_n=args.rows)
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    report, chain = fs.resolve(workers=workers)
+    print(f"fleet: {len(fs.domain_ids)} domains, "
+          f"{len(fs.result.buffer)} samples, "
+          f"{100 * fs.result.xen_share():.2f}% in the hypervisor\n")
+    for did in fs.domain_ids:
+        s = summaries[did]
+        name = s.meta.get("workload", "?")
+        print(f"== dom{did} ({name}): {s.total_samples} samples ==")
+        layers = s.panel("layers")
+        if layers:
+            parts = ", ".join(
+                f"{k}={v}" for k, v in sorted(layers.items()) if k != "total"
+            )
+            print(f"   layers: {parts}")
+        for e in s.symbols[: args.rows]:
+            counts = ", ".join(f"{ev}={n}" for ev, n in sorted(e.counts.items()))
+            print(f"   {e.image:<14} {e.symbol}  ({counts})")
+        print()
+    print("== fleet rollup ==")
+    print(report.format_table(limit=args.rows))
+    print("\nresolution stages:")
+    print(_format_stage_stats(chain.stats_dict()))
+    if summary_out:
+        print(f"\nwrote {summary_out}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.per_domain or len(args.benchmark) > 1:
+        workers = (
+            args.workers if args.workers == "auto" else int(args.workers)
+        )
+        return _run_fleet_report(
+            [by_name(n) for n in args.benchmark], args, workers=workers
+        )
     result = viprof_profile(
-        by_name(args.benchmark), period=args.period,
+        by_name(args.benchmark[0]), period=args.period,
         time_scale=args.scale, seed=args.seed,
     )
     workers = args.workers if args.workers == "auto" else int(args.workers)
@@ -385,8 +460,27 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 def _cmd_xen(args: argparse.Namespace) -> int:
     from repro.xen import GuestSpec, MultiStackEngine
 
+    if args.fleet:
+        from repro.workloads.fleet import fleet_workloads
+
+        workloads = fleet_workloads(args.fleet, seed=args.seed)
+    else:
+        if not args.benchmarks:
+            print(
+                "viprof xen: name at least one benchmark or pass --fleet N",
+                file=sys.stderr,
+            )
+            return 2
+        workloads = [by_name(n) for n in args.benchmarks]
+    if args.fleet or args.per_domain or args.summary_out:
+        workers = (
+            args.workers if args.workers == "auto" else int(args.workers)
+        )
+        return _run_fleet_report(
+            workloads, args, workers=workers, summary_out=args.summary_out
+        )
     engine = MultiStackEngine(
-        [GuestSpec(by_name(n)) for n in args.benchmarks],
+        [GuestSpec(wl) for wl in workloads],
         period=args.period, time_scale=args.scale, seed=args.seed,
     )
     result = engine.run()
@@ -408,7 +502,14 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("list", help="list available benchmarks")
 
     p = sub.add_parser("report", help="profile a benchmark with VIProf")
-    p.add_argument("benchmark")
+    p.add_argument("benchmark", nargs="+",
+                   help="benchmark name; several names (or --per-domain) "
+                        "run them as concurrent guest domains and print "
+                        "the cross-domain fleet view")
+    p.add_argument("--per-domain", action="store_true",
+                   help="run the named benchmark(s) as guest domains under "
+                        "the hypervisor and report per-domain panels plus "
+                        "the merged fleet rollup")
     p.add_argument("--rows", type=int, default=15)
     p.add_argument("--json", action="store_true",
                    help="emit the report (plus per-stage resolution "
@@ -491,8 +592,22 @@ def main(argv: list[str] | None = None) -> int:
     _add_run_args(p)
 
     p = sub.add_parser("xen", help="multi-stack XenoProf demo")
-    p.add_argument("benchmarks", nargs="+")
+    p.add_argument("benchmarks", nargs="*",
+                   help="guest benchmarks (omit with --fleet N)")
     p.add_argument("--rows", type=int, default=14)
+    p.add_argument("--fleet", type=int, default=0, metavar="N",
+                   help="run a synthetic N-guest fleet (staggered "
+                        "steady/bursty/recompile-heavy profiles) instead "
+                        "of named benchmarks")
+    p.add_argument("--per-domain", action="store_true",
+                   help="print per-domain panels plus the fleet rollup")
+    p.add_argument("--summary-out", default=None, metavar="PATH",
+                   help="write the merged fleet rollup as summary JSON")
+    p.add_argument("--json", action="store_true",
+                   help="emit the cross-domain fleet document as JSON")
+    p.add_argument("--workers", default="1",
+                   help="shard fleet resolution across N worker processes "
+                        "('auto' sizes from core count; default 1)")
     _add_run_args(p)
 
     p = sub.add_parser(

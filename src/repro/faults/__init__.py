@@ -7,11 +7,15 @@ recovery guarantees tested against them.
 
 from repro.faults.injector import (
     ALL_FAULT_POINT_NAMES,
+    ALL_GUEST_FAULT_POINT_NAMES,
     AGENT_MAP_EMIT,
     ARENA_WRITE,
     CODEMAP_WRITE,
     DAEMON_DRAIN,
     FAULT_POINTS,
+    GUEST_FAULT_POINTS,
+    GUEST_KILL,
+    GUEST_MAP_TEAR,
     SESSION_TEARDOWN,
     WRITER_SPILL,
     FaultInjector,
@@ -26,11 +30,15 @@ from repro.faults.injector import (
 
 __all__ = [
     "ALL_FAULT_POINT_NAMES",
+    "ALL_GUEST_FAULT_POINT_NAMES",
     "AGENT_MAP_EMIT",
     "ARENA_WRITE",
     "CODEMAP_WRITE",
     "DAEMON_DRAIN",
     "FAULT_POINTS",
+    "GUEST_FAULT_POINTS",
+    "GUEST_KILL",
+    "GUEST_MAP_TEAR",
     "SESSION_TEARDOWN",
     "WRITER_SPILL",
     "FaultInjector",

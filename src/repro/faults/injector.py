@@ -45,12 +45,16 @@ __all__ = [
     "FaultInjector",
     "FAULT_POINTS",
     "ALL_FAULT_POINT_NAMES",
+    "GUEST_FAULT_POINTS",
+    "ALL_GUEST_FAULT_POINT_NAMES",
     "WRITER_SPILL",
     "DAEMON_DRAIN",
     "CODEMAP_WRITE",
     "AGENT_MAP_EMIT",
     "SESSION_TEARDOWN",
     "ARENA_WRITE",
+    "GUEST_KILL",
+    "GUEST_MAP_TEAR",
     "arm",
     "armed",
     "fire",
@@ -123,8 +127,42 @@ FAULT_POINTS: tuple[FaultPoint, ...] = (
     ),
 )
 
+GUEST_KILL = "guest.kill"
+GUEST_MAP_TEAR = "guest.map-tear"
+
+#: Guest-scoped failure points: these fire inside one guest stack of the
+#: multi-stack engine and kill *that guest only* — the hypervisor keeps
+#: time-slicing the sibling domains, exactly as a real guest crash leaves
+#: the host (and XenoProf's hypervisor-side buffer) running.  They live
+#: in their own registry because the single-stack crash matrix asserts
+#: every entry of :data:`FAULT_POINTS` is reachable in a single-stack
+#: run, which a guest-lifecycle point never is; the guest-kill isolation
+#: matrix (``tests/integration/test_guest_isolation.py``) parametrizes
+#: over this tuple instead.
+GUEST_FAULT_POINTS: tuple[FaultPoint, ...] = (
+    FaultPoint(
+        GUEST_KILL,
+        "repro.xen.engine.MultiStackEngine.run",
+        "kill a guest mid-epoch between VM steps: its current epoch's "
+        "code map is never emitted (missing map); sibling domains and "
+        "the hypervisor-side sample buffer are untouched",
+    ),
+    FaultPoint(
+        GUEST_MAP_TEAR,
+        "repro.xen.engine.MultiStackEngine._exec_guest_step",
+        "kill a guest during agent work and tear its newest epoch map: "
+        "the map file keeps a prefix cut inside a record line "
+        "(malformed, quarantinable); sibling domains are untouched",
+    ),
+)
+
 ALL_FAULT_POINT_NAMES: tuple[str, ...] = tuple(p.name for p in FAULT_POINTS)
-_BY_NAME: dict[str, FaultPoint] = {p.name: p for p in FAULT_POINTS}
+ALL_GUEST_FAULT_POINT_NAMES: tuple[str, ...] = tuple(
+    p.name for p in GUEST_FAULT_POINTS
+)
+_BY_NAME: dict[str, FaultPoint] = {
+    p.name: p for p in (*FAULT_POINTS, *GUEST_FAULT_POINTS)
+}
 
 
 def point_named(name: str) -> FaultPoint:
@@ -134,7 +172,7 @@ def point_named(name: str) -> FaultPoint:
     except KeyError:
         raise ProfilerError(
             f"unknown fault point {name!r} "
-            f"(registered: {', '.join(ALL_FAULT_POINT_NAMES)})"
+            f"(registered: {', '.join(_BY_NAME)})"
         ) from None
 
 

@@ -31,6 +31,13 @@ from repro.metrics.build import (
     summary_from_run,
     write_session_summary,
 )
+from repro.metrics.fleet import (
+    domain_summary,
+    fleet_report_doc,
+    fleet_rollup,
+    normalize_summary,
+    per_domain_stats,
+)
 from repro.metrics.model import (
     KIND_ARTIFACTS,
     KIND_BENCH,
@@ -64,6 +71,11 @@ __all__ = [
     "derive_summary",
     "load_session_summary",
     "write_session_summary",
+    "domain_summary",
+    "fleet_report_doc",
+    "fleet_rollup",
+    "normalize_summary",
+    "per_domain_stats",
     "AnalysisConfig",
     "SymbolRules",
     "Threshold",

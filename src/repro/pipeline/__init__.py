@@ -126,13 +126,21 @@ def viprof_chain(
     rvm_map: "RvmMap",
     registrations: Iterable["VmRegistration"],
     backward: bool = True,
+    strict: bool = True,
 ) -> ResolverChain:
     """The paper's vertically integrated resolution: kernel symbols, JIT
-    epoch maps (backward walk), RVM boot image, then task VMAs."""
+    epoch maps (backward walk), RVM boot image, then task VMAs.
+
+    ``strict=False`` builds the degraded post-salvage flavour: epoch
+    walks blocked at a quarantine barrier fall to ``(unresolved jit)``
+    and are counted, instead of raising.
+    """
     return ResolverChain(
         [
             KernelSymbolStage(kernel),
-            JitEpochStage(codemaps, registrations, backward=backward),
+            JitEpochStage(
+                codemaps, registrations, backward=backward, strict=strict
+            ),
             BootImageStage(kernel, rvm_map),
             TaskVmaStage(kernel),
         ]
@@ -145,10 +153,13 @@ def xen_domain_chain(
     rvm_map: "RvmMap",
     registrations: Iterable["VmRegistration"],
     backward: bool = True,
+    strict: bool = True,
 ) -> ResolverChain:
     """One guest domain's resolution inside a multi-stack profile — the
     VIProf chain, scoped to that domain's kernel and VM state."""
-    return viprof_chain(kernel, codemaps, rvm_map, registrations, backward)
+    return viprof_chain(
+        kernel, codemaps, rvm_map, registrations, backward, strict=strict
+    )
 
 
 def xen_chain(

@@ -535,6 +535,40 @@ class DomainDispatchStage(ResolverStage):
             raise ProfilerError(f"no resolver for domain {sample.domain_id}")
         return chain.resolve(sample)
 
+    def detail_dict(self) -> dict[str, object]:
+        """The inner chains' full counters, keyed ``dom{id}``.
+
+        Without this hook the per-domain cache/stage statistics are
+        invisible at the outer-chain level: ``stats_dict()`` on the
+        multi-stack chain showed one opaque ``domain-dispatch`` hit
+        count while every JIT-epoch split, cache hit-rate and degraded
+        counter lived only on the inner chains nobody serialized.
+        """
+        return {
+            f"dom{dom}": chain.stats_dict()
+            for dom, chain in sorted(self.chains.items())
+        }
+
+    def degraded_dict(self) -> dict[str, int] | None:
+        """Summed degradation counters across the inner chains, so a
+        multi-stack chain's top-level ``degraded`` flag reflects any
+        domain resolving in degraded (post-salvage) mode.  None when
+        every inner chain is strict."""
+        totals: dict[str, int] = {}
+        any_degraded = False
+        for chain in self.chains.values():
+            for stage in chain.stages:
+                hook = getattr(stage, "degraded_dict", None)
+                if not callable(hook):
+                    continue
+                counters = hook()
+                if counters is None:
+                    continue
+                any_degraded = True
+                for k, v in counters.items():
+                    totals[k] = totals.get(k, 0) + v
+        return totals if any_degraded else None
+
     # -- shard merging: recurse into the per-domain chains -------------
 
     def export_state(self) -> object | None:

@@ -16,6 +16,9 @@ Understood layouts (live session dirs and ``SessionStore`` archives)::
     <session>/salvage.json              crash-recovery manifest (optional,
                                         written by ``viprof recover``)
     <session>/*/quarantine/             artifacts salvage set aside
+    <session>/dom<N>/                   fleet sessions only: one complete
+                                        sub-session per guest domain
+                                        (loaded recursively)
 
 The salvage manifest is loaded as a raw dict (``SessionArtifacts.salvage``)
 so the VP107–VP109 rules can validate its *structure* as well as its
@@ -56,6 +59,7 @@ QUARANTINE_DIR_NAME = "quarantine"
 
 _MAP_FILE_RE = re.compile(r"^jit-map\.(\d{5})$")
 _MAP_HEADER_RE = re.compile(r"^# viprof code map epoch (\d+)$")
+_DOMAIN_DIR_RE = re.compile(r"^dom(\d+)$")
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,12 +73,18 @@ class EpochMapArtifact:
 
 @dataclass(frozen=True, slots=True)
 class SampleArtifact:
-    """One packed sample file, fully decoded."""
+    """One packed sample file, fully decoded.
+
+    ``domain_ids`` carries the per-record domain tags of the XenoProf
+    (``XPRS``) format, aligned with ``samples``; it is None for the core
+    ``VPRS`` format, which has no domain column.
+    """
 
     path: Path
     event_name: str
     period: int
     samples: tuple[RawSample, ...]
+    domain_ids: tuple[int, ...] | None = None
 
 
 @dataclass
@@ -88,6 +98,9 @@ class SessionArtifacts:
     registration: VmRegistration | None = None
     boot_map: RvmMap | None = None
     salvage: dict | None = None
+    #: A multi-domain (fleet) session root holds one complete sub-session
+    #: per guest under ``dom<N>/``; single-stack sessions leave this empty.
+    domains: dict[int, "SessionArtifacts"] = field(default_factory=dict)
     load_findings: list[Finding] = field(default_factory=list)
 
     @property
@@ -197,14 +210,21 @@ def load_session(session_dir: Path | str) -> SessionArtifacts:
             try:
                 # Magic-sniffing reader: live sessions write the core
                 # format, Xen archives the domain-tagged one; the rules
-                # inspect the core record either way.
+                # inspect the core record either way, and the domain
+                # column (when present) feeds the fleet-isolation rule.
                 with open_sample_record_file(path) as reader:
+                    records = tuple(reader)
                     sample_files.append(
                         SampleArtifact(
                             path=path,
                             event_name=reader.event_name,
                             period=reader.period,
-                            samples=tuple(r.sample for r in reader),
+                            samples=tuple(r.sample for r in records),
+                            domain_ids=(
+                                tuple(r.domain_id for r in records)
+                                if reader.codec.has_domain
+                                else None
+                            ),
                         )
                     )
             except SampleFormatError as e:
@@ -248,6 +268,27 @@ def load_session(session_dir: Path | str) -> SessionArtifacts:
                 Severity.ERROR, RULE_MALFORMED, str(salvage_path), "-",
                 f"unreadable salvage manifest: {e}",
             )
+
+    # A fleet session root carries one complete sub-session per guest
+    # domain under dom<N>/; load each recursively so the cross-domain
+    # isolation rule (VP112) can compare them against the root stream.
+    # Their load-time findings propagate — a rotten artifact in a domain
+    # sub-session must not pass silently just because the lint ran at
+    # the fleet root.
+    for sub_dir in sorted(session_dir.iterdir()):
+        m = _DOMAIN_DIR_RE.match(sub_dir.name)
+        if m is None or not sub_dir.is_dir():
+            continue
+        try:
+            sub = load_session(sub_dir)
+        except StatCheckError as e:
+            report.add(
+                Severity.ERROR, RULE_MALFORMED, str(sub_dir), "-",
+                f"dom directory is not a session: {e}",
+            )
+            continue
+        arts.domains[int(m.group(1))] = sub
+        report.extend(sub.load_findings)
 
     arts.boot_map = build_boot_image().rvm_map
     arts.load_findings = list(report)

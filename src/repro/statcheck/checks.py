@@ -60,6 +60,15 @@ VP111  arena-consistency     A compiled code-map arena
                               is a stale or torn artifact that silently
                               forfeits the zero-copy fast path.
 
+VP112  domain-isolation       In a multi-domain (fleet) session the
+                              per-domain sub-sessions must be an exact
+                              partition of the root stream, every record
+                              in ``dom<N>/`` must carry tag N, and a
+                              domain's quarantined epochs must be
+                              justified by that domain's *own* artifacts
+                              — salvage of one guest never leaks into a
+                              sibling's accounting.
+
 A session with a salvage manifest is *expected* to have gaps, so the
 damage rules report salvage-accounted losses at INFO instead of
 WARNING/ERROR (VP102 gaps covered by quarantined epochs, VP103 walks
@@ -84,6 +93,7 @@ from repro.profiling.record_codec import probe_sample_file
 from repro.statcheck.artifacts import (
     MAP_DIR_NAME,
     QUARANTINE_DIR_NAME,
+    SALVAGE_NAME,
     SAMPLE_DIR_NAME,
     SessionArtifacts,
     _MAP_FILE_RE,
@@ -105,6 +115,7 @@ __all__ = [
     "check_loss_accounting",
     "check_summary_consistency",
     "check_arena_consistency",
+    "check_domain_isolation",
 ]
 
 
@@ -324,8 +335,11 @@ def check_epoch_tags(arts: SessionArtifacts) -> Iterator[Finding]:
         if isinstance(top, int):
             salvage_top = top
     for sf in arts.sample_files:
-        prev_epoch: int | None = None
-        prev_cycle = 0
+        # GC epochs are per-VM counters: in a domain-tagged (fleet) file
+        # each guest's tag stream is monotonic on its own, so track one
+        # (epoch, cycle) cursor per domain — interleaving is not a
+        # regression.  Untagged files are one stream (cursor key None).
+        prev: dict[int | None, tuple[int, int]] = {}
         beyond = 0
         beyond_max = -1
         for i, s in enumerate(sf.samples):
@@ -340,24 +354,27 @@ def check_epoch_tags(arts: SessionArtifacts) -> Iterator[Finding]:
                 continue
             if s.epoch < 0:
                 continue  # stock OProfile sample: no epoch concept
+            stream = sf.domain_ids[i] if sf.domain_ids is not None else None
+            cursor = prev.get(stream)
             if (
-                prev_epoch is not None
-                and s.cycle >= prev_cycle
-                and s.epoch < prev_epoch
+                cursor is not None
+                and s.cycle >= cursor[1]
+                and s.epoch < cursor[0]
             ):
+                dom = "" if stream is None else f" (dom{stream})"
                 yield Finding(
                     severity=Severity.ERROR,
                     rule_id="VP106",
                     artifact=str(sf.path),
                     location=f"sample {i}",
                     message=(
-                        f"epoch tag regresses from {prev_epoch} to "
+                        f"epoch tag regresses from {cursor[0]} to "
                         f"{s.epoch} while time advances (cycle "
-                        f"{prev_cycle} -> {s.cycle}): GC epochs are "
+                        f"{cursor[1]} -> {s.cycle}){dom}: GC epochs are "
                         "monotonic"
                     ),
                 )
-            prev_epoch, prev_cycle = s.epoch, s.cycle
+            prev[stream] = (s.epoch, s.cycle)
             if max_epoch is not None and s.epoch > max_epoch:
                 beyond += 1
                 beyond_max = max(beyond_max, s.epoch)
@@ -1060,3 +1077,214 @@ def _arena_vs_maps(
                     f"({on_disk[diff].name!r})"
                 ),
             )
+
+
+# ----------------------------------------------------------------------
+# Fleet rule (VP112): cross-domain isolation of a multi-domain session.
+# ----------------------------------------------------------------------
+
+
+def _record_key(s) -> tuple:
+    """Core identity of one decoded sample record."""
+    return (s.pc, s.cycle, s.task_id, s.kernel_mode, s.epoch)
+
+
+def _epoch_evidence(arts: SessionArtifacts) -> set[int]:
+    """Epochs one session's own artifacts mention (maps + sample tags)."""
+    evidence = set(arts.maps)
+    for sf in arts.sample_files:
+        evidence.update(s.epoch for s in sf.samples if s.epoch >= 0)
+    return evidence
+
+
+@rule(
+    "VP112", "domain-isolation", Severity.ERROR,
+    "per-domain sub-sessions must exactly partition the fleet root "
+    "stream, own every record they hold, and justify their quarantined "
+    "epochs with their own artifacts",
+)
+def check_domain_isolation(arts: SessionArtifacts) -> Iterator[Finding]:
+    """Cross-domain invariants of a many-guest (fleet) session root.
+
+    The per-domain deep checks (VP101..VP111) run when each ``dom<N>/``
+    sub-session is linted on its own; this rule holds the *seams*
+    between them:
+
+    * every record inside ``dom<N>/`` carries domain tag N — a foreign
+      tag means one guest's stream bled into another's sub-session;
+    * per event, the root stream's records tagged N equal dom N's
+      records, in order — the sub-sessions are an exact partition of
+      what dom0's daemon drained, nothing duplicated, dropped, or
+      re-homed (and every tag in the root has a sub-session);
+    * a domain's quarantined epochs are justified by that domain's own
+      artifacts — a quarantine copied from a sibling's salvage (epoch
+      shadowed by a healthy map, or evident in no artifact of its own)
+      would silently discard healthy attributions.
+
+    Single-stack sessions (no ``dom<N>/`` sub-directories) are exempt.
+    """
+    if not arts.domains:
+        return
+
+    # --- tag ownership ------------------------------------------------
+    for did, sub in sorted(arts.domains.items()):
+        for sf in sub.sample_files:
+            if sf.domain_ids is None:
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP112",
+                    artifact=str(sf.path),
+                    location="-",
+                    message=(
+                        f"dom{did}'s sample file is not domain-tagged: "
+                        "ownership cannot be established"
+                    ),
+                )
+                continue
+            foreign = [
+                (i, t) for i, t in enumerate(sf.domain_ids) if t != did
+            ]
+            if foreign:
+                first_i, first_t = foreign[0]
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP112",
+                    artifact=str(sf.path),
+                    location=f"sample {first_i}",
+                    message=(
+                        f"{len(foreign)} record(s) tagged for other "
+                        f"domains inside dom{did}'s sub-session (first "
+                        f"is tagged dom{first_t}): one guest's stream "
+                        "bled into another's"
+                    ),
+                )
+
+    # --- exact partition of the root stream ---------------------------
+    root_by_event: dict[str, dict[int, list[tuple]]] = {}
+    untagged_events: set[str] = set()
+    for sf in arts.sample_files:
+        if sf.domain_ids is None:
+            untagged_events.add(sf.event_name)
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP112",
+                artifact=str(sf.path),
+                location="-",
+                message=(
+                    "fleet root stream is not domain-tagged: the "
+                    "per-domain partition cannot be checked"
+                ),
+            )
+            continue
+        per = root_by_event.setdefault(sf.event_name, {})
+        for s, t in zip(sf.samples, sf.domain_ids):
+            per.setdefault(t, []).append(_record_key(s))
+
+    for ev, per in sorted(root_by_event.items()):
+        for t in sorted(set(per) - set(arts.domains)):
+            yield Finding(
+                severity=Severity.ERROR,
+                rule_id="VP112",
+                artifact=str(arts.session_dir),
+                location=ev,
+                message=(
+                    f"root stream holds {len(per[t])} record(s) tagged "
+                    f"dom{t} but the session has no dom{t}/ sub-session"
+                ),
+            )
+
+    for did, sub in sorted(arts.domains.items()):
+        dom_by_event: dict[str, list[tuple]] = {}
+        for sf in sub.sample_files:
+            dom_by_event.setdefault(sf.event_name, []).extend(
+                _record_key(s) for s in sf.samples
+            )
+        events = set(dom_by_event) | {
+            ev for ev, per in root_by_event.items() if did in per
+        }
+        for ev in sorted(events - untagged_events):
+            want = root_by_event.get(ev, {}).get(did, [])
+            got = dom_by_event.get(ev)
+            if got is None and ev not in root_by_event:
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP112",
+                    artifact=str(sub.session_dir),
+                    location=ev,
+                    message=(
+                        f"dom{did} holds {ev} records but the root "
+                        "stream has no file for that event"
+                    ),
+                )
+                continue
+            got = got or []
+            if want != got:
+                diverge = next(
+                    (
+                        i
+                        for i, (a, b) in enumerate(zip(want, got))
+                        if a != b
+                    ),
+                    min(len(want), len(got)),
+                )
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP112",
+                    artifact=str(sub.session_dir),
+                    location=ev,
+                    message=(
+                        f"dom{did}'s records do not partition the root "
+                        f"stream for {ev}: root holds {len(want)} "
+                        f"record(s) tagged dom{did}, the sub-session "
+                        f"holds {len(got)} (first divergence at record "
+                        f"{diverge})"
+                    ),
+                )
+
+    # --- quarantines justified by the domain's own artifacts ----------
+    evidence = {
+        did: _epoch_evidence(sub) for did, sub in arts.domains.items()
+    }
+    for did, sub in sorted(arts.domains.items()):
+        quarantined = sub.quarantined_epochs
+        if not quarantined:
+            continue
+        label = str(sub.session_dir / SALVAGE_NAME)
+        own_max = max(evidence[did], default=-1)
+        for q in sorted(set(quarantined)):
+            if q in sub.maps:
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP112",
+                    artifact=label,
+                    location=f"epoch {q}",
+                    message=(
+                        f"dom{did} quarantines epoch {q} yet holds a "
+                        "healthy map for it: the quarantine is not "
+                        "justified by this domain's own damage "
+                        "(salvage leaked across domains)"
+                    ),
+                )
+            elif q > own_max:
+                culprits = sorted(
+                    o
+                    for o, ev_set in evidence.items()
+                    if o != did and max(ev_set, default=-1) >= q
+                )
+                hint = (
+                    f"; epoch {q} is evident in dom{culprits[0]}'s "
+                    "artifacts — the quarantine leaked across domains"
+                    if culprits
+                    else ""
+                )
+                yield Finding(
+                    severity=Severity.ERROR,
+                    rule_id="VP112",
+                    artifact=label,
+                    location=f"epoch {q}",
+                    message=(
+                        f"dom{did} quarantines epoch {q} but none of "
+                        f"its own artifacts mention any epoch >= {q}"
+                        f"{hint}"
+                    ),
+                )

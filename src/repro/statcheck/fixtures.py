@@ -12,6 +12,8 @@ Usage::
     python -m repro.statcheck.fixtures DEST      # write all six sessions
     python -m repro.statcheck.fixtures --selftest  # generate + verify
     python -m repro.statcheck.fixtures --damaged DEST  # salvaged session
+    python -m repro.statcheck.fixtures --fleet-damaged DEST  # 2-domain
+                                                 # salvaged fleet session
 
 The session shape mirrors a real (tiny) run: three epochs of partial
 code maps with a compile, two GC moves, address reuse, and a sample file
@@ -44,9 +46,12 @@ from repro.viprof.codemap import CodeMapRecord, CodeMapWriter
 __all__ = [
     "CORRUPTIONS",
     "EXPECTED_RULE",
+    "FLEET_CORRUPTIONS",
     "write_fixture_session",
     "write_all_fixtures",
     "write_damaged_fixture_session",
+    "write_fleet_fixture_session",
+    "write_fleet_damaged_fixture_session",
     "main",
 ]
 
@@ -275,6 +280,158 @@ def write_damaged_fixture_session(dest: Path | str) -> Path:
     return dest
 
 
+#: Fleet corruptions, each tripping the cross-domain rule (VP112) at the
+#: session root and nothing else there.
+FLEET_CORRUPTIONS = ("tag-leak", "quarantine-leak")
+
+#: The guest domains of the fleet fixture (dom0 is the hypervisor's).
+_FLEET_DOMAINS = (1, 2)
+
+
+def _xenoize_domain_session(
+    dom_dir: Path, domain_id: int
+) -> list[tuple[RawSample, int]]:
+    """Rewrite one fixture sub-session's sample file in the domain-tagged
+    ``XPRS`` format (what XenoProf's daemon writes) and return the tagged
+    records for the root stream."""
+    from repro.profiling.record_codec import (
+        DOMAIN_CODEC,
+        RecordFileWriter,
+        open_sample_record_file,
+    )
+
+    old = dom_dir / "samples" / f"{_EVENT}.samples"
+    with open_sample_record_file(old) as reader:
+        samples = [r.sample for r in reader]
+    old.unlink()
+    path = dom_dir / "samples" / f"xenoprof.{_EVENT}.samples"
+    with RecordFileWriter(path, DOMAIN_CODEC, _EVENT, _PERIOD) as w:
+        for s in samples:
+            w.write(s, domain_id=domain_id)
+    return [(s, domain_id) for s in samples]
+
+
+def _injure_and_salvage_domain(dom_dir: Path) -> None:
+    """Tear one domain's newest-but-one code map (the shape a killed
+    guest leaves) and salvage its sub-session, manifest made
+    machine-independent like the single-stack damaged fixture."""
+    from repro.viprof.salvage import salvage_session
+
+    map_path = dom_dir / "jit-maps" / "jit-map.00001"
+    text = map_path.read_text(encoding="utf-8")
+    header, _, body = text.partition("\n")
+    map_path.write_text(header + "\n" + body[:3], encoding="utf-8")
+    salvage_session(dom_dir)
+
+    manifest_path = dom_dir / "salvage.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    for entry in manifest["maps"] + manifest["sample_files"]:
+        if isinstance(entry.get("reason"), str):
+            entry["reason"] = (
+                entry["reason"]
+                .replace(str(dom_dir.resolve()), ".")
+                .replace(str(dom_dir), ".")
+            )
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def write_fleet_fixture_session(
+    dest: Path | str, corruption: str | None = None
+) -> Path:
+    """Write a two-domain fleet fixture session into ``dest``.
+
+    The layout mirrors ``MultiStackResult.save_fleet_session``: a root
+    ``samples/`` stream holding every domain's records (domain-tagged,
+    interleaved by cycle) plus one complete sub-session per guest under
+    ``dom<N>/`` whose records partition the root exactly.  Each
+    sub-session is the clean single-stack fixture shape, so it lints
+    clean on its own and the cross-domain rule (VP112) has known ground
+    truth at the root.
+
+    Corruptions (:data:`FLEET_CORRUPTIONS`):
+
+    * ``tag-leak`` — one record in dom2's file is retagged dom1: one
+      guest's stream bled into another's sub-session;
+    * ``quarantine-leak`` — dom1 is legitimately damaged and salvaged,
+      then its ``salvage.json`` is copied onto healthy dom2: dom2 now
+      quarantines an epoch its own healthy map contradicts.
+    """
+    from repro.profiling.record_codec import (
+        DOMAIN_CODEC,
+        RecordFileWriter,
+        open_sample_record_file,
+    )
+
+    if corruption is not None and corruption not in FLEET_CORRUPTIONS:
+        raise StatCheckError(
+            f"unknown fleet corruption {corruption!r} "
+            f"(known: {', '.join(FLEET_CORRUPTIONS)})"
+        )
+    dest = Path(dest)
+    if dest.exists():
+        raise StatCheckError(f"{dest}: already exists")
+    dest.mkdir(parents=True)
+
+    tagged: list[tuple[RawSample, int]] = []
+    for did in _FLEET_DOMAINS:
+        write_fixture_session(dest / f"dom{did}")
+        tagged += _xenoize_domain_session(dest / f"dom{did}", did)
+    # Buffer order: by cycle, domain id breaking the fixture's exact
+    # ties.  Per-domain cycles are increasing, so each domain's
+    # subsequence of the root equals its own file — an exact partition.
+    tagged.sort(key=lambda pair: (pair[0].cycle, pair[1]))
+
+    root_dir = dest / "samples"
+    root_dir.mkdir()
+    with RecordFileWriter(
+        root_dir / f"xenoprof.{_EVENT}.samples", DOMAIN_CODEC, _EVENT,
+        _PERIOD,
+    ) as w:
+        for s, t in tagged:
+            w.write(s, domain_id=t)
+
+    (dest / "meta.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "fleet-fixture",
+                "mode": "xenoprof",
+                "period": _PERIOD,
+                "domains": list(_FLEET_DOMAINS),
+            },
+            indent=2,
+        )
+    )
+
+    if corruption == "tag-leak":
+        path = dest / "dom2" / "samples" / f"xenoprof.{_EVENT}.samples"
+        with open_sample_record_file(path) as reader:
+            samples = [r.sample for r in reader]
+        path.unlink()
+        with RecordFileWriter(path, DOMAIN_CODEC, _EVENT, _PERIOD) as w:
+            for i, s in enumerate(samples):
+                w.write(s, domain_id=1 if i == len(samples) - 1 else 2)
+    elif corruption == "quarantine-leak":
+        _injure_and_salvage_domain(dest / "dom1")
+        shutil.copyfile(
+            dest / "dom1" / "salvage.json", dest / "dom2" / "salvage.json"
+        )
+    return dest
+
+
+def write_fleet_damaged_fixture_session(dest: Path | str) -> Path:
+    """The checked-in multi-domain damaged shape: dom1 torn and salvaged
+    (quarantined epoch, manifest), dom2 healthy, root stream intact.
+    Must lint with nothing above INFO at the root *and* in each
+    sub-session: one guest's damage is fully accounted for by its own
+    manifest and never leaks into the sibling's accounting."""
+    dest = write_fleet_fixture_session(dest)
+    _injure_and_salvage_domain(dest / "dom1")
+    return dest
+
+
 def write_all_fixtures(dest: Path | str, batch: bool = False) -> dict[str, Path]:
     """Write ``clean/`` plus one directory per corruption under ``dest``."""
     dest = Path(dest)
@@ -322,12 +479,45 @@ def selftest() -> int:
             )
         if not (damaged / "salvage.json").is_file():
             failures.append("damaged session has no salvage manifest")
+
+        # Fleet fixtures: clean and damaged-but-salvaged lint clean at
+        # the root and per sub-session; each corruption trips exactly
+        # the cross-domain rule at the root.
+        for name, writer in (
+            ("fleet-clean", write_fleet_fixture_session),
+            ("fleet-damaged", write_fleet_damaged_fixture_session),
+        ):
+            root = writer(tmp / name)
+            for d in (root, *(root / f"dom{n}" for n in _FLEET_DOMAINS)):
+                report = lint_session(d)
+                if report.exit_code(fail_on=Severity.WARNING) != 0:
+                    failures.append(
+                        f"{name}: {d.name} not clean:\n"
+                        f"{report.format_text()}"
+                    )
+        for c in FLEET_CORRUPTIONS:
+            root = write_fleet_fixture_session(tmp / f"fleet-{c}", c)
+            report = lint_session(root)
+            if not report.by_rule("VP112"):
+                failures.append(
+                    f"fleet {c}: VP112 not triggered:\n"
+                    f"{report.format_text()}"
+                )
+            unexpected = [r for r in report.rule_ids if r != "VP112"]
+            if unexpected:
+                failures.append(
+                    f"fleet {c}: unexpected rules {unexpected}:\n"
+                    f"{report.format_text()}"
+                )
+            if report.exit_code(fail_on=Severity.WARNING) == 0:
+                failures.append(f"fleet {c}: analyzer exit code was 0")
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
     if failures:
         print("\n\n".join(failures), file=sys.stderr)
         return 1
     print(f"fixture selftest ok: clean + {len(CORRUPTIONS)} corruptions "
+          f"+ fleet (clean, damaged, {len(FLEET_CORRUPTIONS)} corruptions) "
           "verified")
     return 0
 
@@ -353,6 +543,11 @@ def main(argv: list[str] | None = None) -> int:
         "--damaged", action="store_true",
         help="write only the damaged-and-salvaged session into dest",
     )
+    parser.add_argument(
+        "--fleet-damaged", action="store_true",
+        help="write only the damaged-and-salvaged two-domain fleet "
+        "session into dest",
+    )
     args = parser.parse_args(argv)
     if args.selftest:
         return selftest()
@@ -360,6 +555,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("dest is required unless --selftest")
     if args.damaged:
         print(f"{'damaged':<22} {write_damaged_fixture_session(args.dest)}")
+        return 0
+    if args.fleet_damaged:
+        print(
+            f"{'fleet-damaged':<22} "
+            f"{write_fleet_damaged_fixture_session(args.dest)}"
+        )
         return 0
     sessions = write_all_fixtures(args.dest, batch=args.batch)
     for name, path in sessions.items():

@@ -778,7 +778,9 @@ def collect_fire_calls(
     ERROR (the crash-matrix test will never exercise it), and an
     argument we cannot resolve statically is a WARNING."""
     injector = _registry()
-    registered = set(injector.ALL_FAULT_POINT_NAMES)
+    registered = set(injector.ALL_FAULT_POINT_NAMES) | set(
+        injector.ALL_GUEST_FAULT_POINT_NAMES
+    )
     fired: dict[str, int] = {}
     findings: list[Finding] = []
     for n in ast.walk(tree):
@@ -807,7 +809,7 @@ def collect_fire_calls(
                         f"fire({name!r}) names no registered fault "
                         "point: the crash matrix will never exercise "
                         "this site (register it in repro.faults."
-                        "injector.FAULT_POINTS)",
+                        "injector.FAULT_POINTS or GUEST_FAULT_POINTS)",
                     )
                 )
         else:
@@ -833,7 +835,7 @@ def check_fault_point_sites(
     ``(artifact-label, fired-names)`` as collected per file."""
     injector = _registry()
     findings: list[Finding] = []
-    for point in injector.FAULT_POINTS:
+    for point in (*injector.FAULT_POINTS, *injector.GUEST_FAULT_POINTS):
         parts = point.site.split(".")
         target: tuple[str, dict[str, int]] | None = None
         for k in range(len(parts), 0, -1):

@@ -17,10 +17,19 @@ Factories:
 * :mod:`repro.workloads.pseudojbb` — ``pseudojbb()`` (3 warehouses,
   100 K transactions);
 * :mod:`repro.workloads.synthetic` — the generic generator, also handy for
-  tests and custom experiments.
+  tests and custom experiments;
+* :mod:`repro.workloads.fleet` — the many-guest fleet family: tens of
+  small guests with staggered steady/bursty/recompile-heavy phase
+  profiles for the virtualized scale-out scenario.
 """
 
 from repro.workloads.base import Workload, by_name, paper_suite
+from repro.workloads.fleet import (
+    FLEET_PROFILES,
+    fleet_member_name,
+    fleet_workload,
+    fleet_workloads,
+)
 from repro.workloads.synthetic import SyntheticSpec, make_methods, make_workload
 
 __all__ = [
@@ -30,4 +39,8 @@ __all__ = [
     "SyntheticSpec",
     "make_methods",
     "make_workload",
+    "FLEET_PROFILES",
+    "fleet_member_name",
+    "fleet_workload",
+    "fleet_workloads",
 ]

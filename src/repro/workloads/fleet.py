@@ -1,0 +1,118 @@
+"""The many-guest fleet workload family.
+
+ROADMAP's bridge from the paper's single-host design to an Atys-style
+continuous-profiling fleet service starts here: tens of guest JVMs, each
+its own full stack, multiplexed on one hypervisor.  A fleet member is a
+small synthetic workload stamped with one of three *phase profiles*,
+chosen round-robin across the fleet so concurrent guests never move in
+lockstep:
+
+* ``steady`` — one stationary phase, narrow bursts: the long-running
+  service whose hot set stops changing after warm-up;
+* ``bursty`` — few phases but wide invocation bursts: request-driven
+  load with hot methods shifting between traffic spikes;
+* ``recompile-heavy`` — many short phases over a larger method
+  population: fresh methods keep getting hot (and compiled) deep into
+  the run, maximizing code-map traffic per guest.
+
+Every member is deterministic in ``(index, seed)``; two fleets built
+with the same arguments are identical, which the guest-kill isolation
+matrix relies on for its fault-free twins.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.synthetic import SyntheticSpec, make_methods
+
+__all__ = [
+    "FLEET_PROFILES",
+    "fleet_member_name",
+    "fleet_workload",
+    "fleet_workloads",
+]
+
+#: The staggered phase behaviours, assigned round-robin by member index.
+FLEET_PROFILES: tuple[str, ...] = ("steady", "bursty", "recompile-heavy")
+
+#: Per-profile knobs: (synthetic-spec overrides, workload overrides).
+_PROFILE_KNOBS: dict[str, tuple[dict, dict]] = {
+    "steady": (
+        {"n_methods": 12, "zipf_s": 1.3},
+        {"phases": 1, "burst": (6, 16)},
+    ),
+    "bursty": (
+        {"n_methods": 16, "zipf_s": 1.0},
+        {"phases": 2, "burst": (24, 80)},
+    ),
+    "recompile-heavy": (
+        {"n_methods": 28, "zipf_s": 0.9},
+        {"phases": 6, "burst": (4, 12)},
+    ),
+}
+
+
+def fleet_member_name(index: int, profile: str) -> str:
+    """The stable name of fleet member ``index`` (``fleet-03-bursty``)."""
+    return f"fleet-{index:02d}-{profile}"
+
+
+def fleet_workload(
+    index: int,
+    profile: str | None = None,
+    base_time_s: float = 0.05,
+    seed: int = 7,
+) -> Workload:
+    """One fleet member's workload.
+
+    ``profile`` defaults to the member's round-robin slot in
+    :data:`FLEET_PROFILES`.  The member index perturbs the generation
+    seed, the base time (members finish staggered, not in lockstep) and
+    the heap geometry, so every guest compiles a distinct method
+    population on a distinct GC cadence.
+    """
+    if index < 0:
+        raise WorkloadError(f"fleet member index must be >= 0, got {index}")
+    if profile is None:
+        profile = FLEET_PROFILES[index % len(FLEET_PROFILES)]
+    try:
+        spec_knobs, wl_knobs = _PROFILE_KNOBS[profile]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown fleet profile {profile!r} "
+            f"(known: {', '.join(FLEET_PROFILES)})"
+        ) from None
+    spec = SyntheticSpec(
+        package=f"fleet.m{index:02d}",
+        mean_cycles_per_invocation=2200,
+        alloc_bytes_per_kcycle=700,
+        data_bytes=2 * 1024 * 1024,
+        seed=seed * 1_000_003 + index,
+        **spec_knobs,
+    )
+    # Stagger run lengths ±20% across the fleet so guests hit their
+    # budgets (and final map flushes) at different points of the run.
+    stagger = 1.0 + 0.2 * ((index % 5) - 2) / 2.0
+    return Workload(
+        name=fleet_member_name(index, profile),
+        base_time_s=base_time_s * stagger,
+        methods=make_methods(spec),
+        nursery_bytes=64 * 1024 + (index % 3) * 32 * 1024,
+        mature_bytes=2 * 1024 * 1024,
+        seed=spec.seed,
+        description=f"fleet member #{index} ({profile} phase profile)",
+        **wl_knobs,
+    )
+
+
+def fleet_workloads(
+    n: int, base_time_s: float = 0.05, seed: int = 7
+) -> list[Workload]:
+    """A fleet of ``n`` members with round-robin phase profiles."""
+    if n < 1:
+        raise WorkloadError(f"fleet size must be >= 1, got {n}")
+    return [
+        fleet_workload(i, base_time_s=base_time_s, seed=seed)
+        for i in range(n)
+    ]

@@ -16,12 +16,16 @@ This package builds that system on the same substrate:
   code maps and boot-image map) or against the hypervisor's symbols;
 * :mod:`repro.xen.engine` — a multi-stack engine running several isolated
   guest stacks (each a kernel + Jikes-RVM-like VM + workload) time-sliced
-  over one physical CPU, the execution model the VIVA project targets.
+  over one physical CPU, the execution model the VIVA project targets;
+* :mod:`repro.xen.fleet` — many-guest fleet sessions: the per-domain
+  session layout, fresh per-domain/fleet resolver chains (with
+  quarantine + degraded modes), and per-domain salvage.
 """
 
 from repro.xen.hypervisor import Domain, Hypervisor, VcpuScheduler, XEN_BASE
 from repro.xen.xenoprof import XenoProfBuffer, XenoProfReport, XenoSample
 from repro.xen.engine import GuestSpec, MultiStackEngine, MultiStackResult
+from repro.xen.fleet import FLEET_SHARD_PATTERN, FleetSession, run_fleet
 
 __all__ = [
     "Domain",
@@ -34,4 +38,7 @@ __all__ = [
     "GuestSpec",
     "MultiStackEngine",
     "MultiStackResult",
+    "FLEET_SHARD_PATTERN",
+    "FleetSession",
+    "run_fleet",
 ]

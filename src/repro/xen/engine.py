@@ -19,7 +19,8 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, InjectedFault
+from repro.faults import injector as faults
 from repro.hardware.cache import CacheGeometry, StatisticalCacheModel
 from repro.hardware.cpu import CPU, CpuMode, Quantum
 from repro.hardware.events import EventCounts
@@ -35,7 +36,7 @@ from repro.os.binary import standard_libraries
 from repro.profiling.model import RawSample
 from repro.system.engine import build_agent_image, build_jikesrvm_bootstrap
 from repro.system.ledger import TruthLedger
-from repro.viprof.codemap import CodeMapIndex, CodeMapWriter
+from repro.viprof.codemap import CodeMapError, CodeMapIndex, CodeMapWriter
 from repro.viprof.vm_agent import ViprofVmAgent
 from repro.workloads.base import Workload
 from repro.xen.hypervisor import Domain, Hypervisor, VcpuScheduler
@@ -78,6 +79,7 @@ class _Guest:
     ledger: TruthLedger = field(default_factory=TruthLedger)
     workload_cycles: int = 0
     steps: "object" = None  # the machine.run() iterator
+    killed: InjectedFault | None = None
 
 
 @dataclass
@@ -91,6 +93,39 @@ class MultiStackResult:
     wall_cycles: int
     session_dir: Path
     period: int = 90_000
+    #: Domains whose code-map directory did not load cleanly after a
+    #: guest kill (torn map): resolution for them waits for salvage.
+    damaged_domains: tuple[int, ...] = ()
+
+    @property
+    def killed_domains(self) -> tuple[int, ...]:
+        """Domains whose guest died to an injected fault this run."""
+        return tuple(
+            did for did, g in sorted(self.guests.items())
+            if g.killed is not None
+        )
+
+    def _write_event_files(self, dest: Path, samples: list) -> list[Path]:
+        """One ``XPRS`` file per event under ``dest`` (created on demand).
+
+        ``samples`` may be empty for an event: the file is still written,
+        header-only, so a freshly killed guest's sub-session stays a
+        complete (and salvageable) session directory.
+        """
+        from repro.xen.samplefile import XenoSampleFileWriter
+
+        events = sorted({s.raw.event_name for s in self.buffer.samples})
+        by_event: dict[str, list] = {event: [] for event in events}
+        for s in samples:
+            by_event[s.raw.event_name].append(s)
+        dest.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for event, batch in sorted(by_event.items()):
+            path = dest / f"xenoprof.{event}.samples"
+            with XenoSampleFileWriter(path, event, period=self.period) as w:
+                w.write_batch(batch)
+            paths.append(path)
+        return paths
 
     def save_samples(self) -> list[Path]:
         """Persist the tagged sample stream, one file per event, under the
@@ -107,6 +142,29 @@ class MultiStackResult:
                 w.write_batch(samples)
             paths.append(path)
         return paths
+
+    def save_fleet_session(self) -> dict[str, list[Path]]:
+        """Persist the many-guest fleet layout.
+
+        The root stream lands in ``samples/`` (all domains, one ``XPRS``
+        file per event — what dom0's daemon drains from the shared
+        buffer), and each domain additionally gets its own sub-session
+        ``dom{N}/samples/`` next to its ``dom{N}/jit-maps/`` — a complete,
+        independently salvageable session per guest.  Per-domain record
+        order matches the root stream (both are buffer order), so the
+        per-domain files are an exact partition of the root stream.
+        """
+        out = {
+            "root": self._write_event_files(
+                self.session_dir / "samples", list(self.buffer.samples)
+            )
+        }
+        for did in sorted(self.guests):
+            out[f"dom{did}"] = self._write_event_files(
+                self.session_dir / f"dom{did}" / "samples",
+                [s for s in self.buffer.samples if s.domain_id == did],
+            )
+        return out
 
     def domain_report(self, domain_id: int):
         return self.report_builder.domain_report(self.buffer, domain_id)
@@ -234,7 +292,44 @@ class MultiStackEngine:
                     mode=CpuMode.KERNEL)
         )
 
+    def _tear_newest_map_effect(self, guest: _Guest):
+        """Damage effect for :data:`~repro.faults.GUEST_MAP_TEAR`: cut the
+        guest's newest epoch map three characters into its last record
+        line — the partial state a crash mid-emission leaves, malformed
+        enough that salvage must quarantine the epoch (a cut at a line
+        boundary would instead *parse* as a silently shorter map)."""
+
+        def effect(rng) -> None:
+            if not guest.map_dir.is_dir():
+                return
+            maps = sorted(
+                p for p in guest.map_dir.iterdir()
+                if p.is_file() and p.name.startswith("jit-map.")
+            )
+            if not maps:
+                return
+            path = maps[-1]
+            data = path.read_bytes()
+            cut = data.rstrip(b"\n").rfind(b"\n")
+            if cut < 0:
+                return
+            path.write_bytes(data[: cut + 1 + 3])
+
+        return effect
+
+    def _kill_guest(self, guest: _Guest, fault: InjectedFault) -> None:
+        """An injected fault inside one guest kills that guest only: the
+        domain stops being scheduled (and never runs its final flush, so
+        its current epoch's map stays unwritten), while the hypervisor,
+        the sample buffer, and every sibling domain carry on."""
+        guest.killed = fault
+        guest.domain.finished = True
+
     def _exec_guest_step(self, guest: _Guest, step: VmStep) -> None:
+        if faults.armed() and step.kind is StepKind.AGENT:
+            faults.fire(
+                faults.GUEST_MAP_TEAR, self._tear_newest_map_effect(guest)
+            )
         misses = 0
         if step.working_set is not None and step.accesses > 0:
             misses = guest.cache.misses_for(step.working_set, step.accesses)
@@ -270,35 +365,60 @@ class MultiStackEngine:
 
             slice_end = self.cpu.cycle + self.vcpu_sched.slice_cycles
             start = self.cpu.cycle
-            while (
-                self.cpu.cycle < slice_end
-                and guest.workload_cycles < guest.budget
-            ):
-                if self.cpu.cycle >= next_timer:
-                    self._exec_xen(
-                        "vmx_vmexit_handler", Hypervisor.TIMER_VMEXIT_CYCLES
-                    )
-                    self._exec_xen("pit_timer_fn", 140)
-                    next_timer += XEN_TIMER_PERIOD
-                    continue
-                self._exec_guest_step(guest, next(guest.steps))
+            try:
+                while (
+                    self.cpu.cycle < slice_end
+                    and guest.workload_cycles < guest.budget
+                ):
+                    if self.cpu.cycle >= next_timer:
+                        self._exec_xen(
+                            "vmx_vmexit_handler",
+                            Hypervisor.TIMER_VMEXIT_CYCLES,
+                        )
+                        self._exec_xen("pit_timer_fn", 140)
+                        next_timer += XEN_TIMER_PERIOD
+                        continue
+                    if faults.armed():
+                        faults.fire(faults.GUEST_KILL)
+                    self._exec_guest_step(guest, next(guest.steps))
+            except InjectedFault as fault:
+                self._kill_guest(guest, fault)
             self.vcpu_sched.charge(domain, self.cpu.cycle - start)
 
             if guest.workload_cycles >= guest.budget and not domain.finished:
-                for step in guest.machine.finish():
-                    self._exec_guest_step(guest, step)
+                try:
+                    for step in guest.machine.finish():
+                        self._exec_guest_step(guest, step)
+                except InjectedFault as fault:
+                    self._kill_guest(guest, fault)
                 domain.finished = True
 
-        resolvers = {
-            did: DomainResolver(
+        resolvers: dict[int, DomainResolver] = {}
+        damaged: list[int] = []
+        for did, g in self.guests.items():
+            try:
+                codemaps = (
+                    CodeMapIndex.load_dir(g.map_dir)
+                    if g.map_dir.is_dir()
+                    else CodeMapIndex({})
+                )
+            except CodeMapError:
+                if g.killed is None:
+                    raise
+                # A torn map from the guest kill: the eager report keeps
+                # running (the domain's heap samples fall to
+                # "(unresolved jit)"); exact accounting for this domain
+                # waits for salvage + a quarantined rebuild
+                # (repro.xen.fleet.FleetSession.domain_chain).
+                codemaps = CodeMapIndex({})
+                damaged.append(did)
+            resolvers[did] = DomainResolver(
                 kernel=g.kernel,
                 vm_task_id=g.vm_pid,
                 heap_bounds=g.heap.bounds,
-                codemaps=CodeMapIndex.load_dir(g.map_dir),
+                codemaps=codemaps,
                 rvm_map=g.boot.rvm_map,
             )
-            for did, g in self.guests.items()
-        }
         return MultiStackResult(
             hypervisor=self.hypervisor,
             buffer=self.buffer,
@@ -307,4 +427,5 @@ class MultiStackEngine:
             wall_cycles=self.cpu.cycle,
             session_dir=self.session_dir,
             period=self.config.primary_period,
+            damaged_domains=tuple(damaged),
         )

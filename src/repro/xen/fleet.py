@@ -1,0 +1,272 @@
+"""Fleet sessions: many-guest runs with per-domain salvage and resolve.
+
+This is the scale-out face of the multi-stack engine.  A
+:class:`FleetSession` wraps one finished
+:class:`~repro.xen.engine.MultiStackResult` whose artifacts were saved in
+the *fleet layout*:
+
+.. code-block:: text
+
+    session/
+      samples/                     # root stream: all domains, per event
+        xenoprof.<EVENT>.samples
+      dom<N>/                      # one complete sub-session per guest
+        samples/xenoprof.<EVENT>.samples
+        jit-maps/jit-map.<epoch>
+
+The root stream is what dom0's daemon drains from the hypervisor's
+shared buffer; the per-domain sub-sessions are exact partitions of it in
+buffer order, each independently loadable — and independently
+*salvageable* — as a standard VIProf session directory.  That layout is
+what makes guest-kill isolation mechanical: a dead guest's damage is
+confined to its own ``dom<N>/`` subtree, and rebuilding its chain with
+quarantined epochs never touches a sibling's artifacts.
+
+Resolution goes through the streaming pipeline (:mod:`repro.pipeline`)
+rather than the eager :class:`~repro.xen.xenoprof.XenoProfReport` path,
+so fleet reports compose with workers/columnar/cache machinery and their
+``stats_dict()`` carries the per-domain inner-chain counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.errors import ProfilerError
+from repro.pipeline import (
+    DirectorySource,
+    ResolverChain,
+    run_pipeline,
+    xen_chain,
+    xen_domain_chain,
+)
+from repro.profiling.report import ProfileReport
+from repro.viprof.codemap import CodeMapIndex
+from repro.viprof.runtime_profiler import VmRegistration
+from repro.workloads.base import Workload
+from repro.xen.engine import GuestSpec, MultiStackEngine, MultiStackResult
+
+__all__ = ["FLEET_SHARD_PATTERN", "FleetSession", "run_fleet"]
+
+#: Glob (relative to the session root) matching every per-domain sample
+#: file — the *sharded* fleet source: N_domains × N_events files, so the
+#: shard planner spreads whole domains across workers instead of
+#: chunking one big root file.
+FLEET_SHARD_PATTERN = "dom*/samples/*.samples"
+
+
+@dataclass
+class FleetSession:
+    """One many-guest session: artifacts on disk plus live guest state.
+
+    Chains built here are *fresh per call* — each carries its own
+    counters and cache — so a caller can resolve the same session twice
+    (say, strict baseline vs degraded post-salvage) without one run's
+    statistics bleeding into the other's.
+    """
+
+    result: MultiStackResult
+    #: ``save_fleet_session()``'s output: ``"root"`` and ``"dom<N>"``
+    #: keys to the sample files written for each.
+    saved: dict[str, list[Path]] = field(default_factory=dict)
+
+    @property
+    def session_dir(self) -> Path:
+        return self.result.session_dir
+
+    @property
+    def domain_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.result.guests))
+
+    @property
+    def killed_domains(self) -> tuple[int, ...]:
+        return self.result.killed_domains
+
+    @property
+    def damaged_domains(self) -> tuple[int, ...]:
+        return self.result.damaged_domains
+
+    def domain_dir(self, domain_id: int) -> Path:
+        """The domain's sub-session root (``session/dom<N>``)."""
+        return self.session_dir / f"dom{domain_id}"
+
+    # -- chain construction --------------------------------------------
+
+    def domain_chain(
+        self,
+        domain_id: int,
+        quarantined: Iterable[int] = (),
+        strict: bool = True,
+    ) -> ResolverChain:
+        """A fresh VIProf chain for one guest.
+
+        ``quarantined`` epochs become barriers in the domain's code-map
+        index (exactly what its salvage report prescribes); pair with
+        ``strict=False`` to resolve a salvaged domain in degraded mode.
+        """
+        g = self._guest(domain_id)
+        quarantined = tuple(quarantined)
+        if g.map_dir.is_dir():
+            codemaps = CodeMapIndex.load_dir(
+                g.map_dir, quarantined=quarantined
+            )
+        else:
+            codemaps = CodeMapIndex({})
+        lo, hi = g.heap.bounds
+        return xen_domain_chain(
+            g.kernel,
+            codemaps,
+            g.boot.rvm_map,
+            (VmRegistration(g.vm_pid, lo, hi),),
+            strict=strict,
+        )
+
+    def fleet_chain(
+        self,
+        quarantined: Mapping[int, Iterable[int]] | None = None,
+        strict: bool = True,
+    ) -> ResolverChain:
+        """The full multi-stack chain: hypervisor stage over a fresh
+        per-domain dispatch.  ``quarantined`` maps domain id to that
+        domain's barrier epochs; unlisted domains get clean chains."""
+        quarantined = dict(quarantined or {})
+        return xen_chain(
+            self.result.hypervisor,
+            {
+                did: self.domain_chain(
+                    did, quarantined.get(did, ()), strict=strict
+                )
+                for did in self.domain_ids
+            },
+        )
+
+    # -- sources -------------------------------------------------------
+
+    def source(self, sharded: bool = False) -> DirectorySource:
+        """The session's sample source.
+
+        ``sharded=False`` streams the root files (one per event);
+        ``sharded=True`` streams the per-domain partition via
+        :data:`FLEET_SHARD_PATTERN` — same records, same per-domain
+        order, but many more files for the shard planner to spread
+        across workers.
+        """
+        if sharded:
+            return DirectorySource(
+                self.session_dir, pattern=FLEET_SHARD_PATTERN
+            )
+        return DirectorySource(self.session_dir / "samples")
+
+    def events(self) -> tuple[str, ...]:
+        """The session's event columns (deduplicated, time event first)."""
+        names = self.source().event_names()
+        return tuple(dict.fromkeys(names))
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(
+        self,
+        workers: int | str = 1,
+        columnar: bool = True,
+        sharded: bool = False,
+        quarantined: Mapping[int, Iterable[int]] | None = None,
+        strict: bool = True,
+        warm_top_k: int | bool | None = None,
+    ) -> tuple[ProfileReport, ResolverChain]:
+        """Resolve the whole fleet stream; returns (report, chain).
+
+        The chain is fresh, so ``chain.stats_dict()`` afterwards covers
+        exactly this run — including every domain's inner-chain counters
+        under the dispatch stage's ``detail``.
+        """
+        chain = self.fleet_chain(quarantined, strict=strict)
+        report = run_pipeline(
+            self.source(sharded=sharded),
+            chain,
+            events=self.events(),
+            workers=workers,
+            columnar=columnar,
+            warm_top_k=warm_top_k,
+        )
+        return report, chain
+
+    def domain_resolve(
+        self,
+        domain_id: int,
+        workers: int | str = 1,
+        columnar: bool = True,
+        quarantined: Iterable[int] = (),
+        strict: bool = True,
+    ) -> tuple[ProfileReport, ResolverChain]:
+        """Resolve one domain's sub-session; returns (report, chain).
+
+        The chain is still hypervisor-first (a guest's stream includes
+        samples caught while Xen ran on its behalf) but dispatches to
+        that single domain only, so the result is bit-for-bit what the
+        fleet run attributes to this domain — the comparison the
+        guest-kill isolation matrix is built on.
+        """
+        chain = xen_chain(
+            self.result.hypervisor,
+            {
+                domain_id: self.domain_chain(
+                    domain_id, quarantined, strict=strict
+                )
+            },
+        )
+        sample_dir = self.domain_dir(domain_id) / "samples"
+        report = run_pipeline(
+            DirectorySource(sample_dir),
+            chain,
+            events=self.events(),
+            workers=workers,
+            columnar=columnar,
+        )
+        return report, chain
+
+    # -- salvage -------------------------------------------------------
+
+    def salvage_domain(self, domain_id: int, dry_run: bool = False):
+        """Run crash salvage on one guest's sub-session.
+
+        A guest killed before its first GC never created ``jit-maps/``;
+        salvage treats that the same as an empty map directory, so it is
+        created here rather than special-cased downstream.
+        """
+        from repro.viprof.salvage import salvage_session
+
+        dom_dir = self.domain_dir(domain_id)
+        (dom_dir / "jit-maps").mkdir(parents=True, exist_ok=True)
+        return salvage_session(dom_dir, dry_run=dry_run)
+
+    # -- internals -----------------------------------------------------
+
+    def _guest(self, domain_id: int):
+        try:
+            return self.result.guests[domain_id]
+        except KeyError:
+            raise ProfilerError(
+                f"no domain {domain_id} in this fleet "
+                f"(domains: {', '.join(map(str, self.domain_ids))})"
+            ) from None
+
+
+def run_fleet(
+    workloads: list[Workload],
+    period: int = 90_000,
+    time_scale: float = 1.0,
+    session_dir: Path | None = None,
+    seed: int = 7,
+) -> FleetSession:
+    """Run N guest stacks and persist the fleet session layout."""
+    engine = MultiStackEngine(
+        [GuestSpec(w) for w in workloads],
+        period=period,
+        time_scale=time_scale,
+        session_dir=session_dir,
+        seed=seed,
+    )
+    result = engine.run()
+    return FleetSession(result=result, saved=result.save_fleet_session())

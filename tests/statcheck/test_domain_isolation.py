@@ -1,0 +1,210 @@
+"""The cross-domain fleet rule (VP112) and the fleet fixture family.
+
+A fleet session root holds one complete sub-session per guest domain;
+the rule guards the seams between them: tag ownership, exact partition
+of the root stream, and quarantines justified by each domain's own
+artifacts.  Ground truth comes from the fixture generator — a clean
+two-domain fleet, a damaged-but-salvaged one, and one corruption per
+leak shape.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import StatCheckError
+from repro.profiling.model import RawSample
+from repro.profiling.record_codec import DOMAIN_CODEC, RecordFileWriter
+from repro.statcheck.analyzer import lint_session
+from repro.statcheck.artifacts import load_session
+from repro.statcheck.findings import Severity
+from repro.statcheck.fixtures import (
+    FLEET_CORRUPTIONS,
+    write_fixture_session,
+    write_fleet_damaged_fixture_session,
+    write_fleet_fixture_session,
+)
+
+_EVENT = "GLOBAL_POWER_EVENTS"
+
+
+class TestFleetFixtures:
+    def test_clean_fleet_lints_clean_everywhere(self, tmp_path):
+        root = write_fleet_fixture_session(tmp_path / "fleet")
+        for d in (root, root / "dom1", root / "dom2"):
+            report = lint_session(d)
+            assert len(report) == 0, f"{d.name}:\n{report.format_text()}"
+
+    def test_unknown_fleet_corruption_rejected(self, tmp_path):
+        with pytest.raises(StatCheckError, match="unknown fleet"):
+            write_fleet_fixture_session(tmp_path / "x", "made-up")
+
+    @pytest.mark.parametrize("corruption", FLEET_CORRUPTIONS)
+    def test_fleet_corruption_trips_vp112_only(self, tmp_path, corruption):
+        root = write_fleet_fixture_session(tmp_path / corruption, corruption)
+        report = lint_session(root)
+        assert report.rule_ids == ("VP112",), report.format_text()
+        assert report.exit_code(fail_on=Severity.WARNING) == 1
+
+    def test_tag_leak_message_names_both_domains(self, tmp_path):
+        root = write_fleet_fixture_session(tmp_path / "leak", "tag-leak")
+        report = lint_session(root)
+        messages = [f.message for f in report.by_rule("VP112")]
+        assert any(
+            "dom2" in m and "dom1" in m and "bled into" in m
+            for m in messages
+        ), messages
+
+    def test_extra_domain_record_breaks_the_partition(self, tmp_path):
+        # A record present in dom2's sub-session but absent from the
+        # root stream (or vice versa) is a partition violation — the
+        # sub-sessions must hold exactly what dom0's daemon drained.
+        root = write_fleet_fixture_session(tmp_path / "fleet")
+        path = root / "dom2" / "samples" / f"xenoprof.{_EVENT}.samples"
+        extra = RawSample(
+            pc=0xC000_9000, event_name=_EVENT, task_id=42,
+            kernel_mode=True, cycle=9_000, epoch=2,
+        )
+        with RecordFileWriter(
+            tmp_path / "tail.samples", DOMAIN_CODEC, _EVENT, 90_000,
+        ) as w:
+            w.write(extra, domain_id=2)
+            w.flush()
+            record = (tmp_path / "tail.samples").read_bytes()[
+                w._data_start:
+            ]
+        path.write_bytes(path.read_bytes() + record)
+        report = lint_session(root, rule_ids=["VP112"])
+        assert any(
+            "do not partition the root stream" in f.message
+            and "dom2" in f.message
+            for f in report.by_rule("VP112")
+        ), report.format_text()
+
+    def test_quarantine_leak_blames_the_healthy_map(self, tmp_path):
+        root = write_fleet_fixture_session(
+            tmp_path / "leak", "quarantine-leak"
+        )
+        report = lint_session(root)
+        findings = report.by_rule("VP112")
+        assert any(
+            "dom2" in f.message and "healthy map" in f.message
+            for f in findings
+        ), report.format_text()
+        # dom1's own salvage stays above suspicion.
+        assert not any("dom1 quarantines" in f.message for f in findings)
+
+    def test_damaged_fleet_is_fully_accounted(self, tmp_path):
+        root = write_fleet_damaged_fixture_session(tmp_path / "fleet")
+        for d in (root, root / "dom1", root / "dom2"):
+            report = lint_session(d)
+            assert report.exit_code(fail_on=Severity.WARNING) == 0, (
+                f"{d.name}:\n{report.format_text()}"
+            )
+        assert (root / "dom1" / "salvage.json").is_file()
+        assert (root / "dom1" / "jit-maps" / "quarantine").is_dir()
+
+    def test_checked_in_fleet_fixture_is_accounted(self):
+        sess = (
+            Path(__file__).resolve().parents[1]
+            / "fixtures" / "lint-session-fleet-damaged"
+        )
+        for d in (sess, sess / "dom1", sess / "dom2"):
+            report = lint_session(d)
+            assert report.exit_code(fail_on=Severity.WARNING) == 0, (
+                f"{d.name}:\n{report.format_text()}"
+            )
+        manifest = json.loads((sess / "dom1" / "salvage.json").read_text())
+        assert manifest["quarantined_epochs"] == [1]
+
+
+class TestFleetLoading:
+    def test_root_load_discovers_domain_subsessions(self, tmp_path):
+        root = write_fleet_fixture_session(tmp_path / "fleet")
+        arts = load_session(root)
+        assert sorted(arts.domains) == [1, 2]
+        for did, sub in arts.domains.items():
+            assert sub.session_dir == root / f"dom{did}"
+            assert sub.maps and sub.sample_files
+        # Root and domain files are domain-tagged; the single-stack
+        # (VPRS) fixture stays untagged.
+        for sf in arts.sample_files:
+            assert sf.domain_ids is not None
+            assert len(sf.domain_ids) == len(sf.samples)
+        plain = load_session(write_fixture_session(tmp_path / "plain"))
+        assert plain.domains == {}
+        assert all(sf.domain_ids is None for sf in plain.sample_files)
+
+    def test_rotten_domain_artifact_surfaces_at_root(self, tmp_path):
+        root = write_fleet_fixture_session(tmp_path / "fleet")
+        bad = root / "dom2" / "jit-maps" / "jit-map.00002"
+        bad.write_text("garbage\n", encoding="utf-8")
+        report = lint_session(root)
+        assert any(
+            f.rule_id == "VP100" and "dom2" in f.artifact for f in report
+        ), report.format_text()
+
+
+class TestQuarantineJustification:
+    def _edit_manifest(self, dom_dir: Path, mutate) -> None:
+        path = dom_dir / "salvage.json"
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+        mutate(manifest)
+        path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+
+    def test_phantom_quarantine_has_no_evidence(self, tmp_path):
+        root = write_fleet_damaged_fixture_session(tmp_path / "fleet")
+        self._edit_manifest(
+            root / "dom1",
+            lambda m: m["quarantined_epochs"].append(9),
+        )
+        report = lint_session(root)
+        assert any(
+            f.rule_id == "VP112"
+            and "none of its own artifacts mention any epoch >= 9"
+            in f.message
+            for f in report
+        ), report.format_text()
+
+    def test_sibling_evidence_is_called_out(self, tmp_path):
+        # Hand-built minimal fleet: dom1 only ever saw epoch 0 but
+        # quarantines epoch 1, which exists solely in dom2's stream —
+        # the classic copied-manifest leak.
+        root = tmp_path / "fleet"
+        recs = {
+            1: RawSample(pc=0xC000_1000, event_name=_EVENT, task_id=11,
+                         kernel_mode=True, cycle=1_000, epoch=0),
+            2: RawSample(pc=0xC000_2000, event_name=_EVENT, task_id=22,
+                         kernel_mode=True, cycle=2_000, epoch=1),
+        }
+        for did, s in recs.items():
+            sample_dir = root / f"dom{did}" / "samples"
+            sample_dir.mkdir(parents=True)
+            with RecordFileWriter(
+                sample_dir / f"xenoprof.{_EVENT}.samples",
+                DOMAIN_CODEC, _EVENT, 90_000,
+            ) as w:
+                w.write(s, domain_id=did)
+        (root / "dom1" / "salvage.json").write_text(
+            json.dumps({
+                "version": 1,
+                "quarantined_epochs": [1],
+                "top_epoch": 1,
+                "maps": [],
+                "sample_files": [],
+            })
+        )
+        (root / "samples").mkdir()
+        with RecordFileWriter(
+            root / "samples" / f"xenoprof.{_EVENT}.samples",
+            DOMAIN_CODEC, _EVENT, 90_000,
+        ) as w:
+            for did in sorted(recs):
+                w.write(recs[did], domain_id=did)
+        report = lint_session(root, rule_ids=["VP112"])
+        assert any(
+            "evident in dom2's artifacts" in f.message
+            and "leaked across domains" in f.message
+            for f in report.by_rule("VP112")
+        ), report.format_text()

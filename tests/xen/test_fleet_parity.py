@@ -1,0 +1,126 @@
+"""Golden parity for multi-domain ``XPRS`` sessions: the sequential
+scalar resolve is the reference, and every other execution strategy —
+columnar batching, sharded workers (1/2/4), the per-domain sharded file
+layout — must reproduce its report bytes *and* its statistics exactly.
+
+The multi-stack chain's dispatch stage owns inner chains, so the outer
+chain must refuse columnar batching (``supports_columnar`` False) and
+fall back to the scalar inner-chain walk; this file pins that fallback:
+if batch resolution ever reaches the inner chains without replaying
+their counters, the stats parity below breaks first.
+"""
+
+import json
+
+import pytest
+
+from repro.workloads.fleet import FLEET_PROFILES, fleet_workloads
+from repro.xen.fleet import run_fleet
+
+_FLEET_N = 4
+_PERIOD = 20_000
+_BASE_TIME = 0.1
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    return run_fleet(
+        fleet_workloads(_FLEET_N, base_time_s=_BASE_TIME),
+        period=_PERIOD,
+        session_dir=tmp_path_factory.mktemp("fleet-parity"),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(session):
+    """The sequential scalar run: report bytes + canonical stats."""
+    report, chain = session.resolve(workers=1, columnar=False)
+    return {
+        "table": report.format_table(limit=10_000),
+        "stats": json.dumps(chain.stats_dict(), sort_keys=True),
+    }
+
+
+def test_outer_chain_pins_scalar_fallback(session):
+    chain = session.fleet_chain()
+    dispatch = chain.stage("domain-dispatch")
+    assert dispatch.owns_inner_chains is True
+    assert chain.supports_columnar is False
+    # The inner chains stay independently cacheable and columnar-capable.
+    for did in session.domain_ids:
+        inner = session.domain_chain(did)
+        assert inner.supports_columnar is True
+        assert inner.cache is not None
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("columnar", [False, True])
+def test_fleet_parity_root_stream(session, reference, workers, columnar):
+    report, chain = session.resolve(workers=workers, columnar=columnar)
+    assert report.format_table(limit=10_000) == reference["table"]
+    assert (
+        json.dumps(chain.stats_dict(), sort_keys=True) == reference["stats"]
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded_reference(session):
+    """Sequential scalar run over the per-domain file layout."""
+    report, chain = session.resolve(workers=1, columnar=False, sharded=True)
+    return {
+        "table": report.format_table(limit=10_000),
+        "stats": json.dumps(chain.stats_dict(), sort_keys=True),
+        "rows": _canonical_rows(report),
+        "totals": dict(report.totals),
+    }
+
+
+def _canonical_rows(report):
+    """Rows as a sorted multiset — file visit order feeds the
+    aggregator's insertion order, which breaks ties in ``format_table``
+    between the two layouts, so cross-layout comparison canonicalizes."""
+    return sorted(
+        (
+            row.image,
+            row.symbol,
+            tuple((ev, row.count(ev)) for ev in sorted(report.events)),
+        )
+        for row in report.sorted_rows()
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_fleet_parity_sharded_layout(session, sharded_reference, workers):
+    """The per-domain layout holds the same records in the same
+    per-domain order, so resolving it shards across whole domains and
+    still reproduces the layout's sequential bytes and statistics."""
+    report, chain = session.resolve(workers=workers, sharded=True)
+    assert report.format_table(limit=10_000) == sharded_reference["table"]
+    assert (
+        json.dumps(chain.stats_dict(), sort_keys=True)
+        == sharded_reference["stats"]
+    )
+
+
+def test_fleet_layouts_agree(session, reference, sharded_reference):
+    """Root stream and per-domain layout resolve to the same profile:
+    identical row multisets, totals, and chain statistics (per-domain
+    record order is preserved by both, so even the inner caches see the
+    same per-domain stream)."""
+    report, chain = session.resolve(workers=1, columnar=False)
+    assert _canonical_rows(report) == sharded_reference["rows"]
+    assert dict(report.totals) == sharded_reference["totals"]
+    assert reference["stats"] == sharded_reference["stats"]
+
+
+def test_fleet_members_cycle_profiles():
+    wls = fleet_workloads(len(FLEET_PROFILES) * 2, base_time_s=0.01)
+    names = [w.name for w in wls]
+    assert names == sorted(names)  # fleet-00, fleet-01, ... stable order
+    for i, wl in enumerate(wls):
+        assert FLEET_PROFILES[i % len(FLEET_PROFILES)] in wl.name
+    # Deterministic in (index, seed): two builds are identical.
+    again = fleet_workloads(len(FLEET_PROFILES) * 2, base_time_s=0.01)
+    assert [repr(w.methods) for w in again] == [
+        repr(w.methods) for w in wls
+    ]

@@ -1,0 +1,222 @@
+"""Property tests for the fleet rollup's algebra.
+
+Two contracts make ``viprof report --per-domain`` trustworthy:
+
+* **merge-order invariance** — merging the per-domain summaries in any
+  order and normalizing yields byte-identical canonical JSON to
+  :func:`~repro.metrics.fleet.fleet_rollup`;
+* **permutation equivariance** — relabeling domain ids permutes the
+  per-domain outputs (``dom<N>.*`` panels, per-domain report-doc
+  entries) but never mixes one domain's counters into another's, and
+  leaves every fleet-wide aggregate untouched.
+
+The summaries are generated in the exact shape
+:func:`~repro.metrics.fleet.domain_summary` produces: shared panels,
+``dom<N>.``-prefixed copies, and a ``fleet`` panel counting the domain
+itself.  Panel values are integers only — the rollup is exact counter
+summation, and these properties are what guarantee it stays that way.
+"""
+
+import re
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.fleet import (
+    domain_summary,
+    fleet_report_doc,
+    fleet_rollup,
+    normalize_summary,
+)
+from repro.metrics.model import KIND_PROFILE, SessionSummary, SymbolEntry
+from repro.workloads.fleet import fleet_workloads
+from repro.xen.fleet import run_fleet
+
+EVENTS = ("GLOBAL_POWER_EVENTS", "BSQ_CACHE_REFERENCE", "ITLB_MISS")
+IMAGES = ("JIT.App", "vmlinux", "RVM.map", "xen-syms")
+PANEL_NAMES = ("layers", "jit", "cache", "degraded")
+METRIC_NAMES = ("hits", "misses", "resolved", "blocked")
+
+_DOM_PANEL = re.compile(r"^dom(\d+)\.(.+)$")
+
+_counts = st.dictionaries(
+    st.sampled_from(EVENTS), st.integers(1, 10**9), min_size=1, max_size=3
+)
+_symbols = st.lists(
+    st.builds(
+        SymbolEntry,
+        image=st.sampled_from(IMAGES),
+        symbol=st.text("abcdef", min_size=1, max_size=6),
+        counts=_counts,
+    ),
+    max_size=6,
+    unique_by=lambda e: e.key,
+)
+_panels = st.dictionaries(
+    st.sampled_from(PANEL_NAMES),
+    st.dictionaries(
+        st.sampled_from(METRIC_NAMES),
+        st.integers(0, 10**9),
+        min_size=1,
+        max_size=3,
+    ),
+    max_size=len(PANEL_NAMES),
+)
+
+
+@st.composite
+def fleet_inputs(draw):
+    """``{domain_id: content}`` for 1..5 domains out of ids 0..7."""
+    n = draw(st.integers(1, 5))
+    dids = draw(st.permutations(range(8)))[:n]
+    return {
+        did: {
+            "events": tuple(
+                draw(
+                    st.lists(
+                        st.sampled_from(EVENTS),
+                        unique=True,
+                        min_size=1,
+                        max_size=3,
+                    )
+                )
+            ),
+            "totals": draw(_counts),
+            "symbols": draw(_symbols),
+            "panels": draw(_panels),
+        }
+        for did in dids
+    }
+
+
+def make_summary(did: int, content: dict) -> SessionSummary:
+    """Materialize one domain's summary in ``domain_summary``'s shape."""
+    panels = {name: dict(p) for name, p in content["panels"].items()}
+    panels.update(
+        {f"dom{did}.{name}": dict(p) for name, p in panels.items()}
+    )
+    panels["fleet"] = {"domains": 1}
+    return SessionSummary(
+        kind=KIND_PROFILE,
+        events=content["events"],
+        totals=dict(content["totals"]),
+        symbols=[
+            SymbolEntry(image=e.image, symbol=e.symbol, counts=dict(e.counts))
+            for e in content["symbols"]
+        ],
+        panels=panels,
+        meta={"domain_id": did},
+    )
+
+
+def _shared_panels(panels: dict) -> dict:
+    return {k: v for k, v in panels.items() if not _DOM_PANEL.match(k)}
+
+
+def _dom_panels(panels: dict) -> dict:
+    """``dom<N>.<name>`` panels keyed ``(N, name)``."""
+    out = {}
+    for key, panel in panels.items():
+        m = _DOM_PANEL.match(key)
+        if m:
+            out[(int(m.group(1)), m.group(2))] = panel
+    return out
+
+
+class TestMergeOrder:
+    @given(fleet_inputs(), st.randoms(use_true_random=False))
+    def test_any_merge_order_equals_rollup(self, inputs, rng):
+        summaries = {d: make_summary(d, c) for d, c in inputs.items()}
+        reference = fleet_rollup(summaries).to_canonical_json()
+
+        order = list(summaries)
+        rng.shuffle(order)
+        merged = None
+        for did in order:
+            copy = SessionSummary.from_dict(summaries[did].to_dict())
+            merged = copy if merged is None else merged.merge(copy)
+        assert normalize_summary(merged).to_canonical_json() == reference
+
+    @given(fleet_inputs())
+    def test_rollup_counts_domains_and_keeps_inputs_intact(self, inputs):
+        summaries = {d: make_summary(d, c) for d, c in inputs.items()}
+        before = {d: s.to_canonical_json() for d, s in summaries.items()}
+        rollup = fleet_rollup(summaries)
+        assert rollup.panels["fleet"] == {"domains": len(inputs)}
+        # The rollup copies; the per-domain inputs are not mutated.
+        assert before == {
+            d: s.to_canonical_json() for d, s in summaries.items()
+        }
+        # Fleet totals are the exact per-domain sums.
+        for ev in rollup.totals:
+            assert rollup.totals[ev] == sum(
+                c["totals"].get(ev, 0) for c in inputs.values()
+            )
+
+
+class TestPermutation:
+    @given(fleet_inputs())
+    def test_rollup_never_mixes_domains(self, inputs):
+        summaries = {d: make_summary(d, c) for d, c in inputs.items()}
+        rollup = fleet_rollup(summaries)
+        for did, content in inputs.items():
+            for name, panel in content["panels"].items():
+                assert rollup.panels[f"dom{did}.{name}"] == panel
+
+    @given(fleet_inputs(), st.permutations(range(8)))
+    def test_domain_relabel_permutes_outputs(self, inputs, perm):
+        orig = {d: make_summary(d, c) for d, c in inputs.items()}
+        relabeled = {
+            perm[d]: make_summary(perm[d], c) for d, c in inputs.items()
+        }
+        doc_a = fleet_report_doc(orig)
+        doc_b = fleet_report_doc(relabeled)
+
+        # Per-domain entries move to their new id, byte-for-byte.
+        assert set(doc_b["domains"]) == {
+            f"dom{perm[d]}" for d in inputs
+        }
+        for d in inputs:
+            assert doc_b["domains"][f"dom{perm[d]}"] == (
+                doc_a["domains"][f"dom{d}"]
+            )
+
+        # Fleet-wide aggregates are relabel-invariant ...
+        fa, fb = doc_a["fleet"], doc_b["fleet"]
+        assert fb["events"] == fa["events"]
+        assert fb["totals"] == fa["totals"]
+        assert fb["top_symbols"] == fa["top_symbols"]
+        assert _shared_panels(fb["panels"]) == _shared_panels(fa["panels"])
+        # ... and the dom-prefixed panels permute without mixing.
+        assert _dom_panels(fb["panels"]) == {
+            (perm[d], name): panel
+            for (d, name), panel in _dom_panels(fa["panels"]).items()
+        }
+
+
+def test_real_fleet_summaries_have_the_generated_shape(tmp_path):
+    """Ground the strategies: ``domain_summary`` output from a real fleet
+    run carries exactly the shape the properties above generate."""
+    fs = run_fleet(
+        fleet_workloads(2, base_time_s=0.02),
+        period=20_000,
+        session_dir=tmp_path / "fleet",
+    )
+    summaries = {}
+    for did in fs.domain_ids:
+        report, chain = fs.domain_resolve(did)
+        summaries[did] = domain_summary(
+            did, report, stats=chain.stats_dict()
+        )
+    for did, s in summaries.items():
+        assert s.panels["fleet"] == {"domains": 1}
+        for (d, name), panel in _dom_panels(s.panels).items():
+            assert d == did
+            assert panel == s.panels[name]
+    rollup = fleet_rollup(summaries)
+    assert rollup.panels["fleet"] == {"domains": len(summaries)}
+    for did, s in summaries.items():
+        for name, panel in _shared_panels(s.panels).items():
+            if name == "fleet":
+                continue
+            assert rollup.panels[f"dom{did}.{name}"] == panel
